@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablations of the Helios design points called out in the paper's
+ * text: NCSF nesting depth (Section IV-B: "two nested NCSF'd µ-ops
+ * ... sufficient"), the fusion region granularity (Section III-C),
+ * the Allocation Queue size (Section V-A: a wide frontend is needed
+ * to fill the AQ), and the fetch width itself.
+ */
+
+#include <cstdio>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+using namespace helios;
+
+namespace
+{
+
+const char *ablationWorkloads[] = {
+    "602.gcc_s_1", "605.mcf_s", "657.xz_s_1", "fft", "dijkstra",
+    "qsort", "typeset", "sha",
+};
+
+double
+geomeanUplift(const CoreParams &params, uint64_t budget)
+{
+    std::vector<double> ratios;
+    for (const char *name : ablationWorkloads) {
+        const Workload &workload = findWorkload(name);
+        CoreParams base_params = params;
+        base_params.fusion = FusionMode::None;
+        const double base = runOne(workload, base_params, budget).ipc();
+        const double helios_ipc =
+            runOne(workload, params, budget).ipc();
+        ratios.push_back(helios_ipc / base);
+    }
+    return 100.0 * (geomean(ratios) - 1.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    printBenchHeader(
+        "Ablations — Helios design points",
+        "geomean IPC uplift over no fusion on an 8-workload subset");
+    const uint64_t budget = benchInstructionBudget();
+
+    Table table({"ablation", "value", "Helios uplift"});
+
+    for (unsigned depth : {1u, 2u, 4u}) {
+        CoreParams params = CoreParams::icelake(FusionMode::Helios);
+        params.ncsfNestDepth = depth;
+        table.addRow({"NCSF nesting depth", std::to_string(depth),
+                      Table::num(geomeanUplift(params, budget), 2) +
+                          "%"});
+    }
+    for (unsigned region : {16u, 32u, 64u}) {
+        CoreParams params = CoreParams::icelake(FusionMode::Helios);
+        params.fusionRegionBytes = region;
+        table.addRow({"fusion region bytes", std::to_string(region),
+                      Table::num(geomeanUplift(params, budget), 2) +
+                          "%"});
+    }
+    for (unsigned aq : {35u, 70u, 140u, 280u}) {
+        CoreParams params = CoreParams::icelake(FusionMode::Helios);
+        params.aqSize = aq;
+        table.addRow({"allocation queue size", std::to_string(aq),
+                      Table::num(geomeanUplift(params, budget), 2) +
+                          "%"});
+    }
+    for (unsigned width : {5u, 8u}) {
+        CoreParams params = CoreParams::icelake(FusionMode::Helios);
+        params.fetchWidth = width;
+        params.decodeWidth = width;
+        table.addRow({"fetch/decode width", std::to_string(width),
+                      Table::num(geomeanUplift(params, budget), 2) +
+                          "%"});
+    }
+    for (bool dbr_stores : {false, true}) {
+        CoreParams params = CoreParams::icelake(FusionMode::Helios);
+        params.fuseDbrStorePairs = dbr_stores;
+        table.addRow({"DBR store pairs", dbr_stores ? "on" : "off",
+                      Table::num(geomeanUplift(params, budget), 2) +
+                          "%"});
+    }
+    for (FpKind kind : {FpKind::Tournament, FpKind::Tage}) {
+        CoreParams params = CoreParams::icelake(FusionMode::Helios);
+        params.fpKind = kind;
+        table.addRow({"fusion predictor",
+                      kind == FpKind::Tage ? "TAGE" : "tournament",
+                      Table::num(geomeanUplift(params, budget), 2) +
+                          "%"});
+    }
+    table.print();
+    std::printf("\nPaper: nesting depth 2 achieves most benefits; an "
+                "8-wide frontend is needed to fill the AQ\n");
+    return 0;
+}

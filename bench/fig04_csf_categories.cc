@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 4: paired consecutive memory µ-ops by address relationship
+ * (contiguous / overlapping / same cache line / next line), relative
+ * to total dynamic µ-ops, assuming 64 B cache access granularity.
+ *
+ * Paper reference: very few pairs overlap; ~1% additional µ-ops could
+ * fuse with non-contiguous fusion (SameLine + NextLine).
+ */
+
+#include <cstdio>
+
+#include "harness/analysis.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+using namespace helios;
+
+int
+main()
+{
+    printBenchHeader(
+        "Figure 4 — consecutive memory pair categories",
+        "% of dynamic µ-ops in each pair category (64 B granularity)");
+    const uint64_t budget = benchInstructionBudget();
+
+    Table table({"workload", "Contiguous", "Overlap", "SameLine",
+                 "NextLine"});
+    double sums[4] = {};
+    unsigned count = 0;
+    for (const Workload &workload : allWorkloads()) {
+        const auto trace = functionalTrace(workload, budget);
+        const CsfCategoryStats stats = analyzeCsfCategories(trace);
+        const double values[4] = {stats.fraction(stats.contiguous),
+                                  stats.fraction(stats.overlapping),
+                                  stats.fraction(stats.sameLine),
+                                  stats.fraction(stats.nextLine)};
+        table.addRow({workload.name, Table::pct(values[0]),
+                      Table::pct(values[1]), Table::pct(values[2]),
+                      Table::pct(values[3])});
+        for (int i = 0; i < 4; ++i)
+            sums[i] += values[i];
+        ++count;
+    }
+    table.addRow({"AVERAGE", Table::pct(sums[0] / count),
+                  Table::pct(sums[1] / count),
+                  Table::pct(sums[2] / count),
+                  Table::pct(sums[3] / count)});
+    table.print();
+    std::printf("\nPaper: overlap nearly absent; SameLine+NextLine "
+                "adds ~1%% beyond contiguous\n");
+    return 0;
+}

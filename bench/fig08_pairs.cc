@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 8: number of CSF and NCSF pairs in Helios and OracleFusion,
+ * relative to dynamic memory instructions.
+ *
+ * Paper reference: Helios delivers 6.7% CSF + 5.5% NCSF pairs, close
+ * to OracleFusion (which fuses 6.1% CSF); average head-tail distance
+ * is 10.5 dynamic instructions.
+ */
+
+#include <cstdio>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+using namespace helios;
+
+namespace
+{
+
+struct PairNumbers
+{
+    double csf;
+    double ncsf;
+    double distance;
+};
+
+PairNumbers
+pairNumbers(const RunResult &result)
+{
+    const double mem_insts = double(result.stat("commit.loads") +
+                                    result.stat("commit.stores"));
+    const double csf = double(result.stat("pairs.csf_mem"));
+    const double ncsf = double(result.stat("pairs.ncsf"));
+    const double dsum = double(result.stat("pairs.distance_sum"));
+    return {mem_insts ? csf / mem_insts : 0.0,
+            mem_insts ? ncsf / mem_insts : 0.0,
+            (csf + ncsf) > 0 ? dsum / double(csf + ncsf) : 0.0};
+}
+
+} // namespace
+
+int
+main()
+{
+    printBenchHeader(
+        "Figure 8 — CSF and NCSF pairs, Helios vs OracleFusion",
+        "pairs as % of dynamic memory instructions; avg fusion "
+        "distance in µ-ops");
+    const uint64_t budget = benchInstructionBudget();
+
+    Table table({"workload", "Helios CSF", "Helios NCSF", "Oracle CSF",
+                 "Oracle NCSF", "Helios dist"});
+    double sums[4] = {};
+    double dist_sum = 0.0;
+    unsigned count = 0;
+    for (const Workload &workload : allWorkloads()) {
+        const PairNumbers helios_numbers =
+            pairNumbers(runOne(workload, FusionMode::Helios, budget));
+        const PairNumbers oracle_numbers =
+            pairNumbers(runOne(workload, FusionMode::Oracle, budget));
+        table.addRow({workload.name, Table::pct(helios_numbers.csf),
+                      Table::pct(helios_numbers.ncsf),
+                      Table::pct(oracle_numbers.csf),
+                      Table::pct(oracle_numbers.ncsf),
+                      Table::num(helios_numbers.distance, 1)});
+        sums[0] += helios_numbers.csf;
+        sums[1] += helios_numbers.ncsf;
+        sums[2] += oracle_numbers.csf;
+        sums[3] += oracle_numbers.ncsf;
+        dist_sum += helios_numbers.distance;
+        ++count;
+    }
+    table.addRow({"AVERAGE", Table::pct(sums[0] / count),
+                  Table::pct(sums[1] / count),
+                  Table::pct(sums[2] / count),
+                  Table::pct(sums[3] / count),
+                  Table::num(dist_sum / count, 1)});
+    table.print();
+    std::printf("\nPaper (amean over memory insts): Helios 6.7%% CSF "
+                "+ 5.5%% NCSF; Oracle CSF 6.1%%; distance 10.5\n");
+    return 0;
+}

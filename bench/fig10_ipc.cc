@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 10 — the headline result: IPC of every configuration,
+ * normalized to the no-fusion baseline.
+ *
+ * Paper reference (geomean IPC uplift over no fusion):
+ *   RISCVFusion +0.8%, CSF-SBR +6%, RISCVFusion++ +7%,
+ *   Helios +14.2% (8.2% over CSF-SBR), OracleFusion +16.3%.
+ */
+
+#include <cstdio>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+using namespace helios;
+
+int
+main()
+{
+    printBenchHeader(
+        "Figure 10 — IPC by configuration (normalized to NoFusion)",
+        "the paper's headline evaluation");
+    const uint64_t budget = benchInstructionBudget();
+
+    const FusionMode modes[] = {FusionMode::RiscvFusion,
+                                FusionMode::CsfSbr,
+                                FusionMode::RiscvFusionPP,
+                                FusionMode::Helios, FusionMode::Oracle};
+
+    Table table({"workload", "base IPC", "RVF", "CSF-SBR", "RVF++",
+                 "Helios", "Oracle"});
+    std::vector<double> ratios[5];
+    for (const Workload &workload : allWorkloads()) {
+        const double base =
+            runOne(workload, FusionMode::None, budget).ipc();
+        std::vector<std::string> row = {workload.name,
+                                        Table::num(base, 3)};
+        for (int i = 0; i < 5; ++i) {
+            const double ipc = runOne(workload, modes[i], budget).ipc();
+            ratios[i].push_back(ipc / base);
+            row.push_back(Table::num(ipc / base, 3));
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> last = {"GEOMEAN", ""};
+    for (auto &ratio : ratios)
+        last.push_back(Table::num(geomean(ratio), 3));
+    table.addRow(last);
+    table.print();
+
+    std::printf("\nGeomean uplift over NoFusion:\n");
+    const char *names[] = {"RISCVFusion", "CSF-SBR", "RISCVFusion++",
+                           "Helios", "OracleFusion"};
+    const double paper[] = {0.8, 6.0, 7.0, 14.2, 16.3};
+    for (int i = 0; i < 5; ++i)
+        std::printf("  %-14s measured %+5.1f%%   paper %+5.1f%%\n",
+                    names[i], 100.0 * (geomean(ratios[i]) - 1.0),
+                    paper[i]);
+    std::printf("  Helios over CSF-SBR: measured %+.1f%% (paper "
+                "+8.2%%)\n",
+                100.0 * (geomean(ratios[3]) / geomean(ratios[1]) - 1.0));
+    return 0;
+}

@@ -1,0 +1,34 @@
+# Sample program for helios_run: prints a message and sums an array.
+#   $ ./examples/helios_run examples/hello.s --config Helios --stats
+
+    la a1, msg
+    li a2, 14
+    li a0, 1
+    li a7, 64           # write(1, msg, 14)
+    ecall
+
+    la s0, numbers
+    li s1, 8
+    li s2, 0
+    li t0, 0
+loop:
+    slli t1, t0, 3
+    add t1, t1, s0
+    ld t2, 0(t1)        # these loads pair up under fusion
+    ld t3, 8(t1)
+    add s2, s2, t2
+    add s2, s2, t3
+    addi t0, t0, 2
+    blt t0, s1, loop
+
+    mv a0, s2           # exit with the sum (= 2+3+...+9 = 44)
+    li a7, 93
+    ecall
+
+    .data
+    .align 6
+msg:
+    .asciz "hello, fusion\n"
+    .align 6
+numbers:
+    .dword 2, 3, 4, 5, 6, 7, 8, 9

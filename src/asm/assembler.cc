@@ -1,0 +1,639 @@
+#include "asm/assembler.hh"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "isa/decoder.hh"
+#include "isa/encoder.hh"
+
+namespace helios
+{
+
+namespace
+{
+
+/** Where an unresolved label reference must be patched. */
+enum class FixupKind
+{
+    Branch,  ///< B-type pc-relative offset
+    Jal,     ///< J-type pc-relative offset
+    LaHi,    ///< lui for absolute address (paired with LaLo)
+    LaLo,    ///< addiw low 12 bits of absolute address
+};
+
+struct Fixup
+{
+    FixupKind kind;
+    size_t codeIndex;
+    std::string label;
+    int line;
+};
+
+class Assembler
+{
+  public:
+    Program
+    run(const std::string &source)
+    {
+        size_t begin = 0;
+        int line = 1;
+        while (begin <= source.size()) {
+            size_t end = source.find('\n', begin);
+            if (end == std::string::npos)
+                end = source.size();
+            currentLine = line;
+            processLine(source.substr(begin, end - begin));
+            begin = end + 1;
+            ++line;
+        }
+        resolveFixups();
+        return std::move(prog);
+    }
+
+  private:
+    [[noreturn]] void
+    error(const std::string &message) const
+    {
+        fatal("asm line %d: %s", currentLine, message.c_str());
+    }
+
+    // ---- tokenization ------------------------------------------------
+
+    static std::string
+    stripComment(const std::string &text)
+    {
+        size_t pos = text.size();
+        bool in_string = false;
+        for (size_t i = 0; i < text.size(); ++i) {
+            const char c = text[i];
+            if (c == '"')
+                in_string = !in_string;
+            if (in_string)
+                continue;
+            if (c == '#' || c == ';' ||
+                (c == '/' && i + 1 < text.size() && text[i + 1] == '/')) {
+                pos = i;
+                break;
+            }
+        }
+        return text.substr(0, pos);
+    }
+
+    static std::string
+    trim(const std::string &text)
+    {
+        size_t first = text.find_first_not_of(" \t\r");
+        if (first == std::string::npos)
+            return "";
+        size_t last = text.find_last_not_of(" \t\r");
+        return text.substr(first, last - first + 1);
+    }
+
+    /** Split "a0, 8(sp)" into {"a0", "8(sp)"}. */
+    std::vector<std::string>
+    splitOperands(const std::string &text) const
+    {
+        std::vector<std::string> result;
+        std::string current;
+        bool in_string = false;
+        for (char c : text) {
+            if (c == '"')
+                in_string = !in_string;
+            if (c == ',' && !in_string) {
+                result.push_back(trim(current));
+                current.clear();
+            } else {
+                current += c;
+            }
+        }
+        const std::string last = trim(current);
+        if (!last.empty())
+            result.push_back(last);
+        for (const std::string &operand : result)
+            if (operand.empty())
+                error("empty operand");
+        return result;
+    }
+
+    // ---- operand parsing ---------------------------------------------
+
+    uint8_t
+    parseReg(const std::string &text) const
+    {
+        const int reg = parseRegName(text);
+        if (reg < 0)
+            error("unknown register '" + text + "'");
+        return static_cast<uint8_t>(reg);
+    }
+
+    std::optional<int64_t>
+    tryParseInt(const std::string &text) const
+    {
+        if (text.empty())
+            return std::nullopt;
+        size_t pos = 0;
+        bool negative = false;
+        if (text[pos] == '-' || text[pos] == '+') {
+            negative = text[pos] == '-';
+            ++pos;
+        }
+        if (pos >= text.size() || !std::isdigit(uint8_t(text[pos])))
+            return std::nullopt;
+        uint64_t value = 0;
+        if (text.compare(pos, 2, "0x") == 0 ||
+            text.compare(pos, 2, "0X") == 0) {
+            pos += 2;
+            if (pos >= text.size())
+                return std::nullopt;
+            for (; pos < text.size(); ++pos) {
+                const char c = text[pos];
+                if (!std::isxdigit(uint8_t(c)))
+                    return std::nullopt;
+                value = value * 16 +
+                        (std::isdigit(uint8_t(c))
+                             ? c - '0'
+                             : std::tolower(uint8_t(c)) - 'a' + 10);
+            }
+        } else {
+            for (; pos < text.size(); ++pos) {
+                if (!std::isdigit(uint8_t(text[pos])))
+                    return std::nullopt;
+                value = value * 10 + (text[pos] - '0');
+            }
+        }
+        const int64_t signed_value = static_cast<int64_t>(value);
+        return negative ? -signed_value : signed_value;
+    }
+
+    int64_t
+    parseInt(const std::string &text) const
+    {
+        auto value = tryParseInt(text);
+        if (!value)
+            error("expected integer, got '" + text + "'");
+        return *value;
+    }
+
+    /** Parse "imm(reg)" or "(reg)" memory operands. */
+    std::pair<int64_t, uint8_t>
+    parseMemOperand(const std::string &text) const
+    {
+        const size_t open = text.find('(');
+        const size_t close = text.rfind(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open) {
+            error("expected mem operand 'imm(reg)', got '" + text + "'");
+        }
+        const std::string imm_text = trim(text.substr(0, open));
+        const std::string reg_text =
+            trim(text.substr(open + 1, close - open - 1));
+        const int64_t imm = imm_text.empty() ? 0 : parseInt(imm_text);
+        return {imm, parseReg(reg_text)};
+    }
+
+    // ---- emission ----------------------------------------------------
+
+    uint64_t codePc() const { return prog.textBase + prog.code.size() * 4; }
+
+    void
+    emit(Op op, uint8_t rd, uint8_t rs1, uint8_t rs2, int64_t imm)
+    {
+        Instruction inst;
+        inst.op = op;
+        inst.rd = rd;
+        inst.rs1 = rs1;
+        inst.rs2 = rs2;
+        inst.imm = imm;
+        prog.code.push_back(encode(inst));
+    }
+
+    void
+    emitBranchTo(Op op, uint8_t rs1, uint8_t rs2,
+                 const std::string &target)
+    {
+        if (auto imm = tryParseInt(target)) {
+            emit(op, 0, rs1, rs2, *imm);
+            return;
+        }
+        fixups.push_back(
+            {FixupKind::Branch, prog.code.size(), target, currentLine});
+        emit(op, 0, rs1, rs2, 0);
+    }
+
+    void
+    emitJalTo(uint8_t rd, const std::string &target)
+    {
+        if (auto imm = tryParseInt(target)) {
+            emit(Op::Jal, rd, 0, 0, *imm);
+            return;
+        }
+        fixups.push_back(
+            {FixupKind::Jal, prog.code.size(), target, currentLine});
+        emit(Op::Jal, rd, 0, 0, 0);
+    }
+
+    /** Materialize an arbitrary 64-bit constant. */
+    void
+    emitLi(uint8_t rd, int64_t value)
+    {
+        if (value >= -2048 && value <= 2047) {
+            emit(Op::Addi, rd, RegZero, 0, value);
+            return;
+        }
+        if (value >= INT32_MIN && value <= INT32_MAX) {
+            const int32_t lo = static_cast<int32_t>(value << 52 >> 52);
+            const int32_t hi20 =
+                static_cast<int32_t>((value - lo) >> 12) & 0xfffff;
+            emit(Op::Lui, rd, 0, 0, sextBits(hi20, 20));
+            if (lo != 0)
+                emit(Op::Addiw, rd, rd, 0, lo);
+            return;
+        }
+        // 64-bit: build the upper part recursively, shift, add.
+        const int64_t lo = value << 52 >> 52;
+        emitLi(rd, (value - lo) >> 12);
+        emit(Op::Slli, rd, rd, 0, 12);
+        if (lo != 0)
+            emit(Op::Addi, rd, rd, 0, lo);
+    }
+
+    void
+    emitLa(uint8_t rd, const std::string &label)
+    {
+        if (auto imm = tryParseInt(label)) {
+            emitLi(rd, *imm);
+            return;
+        }
+        fixups.push_back(
+            {FixupKind::LaHi, prog.code.size(), label, currentLine});
+        emit(Op::Lui, rd, 0, 0, 0);
+        fixups.push_back(
+            {FixupKind::LaLo, prog.code.size(), label, currentLine});
+        emit(Op::Addiw, rd, rd, 0, 0);
+    }
+
+    // ---- data section ------------------------------------------------
+
+    void
+    emitDataBytes(uint64_t value, unsigned size)
+    {
+        for (unsigned i = 0; i < size; ++i)
+            prog.data.push_back(uint8_t(value >> (8 * i)));
+    }
+
+    void
+    defineLabel(const std::string &name)
+    {
+        const uint64_t addr = inData
+                                  ? prog.dataBase + prog.data.size()
+                                  : codePc();
+        if (!prog.symbols.emplace(name, addr).second)
+            error("duplicate label '" + name + "'");
+    }
+
+    // ---- line processing ---------------------------------------------
+
+    void
+    processLine(const std::string &raw_line)
+    {
+        std::string text = trim(stripComment(raw_line));
+
+        // Possibly several "label:" prefixes.
+        while (true) {
+            const size_t colon = text.find(':');
+            if (colon == std::string::npos)
+                break;
+            const std::string label = trim(text.substr(0, colon));
+            if (label.empty() || label.find(' ') != std::string::npos ||
+                label.find('"') != std::string::npos ||
+                label.find('(') != std::string::npos) {
+                break;
+            }
+            defineLabel(label);
+            text = trim(text.substr(colon + 1));
+        }
+        if (text.empty())
+            return;
+
+        const size_t space = text.find_first_of(" \t");
+        const std::string mnemonic =
+            space == std::string::npos ? text : text.substr(0, space);
+        const std::string rest =
+            space == std::string::npos ? "" : trim(text.substr(space + 1));
+
+        if (mnemonic[0] == '.') {
+            processDirective(mnemonic, rest);
+            return;
+        }
+        if (inData)
+            error("instruction '" + mnemonic + "' inside .data");
+        processInstruction(mnemonic, splitOperands(rest));
+    }
+
+    void
+    processDirective(const std::string &name, const std::string &rest)
+    {
+        if (name == ".text") {
+            inData = false;
+        } else if (name == ".data") {
+            inData = true;
+        } else if (name == ".global" || name == ".globl" ||
+                   name == ".p2align" || name == ".option" ||
+                   name == ".size" || name == ".type") {
+            // Accepted and ignored for GNU-as compatibility.
+        } else if (name == ".byte" || name == ".half" ||
+                   name == ".word" || name == ".dword") {
+            if (!inData)
+                error(name + " outside .data");
+            const unsigned size = name == ".byte"   ? 1
+                                  : name == ".half" ? 2
+                                  : name == ".word" ? 4
+                                                    : 8;
+            for (const std::string &operand : splitOperands(rest))
+                emitDataBytes(uint64_t(parseInt(operand)), size);
+        } else if (name == ".zero" || name == ".space") {
+            if (!inData)
+                error(name + " outside .data");
+            const int64_t count = parseInt(trim(rest));
+            if (count < 0)
+                error("negative .zero size");
+            prog.data.insert(prog.data.end(), size_t(count), 0);
+        } else if (name == ".align") {
+            const int64_t power = parseInt(trim(rest));
+            if (power < 0 || power > 16)
+                error("bad .align exponent");
+            const uint64_t align = 1ULL << power;
+            if (inData) {
+                while (prog.data.size() % align)
+                    prog.data.push_back(0);
+            } else {
+                while ((codePc() % align) != 0)
+                    emit(Op::Addi, 0, 0, 0, 0); // nop padding
+            }
+        } else if (name == ".asciz" || name == ".string") {
+            if (!inData)
+                error(name + " outside .data");
+            const std::string trimmed = trim(rest);
+            if (trimmed.size() < 2 || trimmed.front() != '"' ||
+                trimmed.back() != '"') {
+                error("expected quoted string");
+            }
+            for (size_t i = 1; i + 1 < trimmed.size(); ++i) {
+                char c = trimmed[i];
+                if (c == '\\' && i + 2 < trimmed.size()) {
+                    ++i;
+                    switch (trimmed[i]) {
+                      case 'n': c = '\n'; break;
+                      case 't': c = '\t'; break;
+                      case '0': c = '\0'; break;
+                      case '\\': c = '\\'; break;
+                      default: c = trimmed[i]; break;
+                    }
+                }
+                prog.data.push_back(uint8_t(c));
+            }
+            prog.data.push_back(0);
+        } else {
+            error("unknown directive '" + name + "'");
+        }
+    }
+
+    void
+    processInstruction(const std::string &mnemonic,
+                       const std::vector<std::string> &ops)
+    {
+        auto want = [&](size_t n) {
+            if (ops.size() != n)
+                error(mnemonic + " expects " + std::to_string(n) +
+                      " operands, got " + std::to_string(ops.size()));
+        };
+
+        // ---- pseudo-instructions ----
+        if (mnemonic == "nop") {
+            want(0);
+            emit(Op::Addi, 0, 0, 0, 0);
+        } else if (mnemonic == "li") {
+            want(2);
+            emitLi(parseReg(ops[0]), parseInt(ops[1]));
+        } else if (mnemonic == "la") {
+            want(2);
+            emitLa(parseReg(ops[0]), ops[1]);
+        } else if (mnemonic == "mv") {
+            want(2);
+            emit(Op::Addi, parseReg(ops[0]), parseReg(ops[1]), 0, 0);
+        } else if (mnemonic == "not") {
+            want(2);
+            emit(Op::Xori, parseReg(ops[0]), parseReg(ops[1]), 0, -1);
+        } else if (mnemonic == "neg") {
+            want(2);
+            emit(Op::Sub, parseReg(ops[0]), RegZero, parseReg(ops[1]), 0);
+        } else if (mnemonic == "negw") {
+            want(2);
+            emit(Op::Subw, parseReg(ops[0]), RegZero, parseReg(ops[1]), 0);
+        } else if (mnemonic == "sext.w") {
+            want(2);
+            emit(Op::Addiw, parseReg(ops[0]), parseReg(ops[1]), 0, 0);
+        } else if (mnemonic == "seqz") {
+            want(2);
+            emit(Op::Sltiu, parseReg(ops[0]), parseReg(ops[1]), 0, 1);
+        } else if (mnemonic == "snez") {
+            want(2);
+            emit(Op::Sltu, parseReg(ops[0]), RegZero, parseReg(ops[1]), 0);
+        } else if (mnemonic == "sltz") {
+            want(2);
+            emit(Op::Slt, parseReg(ops[0]), parseReg(ops[1]), RegZero, 0);
+        } else if (mnemonic == "sgtz") {
+            want(2);
+            emit(Op::Slt, parseReg(ops[0]), RegZero, parseReg(ops[1]), 0);
+        } else if (mnemonic == "beqz") {
+            want(2);
+            emitBranchTo(Op::Beq, parseReg(ops[0]), RegZero, ops[1]);
+        } else if (mnemonic == "bnez") {
+            want(2);
+            emitBranchTo(Op::Bne, parseReg(ops[0]), RegZero, ops[1]);
+        } else if (mnemonic == "blez") {
+            want(2);
+            emitBranchTo(Op::Bge, RegZero, parseReg(ops[0]), ops[1]);
+        } else if (mnemonic == "bgez") {
+            want(2);
+            emitBranchTo(Op::Bge, parseReg(ops[0]), RegZero, ops[1]);
+        } else if (mnemonic == "bltz") {
+            want(2);
+            emitBranchTo(Op::Blt, parseReg(ops[0]), RegZero, ops[1]);
+        } else if (mnemonic == "bgtz") {
+            want(2);
+            emitBranchTo(Op::Blt, RegZero, parseReg(ops[0]), ops[1]);
+        } else if (mnemonic == "bgt") {
+            want(3);
+            emitBranchTo(Op::Blt, parseReg(ops[1]), parseReg(ops[0]),
+                         ops[2]);
+        } else if (mnemonic == "ble") {
+            want(3);
+            emitBranchTo(Op::Bge, parseReg(ops[1]), parseReg(ops[0]),
+                         ops[2]);
+        } else if (mnemonic == "bgtu") {
+            want(3);
+            emitBranchTo(Op::Bltu, parseReg(ops[1]), parseReg(ops[0]),
+                         ops[2]);
+        } else if (mnemonic == "bleu") {
+            want(3);
+            emitBranchTo(Op::Bgeu, parseReg(ops[1]), parseReg(ops[0]),
+                         ops[2]);
+        } else if (mnemonic == "j") {
+            want(1);
+            emitJalTo(RegZero, ops[0]);
+        } else if (mnemonic == "jr") {
+            want(1);
+            emit(Op::Jalr, RegZero, parseReg(ops[0]), 0, 0);
+        } else if (mnemonic == "call") {
+            want(1);
+            emitJalTo(RegRa, ops[0]);
+        } else if (mnemonic == "ret") {
+            want(0);
+            emit(Op::Jalr, RegZero, RegRa, 0, 0);
+        }
+        // ---- real instructions ----
+        else if (Op op = lookupOp(mnemonic); op != Op::Invalid) {
+            emitReal(op, ops, want);
+        } else {
+            error("unknown mnemonic '" + mnemonic + "'");
+        }
+    }
+
+    static Op
+    lookupOp(const std::string &mnemonic)
+    {
+        for (unsigned i = 1; i < unsigned(Op::NumOps); ++i) {
+            const Op op = static_cast<Op>(i);
+            if (mnemonic == opInfo(op).mnemonic)
+                return op;
+        }
+        return Op::Invalid;
+    }
+
+    template <typename WantFn>
+    void
+    emitReal(Op op, const std::vector<std::string> &ops, WantFn want)
+    {
+        const OpInfo &info = opInfo(op);
+        switch (info.cls) {
+          case OpClass::Load: {
+            want(2);
+            auto [imm, base] = parseMemOperand(ops[1]);
+            emit(op, parseReg(ops[0]), base, 0, imm);
+            return;
+          }
+          case OpClass::Store: {
+            want(2);
+            auto [imm, base] = parseMemOperand(ops[1]);
+            emit(op, 0, base, parseReg(ops[0]), imm);
+            return;
+          }
+          case OpClass::Branch:
+            if (op == Op::Jal) {
+                if (ops.size() == 1) {
+                    emitJalTo(RegRa, ops[0]);
+                } else {
+                    want(2);
+                    emitJalTo(parseReg(ops[0]), ops[1]);
+                }
+            } else if (op == Op::Jalr) {
+                if (ops.size() == 1) {
+                    emit(op, RegRa, parseReg(ops[0]), 0, 0);
+                } else if (ops.size() == 2 &&
+                           ops[1].find('(') != std::string::npos) {
+                    auto [imm, base] = parseMemOperand(ops[1]);
+                    emit(op, parseReg(ops[0]), base, 0, imm);
+                } else {
+                    want(3);
+                    emit(op, parseReg(ops[0]), parseReg(ops[1]), 0,
+                         parseInt(ops[2]));
+                }
+            } else {
+                want(3);
+                emitBranchTo(op, parseReg(ops[0]), parseReg(ops[1]),
+                             ops[2]);
+            }
+            return;
+          case OpClass::Serializing:
+            emit(op, 0, 0, 0, 0);
+            return;
+          default:
+            break;
+        }
+
+        if (op == Op::Lui || op == Op::Auipc) {
+            want(2);
+            emit(op, parseReg(ops[0]), 0, 0, parseInt(ops[1]));
+            return;
+        }
+        want(3);
+        if (info.readsRs2) {
+            emit(op, parseReg(ops[0]), parseReg(ops[1]),
+                 parseReg(ops[2]), 0);
+        } else {
+            emit(op, parseReg(ops[0]), parseReg(ops[1]), 0,
+                 parseInt(ops[2]));
+        }
+    }
+
+    // ---- fixups --------------------------------------------------------
+
+    void
+    resolveFixups()
+    {
+        for (const Fixup &fixup : fixups) {
+            auto it = prog.symbols.find(fixup.label);
+            if (it == prog.symbols.end())
+                fatal("asm line %d: undefined label '%s'", fixup.line,
+                      fixup.label.c_str());
+            const uint64_t target = it->second;
+            const uint64_t pc = prog.textBase + fixup.codeIndex * 4;
+            Instruction inst = decodePatched(fixup.codeIndex);
+
+            switch (fixup.kind) {
+              case FixupKind::Branch:
+              case FixupKind::Jal:
+                inst.imm = static_cast<int64_t>(target - pc);
+                break;
+              case FixupKind::LaHi: {
+                const int64_t lo =
+                    static_cast<int64_t>(target) << 52 >> 52;
+                inst.imm =
+                    ((static_cast<int64_t>(target) - lo) >> 12) & 0xfffff;
+                inst.imm = sextBits(inst.imm, 20);
+                break;
+              }
+              case FixupKind::LaLo:
+                inst.imm = static_cast<int64_t>(target) << 52 >> 52;
+                break;
+            }
+            currentLine = fixup.line;
+            prog.code[fixup.codeIndex] = encode(inst);
+        }
+    }
+
+    Instruction
+    decodePatched(size_t index) const
+    {
+        return decode(prog.code[index]);
+    }
+
+    Program prog;
+    std::vector<Fixup> fixups;
+    bool inData = false;
+    int currentLine = 0;
+};
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    return Assembler().run(source);
+}
+
+} // namespace helios

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * A small RISC-V (RV64IM) text assembler.
+ *
+ * Supports the standard assembler syntax subset needed by the workload
+ * kernels:
+ *  - labels (`loop:`), comments (`#`, `//`, `;`)
+ *  - sections: `.text` (default) and `.data`
+ *  - data directives: `.byte`, `.half`, `.word`, `.dword`, `.zero`/
+ *    `.space`, `.align` (power-of-two exponent), `.asciz`
+ *  - pseudo-instructions: `nop`, `li`, `la`, `mv`, `not`, `neg`,
+ *    `negw`, `sext.w`, `seqz`, `snez`, `sltz`, `sgtz`, `beqz`, `bnez`,
+ *    `blez`, `bgez`, `bltz`, `bgtz`, `bgt`, `ble`, `bgtu`, `bleu`,
+ *    `j`, `jr`, `call`, `ret`
+ *
+ * Errors are reported through fatal() with the offending line number.
+ */
+
+#ifndef ASM_ASSEMBLER_HH
+#define ASM_ASSEMBLER_HH
+
+#include <string>
+
+#include "asm/program.hh"
+
+namespace helios
+{
+
+/** Assemble @a source into a loadable Program image. */
+Program assemble(const std::string &source);
+
+} // namespace helios
+
+#endif // ASM_ASSEMBLER_HH

@@ -1,0 +1,17 @@
+#include "asm/program.hh"
+
+#include "common/logging.hh"
+
+namespace helios
+{
+
+uint64_t
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("undefined symbol '%s'", name.c_str());
+    return it->second;
+}
+
+} // namespace helios

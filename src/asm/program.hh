@@ -1,0 +1,50 @@
+/**
+ * @file
+ * An assembled program image: text, data and symbols.
+ */
+
+#ifndef ASM_PROGRAM_HH
+#define ASM_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace helios
+{
+
+/** Default load addresses; both fit comfortably below 2^31 so that
+ *  la/li address materialization is always a lui+addiw pair. */
+constexpr uint64_t defaultTextBase = 0x10000;
+constexpr uint64_t defaultDataBase = 0x200000;
+constexpr uint64_t defaultStackTop = 0x7ff0000;
+
+/**
+ * The output of the assembler and the input of the loader.
+ */
+struct Program
+{
+    uint64_t textBase = defaultTextBase;
+    uint64_t dataBase = defaultDataBase;
+    uint64_t entry = defaultTextBase;
+
+    /** Instruction words, textBase-relative. */
+    std::vector<uint32_t> code;
+
+    /** Initialized data bytes, dataBase-relative. */
+    std::vector<uint8_t> data;
+
+    /** Label name to absolute address. */
+    std::map<std::string, uint64_t> symbols;
+
+    /** Address of a symbol; fatal() if undefined. */
+    uint64_t symbol(const std::string &name) const;
+
+    /** Total number of instructions. */
+    size_t numInsts() const { return code.size(); }
+};
+
+} // namespace helios
+
+#endif // ASM_PROGRAM_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the ISA, predictor and cache code.
+ */
+
+#ifndef COMMON_BITS_HH
+#define COMMON_BITS_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace helios
+{
+
+/** Extract bits [hi:lo] (inclusive) of a 64-bit value. */
+constexpr uint64_t
+bits(uint64_t value, unsigned hi, unsigned lo)
+{
+    return (value >> lo) & ((hi - lo == 63) ? ~0ULL
+                                            : ((1ULL << (hi - lo + 1)) - 1));
+}
+
+/** Extract a single bit of a 64-bit value. */
+constexpr uint64_t
+bit(uint64_t value, unsigned pos)
+{
+    return (value >> pos) & 1ULL;
+}
+
+/** Sign-extend the low @a width bits of @a value to 64 bits. */
+constexpr int64_t
+sextBits(uint64_t value, unsigned width)
+{
+    const unsigned shift = 64 - width;
+    return static_cast<int64_t>(value << shift) >> shift;
+}
+
+/** Build a mask with bits [hi:lo] set. */
+constexpr uint64_t
+mask(unsigned hi, unsigned lo)
+{
+    return bits(~0ULL, hi - lo, 0) << lo;
+}
+
+/** True if @a value is a power of two (zero excluded). */
+constexpr bool
+isPowerOf2(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Round @a value down to a multiple of @a align (power of two). */
+constexpr uint64_t
+alignDown(uint64_t value, uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+/** Round @a value up to a multiple of @a align (power of two). */
+constexpr uint64_t
+alignUp(uint64_t value, uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+floorLog2(uint64_t value)
+{
+    unsigned result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+} // namespace helios
+
+#endif // COMMON_BITS_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Small saturating counters used throughout the predictor machinery.
+ */
+
+#ifndef COMMON_COUNTERS_HH
+#define COMMON_COUNTERS_HH
+
+#include <cstdint>
+
+namespace helios
+{
+
+/**
+ * An n-bit unsigned saturating counter.
+ *
+ * The counter saturates at [0, 2^Bits - 1]. Used for fusion-predictor
+ * confidence, tournament selector entries and TAGE useful bits.
+ */
+template <unsigned Bits>
+class SatCounter
+{
+  public:
+    static constexpr uint8_t maxValue = (1u << Bits) - 1;
+
+    constexpr SatCounter() = default;
+    explicit constexpr SatCounter(uint8_t initial) : count(initial) {}
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (count < maxValue)
+            ++count;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (count > 0)
+            --count;
+    }
+
+    /** Reset to an arbitrary value (clamped to the max). */
+    void
+    set(uint8_t value)
+    {
+        count = value > maxValue ? maxValue : value;
+    }
+
+    void reset() { count = 0; }
+
+    uint8_t value() const { return count; }
+    bool isSaturated() const { return count == maxValue; }
+
+    /** MSB set: the usual "weakly/strongly taken" style threshold. */
+    bool isHigh() const { return count >= (1u << (Bits - 1)); }
+
+  private:
+    uint8_t count = 0;
+};
+
+/**
+ * An n-bit signed saturating counter in [-2^(Bits-1), 2^(Bits-1) - 1],
+ * as used by TAGE tagged-component predictions.
+ */
+template <unsigned Bits>
+class SignedSatCounter
+{
+  public:
+    static constexpr int8_t maxValue = (1 << (Bits - 1)) - 1;
+    static constexpr int8_t minValue = -(1 << (Bits - 1));
+
+    constexpr SignedSatCounter() = default;
+
+    void
+    update(bool up)
+    {
+        if (up && count < maxValue)
+            ++count;
+        else if (!up && count > minValue)
+            --count;
+    }
+
+    void set(int8_t value) { count = value; }
+    int8_t value() const { return count; }
+    bool predictTaken() const { return count >= 0; }
+
+    /** Weak predictions (-1/0) carry low confidence. */
+    bool isWeak() const { return count == 0 || count == -1; }
+
+  private:
+    int8_t count = 0;
+};
+
+} // namespace helios
+
+#endif // COMMON_COUNTERS_HH

@@ -1,0 +1,80 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace helios
+{
+
+namespace
+{
+
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buffer(needed + 1);
+    std::vsnprintf(buffer.data(), buffer.size(), fmt, args);
+    return std::string(buffer.data(), needed);
+}
+
+} // namespace
+
+std::string
+strFormat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string result = vformat(fmt, args);
+    va_end(args);
+    return result;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string message = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "panic: %s\n", message.c_str());
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string message = vformat(fmt, args);
+    va_end(args);
+    throw FatalError(message);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string message = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string message = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stdout, "info: %s\n", message.c_str());
+}
+
+} // namespace helios

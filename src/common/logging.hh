@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() signals an internal simulator bug (aborts); fatal() signals a
+ * user/configuration error (throws so harnesses and tests can recover);
+ * warn()/inform() report status without stopping the simulation.
+ */
+
+#ifndef COMMON_LOGGING_HH
+#define COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace helios
+{
+
+/** Exception thrown by fatal(): unrecoverable *user* error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal simulator bug and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user error (throws FatalError). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report suspicious but survivable behaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** panic() unless @a cond holds. */
+#define helios_assert(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::helios::panic("assertion '" #cond "' failed: " __VA_ARGS__);\
+    } while (0)
+
+} // namespace helios
+
+#endif // COMMON_LOGGING_HH

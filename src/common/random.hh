@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator must be bit-for-bit reproducible across runs and
+ * platforms, so all randomness (workload data-set generation, tests)
+ * goes through this xorshift128+ generator with explicit seeding.
+ */
+
+#ifndef COMMON_RANDOM_HH
+#define COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace helios
+{
+
+/** xorshift128+ generator; fast, deterministic and seedable. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding to avoid poor low-entropy seeds.
+        uint64_t z = seed;
+        state[0] = splitMix(z);
+        state[1] = splitMix(z);
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t x = state[0];
+        const uint64_t y = state[1];
+        state[0] = y;
+        x ^= x << 23;
+        state[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return state[1] + y;
+    }
+
+    /** Uniform value in [0, bound). @a bound must be non-zero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(hi - lo + 1));
+    }
+
+  private:
+    uint64_t
+    splitMix(uint64_t &z)
+    {
+        z += 0x9e3779b97f4a7c15ULL;
+        uint64_t r = z;
+        r = (r ^ (r >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        r = (r ^ (r >> 27)) * 0x94d049bb133111ebULL;
+        return r ^ (r >> 31);
+    }
+
+    uint64_t state[2];
+};
+
+} // namespace helios
+
+#endif // COMMON_RANDOM_HH

@@ -1,0 +1,41 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+namespace helios
+{
+
+std::vector<std::pair<std::string, uint64_t>>
+StatGroup::dump() const
+{
+    std::vector<std::pair<std::string, uint64_t>> result;
+    result.reserve(counters.size());
+    for (const auto &[name, stat] : counters)
+        result.emplace_back(name, stat.value());
+    return result;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, stat] : counters)
+        stat.reset();
+}
+
+std::string
+StatGroup::toString() const
+{
+    size_t width = 0;
+    for (const auto &[name, stat] : counters)
+        width = std::max(width, name.size());
+
+    std::ostringstream out;
+    for (const auto &[name, stat] : counters) {
+        out << name;
+        out << std::string(width - name.size() + 2, ' ');
+        out << stat.value() << '\n';
+    }
+    return out.str();
+}
+
+} // namespace helios

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A tiny named-statistics registry.
+ *
+ * Every pipeline structure owns counters registered into a StatGroup so
+ * that harness code can enumerate, print and diff statistics without
+ * each experiment hard-wiring member accesses.
+ */
+
+#ifndef COMMON_STATS_HH
+#define COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace helios
+{
+
+/** A single named 64-bit counter. */
+class Stat
+{
+  public:
+    Stat() = default;
+
+    void operator++() { ++count; }
+    void operator++(int) { ++count; }
+    void operator+=(uint64_t n) { count += n; }
+    void reset() { count = 0; }
+
+    uint64_t value() const { return count; }
+
+  private:
+    uint64_t count = 0;
+};
+
+/**
+ * A flat registry of counters keyed by dotted names
+ * (e.g. "dispatch.stall.sq_full").
+ */
+class StatGroup
+{
+  public:
+    /** Get or create the counter with the given name. */
+    Stat &counter(const std::string &name) { return counters[name]; }
+
+    /** Read a counter; zero if it was never created. */
+    uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second.value();
+    }
+
+    /** All (name, value) pairs, sorted by name. */
+    std::vector<std::pair<std::string, uint64_t>> dump() const;
+
+    /** Reset every counter to zero. */
+    void resetAll();
+
+    /** Render as an aligned "name value" table. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, Stat> counters;
+};
+
+} // namespace helios
+
+#endif // COMMON_STATS_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Interface of a Helios fusion predictor.
+ *
+ * The paper's baseline is the tournament predictor of Section IV-A2,
+ * but it notes that "other predictors, such as TAGE-based [27] or
+ * local history based [32], can be employed". The pipeline talks to
+ * this interface so the organizations can be swapped and compared
+ * (see CoreParams::fpKind and bench/ablation_helios).
+ */
+
+#ifndef FUSION_FP_BASE_HH
+#define FUSION_FP_BASE_HH
+
+#include <cstdint>
+
+namespace helios
+{
+
+/**
+ * Prediction record flowing down the pipeline with the µ-op, mirroring
+ * the paper's dedicated update queue (29 bits per entry; unlimited in
+ * the evaluation, as in the paper).
+ */
+struct FpPrediction
+{
+    bool valid = false;       ///< a confident distance was produced
+    unsigned distance = 0;    ///< µ-op distance to the head nucleus
+
+    // Update-time bookkeeping (fields used depend on the organization).
+    bool usedGlobal = false;
+    bool localValid = false;
+    bool globalValid = false;
+    unsigned localDistance = 0;
+    unsigned globalDistance = 0;
+    int provider = -1;        ///< TAGE: providing component
+    uint32_t pc = 0;
+    uint16_t history = 0;
+};
+
+/** Common interface of the fusion predictor organizations. */
+class FusionPredictorBase
+{
+  public:
+    virtual ~FusionPredictorBase() = default;
+
+    /** Look up a potential tail nucleus at Decode. */
+    virtual FpPrediction lookup(uint64_t pc, uint16_t history) = 0;
+
+    /** UCH-driven training at Commit (tail PC, observed distance). */
+    virtual void train(uint64_t pc, uint16_t history,
+                       unsigned distance) = 0;
+
+    /** Resolution of a predicted fusion at Execute. */
+    virtual void resolve(const FpPrediction &pred, bool correct) = 0;
+
+    uint64_t lookups = 0;
+    uint64_t confidentPredictions = 0;
+};
+
+} // namespace helios
+
+#endif // FUSION_FP_BASE_HH

@@ -1,0 +1,226 @@
+#include "fusion/fusion_predictor.hh"
+
+namespace helios
+{
+
+FusionPredictor::FusionPredictor()
+{
+    local.entries.resize(numSets * numWays);
+    global.entries.resize(numSets * numWays);
+    selector.resize(selectorEntries);
+    strikes.resize(strikeEntries);
+}
+
+unsigned
+FusionPredictor::localSet(uint64_t pc)
+{
+    return (pc >> 2) & (numSets - 1);
+}
+
+unsigned
+FusionPredictor::globalSet(uint64_t pc, uint16_t history)
+{
+    return ((pc >> 2) ^ history) & (numSets - 1);
+}
+
+uint8_t
+FusionPredictor::tagOf(uint64_t pc)
+{
+    return static_cast<uint8_t>((pc >> 11) ^ (pc >> 2));
+}
+
+unsigned
+FusionPredictor::selectorIndex(uint64_t pc)
+{
+    return (pc >> 2) & (selectorEntries - 1);
+}
+
+FusionPredictor::Entry *
+FusionPredictor::Component::find(unsigned set, uint8_t tag)
+{
+    for (unsigned way = 0; way < numWays; ++way) {
+        Entry &entry = entries[set * numWays + way];
+        if (entry.valid && entry.tag == tag)
+            return &entry;
+    }
+    return nullptr;
+}
+
+const FusionPredictor::Entry *
+FusionPredictor::Component::find(unsigned set, uint8_t tag) const
+{
+    return const_cast<Component *>(this)->find(set, tag);
+}
+
+FusionPredictor::Entry *
+FusionPredictor::Component::allocate(unsigned set, uint8_t tag)
+{
+    // Pseudo-LRU: victim is the first way whose bit is clear; invalid
+    // ways take precedence.
+    Entry *victim = nullptr;
+    for (unsigned way = 0; way < numWays; ++way) {
+        Entry &entry = entries[set * numWays + way];
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (!victim && !entry.plru)
+            victim = &entry;
+    }
+    if (!victim)
+        victim = &entries[set * numWays];
+    victim->valid = true;
+    victim->tag = tag;
+    victim->distance = 0;
+    victim->confidence.reset();
+    return victim;
+}
+
+void
+FusionPredictor::Component::touch(unsigned set, Entry *entry)
+{
+    entry->plru = true;
+    bool all_set = true;
+    for (unsigned way = 0; way < numWays; ++way)
+        all_set &= entries[set * numWays + way].plru;
+    if (all_set) {
+        for (unsigned way = 0; way < numWays; ++way)
+            entries[set * numWays + way].plru = false;
+        entry->plru = true;
+    }
+}
+
+FpPrediction
+FusionPredictor::lookup(uint64_t pc, uint16_t history)
+{
+    ++lookups;
+
+    FpPrediction pred;
+    pred.pc = static_cast<uint32_t>(pc);
+    pred.history = history;
+
+    const uint8_t tag = tagOf(pc);
+    const Entry *local_entry = local.find(localSet(pc), tag);
+    const Entry *global_entry = global.find(globalSet(pc, history), tag);
+
+    if (local_entry && local_entry->confidence.isSaturated()) {
+        pred.localValid = true;
+        pred.localDistance = local_entry->distance;
+    }
+    if (global_entry && global_entry->confidence.isSaturated()) {
+        pred.globalValid = true;
+        pred.globalDistance = global_entry->distance;
+    }
+
+    if (strikes[(pc >> 2) & (strikeEntries - 1)].value() >=
+        strikeLimit)
+        return pred; // suppressed: serial region mispredictor
+
+    pred.usedGlobal = selector[selectorIndex(pc)].isHigh();
+    if (pred.usedGlobal && pred.globalValid) {
+        pred.valid = true;
+        pred.distance = pred.globalDistance;
+    } else if (!pred.usedGlobal && pred.localValid) {
+        pred.valid = true;
+        pred.distance = pred.localDistance;
+    }
+    if (pred.valid && pred.distance == 0)
+        pred.valid = false;
+    if (pred.valid)
+        ++confidentPredictions;
+    return pred;
+}
+
+void
+FusionPredictor::trainComponent(Component &component, unsigned set,
+                                uint8_t tag, unsigned distance)
+{
+    Entry *entry = component.find(set, tag);
+    if (!entry) {
+        entry = component.allocate(set, tag);
+        entry->distance = static_cast<uint8_t>(distance);
+        entry->confidence.set(1);
+    } else if (entry->distance == 0 && entry->confidence.value() > 0) {
+        // Poisoned by a misprediction (hysteresis in the spirit of
+        // the probabilistic counters the paper points at [20]): the
+        // entry must count down before it may retrain, so unstable
+        // pairs stop oscillating between confident and flushing.
+        entry->confidence.decrement();
+    } else if (entry->distance == distance) {
+        entry->confidence.increment();
+    } else {
+        entry->distance = static_cast<uint8_t>(distance);
+        entry->confidence.set(1);
+    }
+    component.touch(set, entry);
+}
+
+void
+FusionPredictor::train(uint64_t pc, uint16_t history, unsigned distance)
+{
+    if (distance == 0 || distance > maxDistance)
+        return;
+    const uint8_t tag = tagOf(pc);
+    trainComponent(local, localSet(pc), tag, distance);
+    trainComponent(global, globalSet(pc, history), tag, distance);
+
+    // Tournament steering on observed outcomes: if exactly one
+    // component already predicted this distance confidently, reward it.
+    const Entry *local_entry = local.find(localSet(pc), tag);
+    const Entry *global_entry = global.find(globalSet(pc, history), tag);
+    const bool local_right = local_entry &&
+                             local_entry->distance == distance &&
+                             local_entry->confidence.isSaturated();
+    const bool global_right = global_entry &&
+                              global_entry->distance == distance &&
+                              global_entry->confidence.isSaturated();
+    if (local_right != global_right) {
+        if (global_right)
+            selector[selectorIndex(pc)].increment();
+        else
+            selector[selectorIndex(pc)].decrement();
+    }
+}
+
+void
+FusionPredictor::resolve(const FpPrediction &pred, bool correct)
+{
+    if (!pred.valid)
+        return;
+    const uint8_t tag = tagOf(pred.pc);
+
+    if (!correct) {
+        strikes[(pred.pc >> 2) & (strikeEntries - 1)].increment();
+        // Reset the used entry's confidence (Section IV-A2).
+        Component &used = pred.usedGlobal ? global : local;
+        const unsigned set = pred.usedGlobal
+                                 ? globalSet(pred.pc, pred.history)
+                                 : localSet(pred.pc);
+        if (Entry *entry = used.find(set, tag)) {
+            // Poison: distance 0 is unencodable as a prediction; the
+            // saturated counter now acts as a retraining back-off.
+            entry->distance = 0;
+            entry->confidence.set(Entry{}.confidence.maxValue);
+        }
+        // Tournament with abstention: if the other component made no
+        // prediction here, it was implicitly right — steer toward it.
+        // This lets the history-indexed component take over patterns
+        // whose fuseability is control-flow dependent.
+        if (!pred.usedGlobal && !pred.globalValid)
+            selector[selectorIndex(pred.pc)].increment();
+        else if (pred.usedGlobal && !pred.localValid)
+            selector[selectorIndex(pred.pc)].decrement();
+    }
+
+    // Steer the selector when the components disagreed.
+    if (pred.localValid && pred.globalValid &&
+        pred.localDistance != pred.globalDistance) {
+        const bool used_global = pred.usedGlobal;
+        if (correct == used_global)
+            selector[selectorIndex(pred.pc)].increment();
+        else
+            selector[selectorIndex(pred.pc)].decrement();
+    }
+}
+
+} // namespace helios

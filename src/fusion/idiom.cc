@@ -1,0 +1,103 @@
+#include "fusion/idiom.hh"
+
+namespace helios
+{
+
+bool
+isMemPairable(const Instruction &first, const Instruction &second,
+              bool allow_asymmetric)
+{
+    const bool both_loads = first.isLoad() && second.isLoad();
+    const bool both_stores = first.isStore() && second.isStore();
+    if (!both_loads && !both_stores)
+        return false;
+    if (first.baseReg() != second.baseReg())
+        return false;
+    // Dependent loads cannot compute their addresses concurrently
+    // (Section II-B): the first load must not write the shared base.
+    if (both_loads && first.writesReg() && first.rd == second.baseReg())
+        return false;
+    if (!allow_asymmetric && first.memSize() != second.memSize())
+        return false;
+    // Contiguous, non-overlapping bytes.
+    const int64_t a_begin = first.imm;
+    const int64_t a_end = a_begin + first.memSize();
+    const int64_t b_begin = second.imm;
+    const int64_t b_end = b_begin + second.memSize();
+    return a_end == b_begin || b_end == a_begin;
+}
+
+Idiom
+matchIdiom(const Instruction &first, const Instruction &second)
+{
+    // Memory pairing idioms (bold in Table I). The baseline decode-time
+    // idiom allows asymmetric sizes (CSF-SBR definition in Section V-A).
+    if (isMemPairable(first, second, true))
+        return first.isLoad() ? Idiom::LoadPair : Idiom::StorePair;
+
+    // slli rd, rs, {1,2,3} ; add rd, rd, rs2 — indexed addressing.
+    if (first.op == Op::Slli && second.op == Op::Add &&
+        first.imm >= 1 && first.imm <= 3 && first.rd != RegZero &&
+        second.rd == first.rd &&
+        (second.rs1 == first.rd || second.rs2 == first.rd)) {
+        return Idiom::LeaSlliAdd;
+    }
+
+    // lui rd, hi ; addi/addiw rd, rd, lo — load immediate.
+    if (first.op == Op::Lui &&
+        (second.op == Op::Addi || second.op == Op::Addiw) &&
+        first.rd != RegZero && second.rd == first.rd &&
+        second.rs1 == first.rd) {
+        return Idiom::LuiAddi;
+    }
+
+    // auipc rd, hi ; addi rd, rd, lo — pc-relative address.
+    if (first.op == Op::Auipc && second.op == Op::Addi &&
+        first.rd != RegZero && second.rd == first.rd &&
+        second.rs1 == first.rd) {
+        return Idiom::AuipcAddi;
+    }
+
+    // slli rd, rs, k ; srli rd, rd, k — clear upper bits.
+    if (first.op == Op::Slli && second.op == Op::Srli &&
+        first.rd != RegZero && first.imm == second.imm &&
+        second.rd == first.rd && second.rs1 == first.rd) {
+        return Idiom::ClearUpper;
+    }
+
+    // lui rd, hi ; load rd, lo(rd) — load global.
+    if (first.op == Op::Lui && second.isLoad() &&
+        first.rd != RegZero && second.rs1 == first.rd &&
+        second.rd == first.rd) {
+        return Idiom::LuiLoad;
+    }
+
+    // lui rd, hi ; store rs2, lo(rd) — store global. The store's data
+    // register must not be the materialized address.
+    if (first.op == Op::Lui && second.isStore() &&
+        first.rd != RegZero && second.rs1 == first.rd &&
+        second.rs2 != first.rd) {
+        return Idiom::LuiStore;
+    }
+
+    return Idiom::None;
+}
+
+const char *
+idiomName(Idiom idiom)
+{
+    switch (idiom) {
+      case Idiom::None: return "none";
+      case Idiom::LoadPair: return "load_pair";
+      case Idiom::StorePair: return "store_pair";
+      case Idiom::LeaSlliAdd: return "lea_slli_add";
+      case Idiom::LuiAddi: return "lui_addi";
+      case Idiom::AuipcAddi: return "auipc_addi";
+      case Idiom::ClearUpper: return "clear_upper";
+      case Idiom::LuiLoad: return "lui_load";
+      case Idiom::LuiStore: return "lui_store";
+    }
+    return "?";
+}
+
+} // namespace helios

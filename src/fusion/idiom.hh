@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Consecutive fusion idioms (Table I of the paper, after Celio et al.).
+ *
+ * The matcher answers, for two *consecutive* decoded instructions,
+ * which fusion idiom (if any) they form. Memory pairing idioms (load
+ * pair / store pair, bold in Table I) are distinguished from the other
+ * idioms because the paper's configurations enable them selectively.
+ */
+
+#ifndef FUSION_IDIOM_HH
+#define FUSION_IDIOM_HH
+
+#include "isa/instruction.hh"
+
+namespace helios
+{
+
+/** Fusion idiom classes from Table I. */
+enum class Idiom : uint8_t
+{
+    None = 0,
+    // Memory pairing idioms (bold in Table I).
+    LoadPair,
+    StorePair,
+    // Other idioms.
+    LeaSlliAdd,   ///< slli rd,rs,{1,2,3} + add rd,rd,rs2
+    LuiAddi,      ///< lui rd,hi + addi(w) rd,rd,lo  (load immediate)
+    AuipcAddi,    ///< auipc rd,hi + addi rd,rd,lo   (pc-relative addr)
+    ClearUpper,   ///< slli rd,rs,k + srli rd,rd,k   (zero extension)
+    LuiLoad,      ///< lui rd,hi + load rd,lo(rd)    (load global)
+    LuiStore,     ///< lui rd,hi + store rs2,lo(rd)  (store global)
+};
+
+/** True for the bold memory-pairing rows of Table I. */
+inline bool
+isMemoryIdiom(Idiom idiom)
+{
+    return idiom == Idiom::LoadPair || idiom == Idiom::StorePair;
+}
+
+/**
+ * Static memory-pair check shared by consecutive fusion and the
+ * Allocation Queue machinery: same kind (load/load or store/store),
+ * same base architectural register, contiguous non-overlapping
+ * offsets, and no base-register dependence of @a second on @a first.
+ *
+ * @param allow_asymmetric accept different access widths (CSF-SBR and
+ *        Helios allow this; architectural ldp/stp would not)
+ */
+bool isMemPairable(const Instruction &first, const Instruction &second,
+                   bool allow_asymmetric);
+
+/**
+ * Match two consecutive instructions against Table I.
+ * @return the matched idiom, Idiom::None otherwise.
+ */
+Idiom matchIdiom(const Instruction &first, const Instruction &second);
+
+/** Human-readable idiom name (debug/trace output). */
+const char *idiomName(Idiom idiom);
+
+} // namespace helios
+
+#endif // FUSION_IDIOM_HH

@@ -1,0 +1,175 @@
+#include "fusion/tage_fp.hh"
+
+namespace helios
+{
+
+TageFusionPredictor::TageFusionPredictor()
+{
+    base.resize(baseEntries);
+    unsigned length = 4;
+    for (unsigned t = 0; t < numTables; ++t) {
+        tagged[t].resize(tableSets);
+        historyLengths[t] = length;
+        length *= 2;
+    }
+    strikes.resize(strikeEntries);
+}
+
+unsigned
+TageFusionPredictor::baseIndex(uint64_t pc)
+{
+    return (pc >> 2) & (baseEntries - 1);
+}
+
+uint16_t
+TageFusionPredictor::foldHistory(uint16_t history, unsigned length,
+                                 unsigned bits)
+{
+    const uint32_t masked = history & ((1u << std::min(length, 16u)) - 1);
+    uint16_t folded = 0;
+    for (unsigned consumed = 0; consumed < length; consumed += bits)
+        folded ^= uint16_t((masked >> consumed) & ((1u << bits) - 1));
+    return folded;
+}
+
+unsigned
+TageFusionPredictor::tableIndex(unsigned table, uint64_t pc,
+                                uint16_t history) const
+{
+    const uint16_t folded = foldHistory(history, historyLengths[table], 8);
+    return ((pc >> 2) ^ (pc >> 10) ^ folded ^ (table << 3)) &
+           (tableSets - 1);
+}
+
+uint16_t
+TageFusionPredictor::tableTag(unsigned table, uint64_t pc,
+                              uint16_t history) const
+{
+    const uint16_t folded = foldHistory(history, historyLengths[table], 9);
+    return uint16_t(((pc >> 2) ^ (pc >> 12) ^ (folded << 1) ^ table) &
+                    0x3ff);
+}
+
+FpPrediction
+TageFusionPredictor::lookup(uint64_t pc, uint16_t history)
+{
+    ++lookups;
+    FpPrediction pred;
+    pred.pc = uint32_t(pc);
+    pred.history = history;
+
+    if (strikes[(pc >> 2) & (strikeEntries - 1)].value() >= strikeLimit)
+        return pred;
+
+    for (int t = numTables - 1; t >= 0; --t) {
+        const TaggedEntry &entry =
+            tagged[t][tableIndex(t, pc, history)];
+        if (entry.valid && entry.tag == tableTag(t, pc, history)) {
+            pred.provider = t;
+            if (entry.confidence.isSaturated() && entry.distance != 0) {
+                pred.valid = true;
+                pred.distance = entry.distance;
+            }
+            break;
+        }
+    }
+    if (pred.provider < 0) {
+        const BaseEntry &entry = base[baseIndex(pc)];
+        if (entry.confidence.isSaturated() && entry.distance != 0) {
+            pred.valid = true;
+            pred.distance = entry.distance;
+        }
+    }
+    if (pred.valid)
+        ++confidentPredictions;
+    return pred;
+}
+
+void
+TageFusionPredictor::train(uint64_t pc, uint16_t history,
+                           unsigned distance)
+{
+    if (distance == 0 || distance > maxDistance)
+        return;
+
+    // Base component always trains.
+    BaseEntry &base_entry = base[baseIndex(pc)];
+    if (base_entry.distance == uint8_t(distance)) {
+        base_entry.confidence.increment();
+    } else if (base_entry.confidence.value() == 0) {
+        base_entry.distance = uint8_t(distance);
+        base_entry.confidence.set(1);
+    } else {
+        base_entry.confidence.decrement();
+    }
+
+    // Provider component trains; on a distance conflict a
+    // longer-history component is allocated (TAGE allocation rule).
+    int provider = -1;
+    for (int t = numTables - 1; t >= 0; --t) {
+        TaggedEntry &entry = tagged[t][tableIndex(t, pc, history)];
+        if (entry.valid && entry.tag == tableTag(t, pc, history)) {
+            provider = t;
+            if (entry.distance == uint8_t(distance)) {
+                entry.confidence.increment();
+                entry.useful.increment();
+                return; // stable: no allocation needed
+            }
+            if (entry.distance == 0 && entry.confidence.value() > 0) {
+                // Poisoned by a misprediction: count the back-off
+                // down without escaping into a longer component.
+                entry.confidence.decrement();
+                return;
+            }
+            if (entry.confidence.value() == 0) {
+                entry.distance = uint8_t(distance);
+                entry.confidence.set(1);
+            } else {
+                entry.confidence.decrement();
+            }
+            break;
+        }
+    }
+
+    // Allocate in a longer-history component.
+    for (unsigned t = provider + 1; t < numTables; ++t) {
+        TaggedEntry &entry = tagged[t][tableIndex(t, pc, history)];
+        if (!entry.valid || entry.useful.value() == 0) {
+            entry.valid = true;
+            entry.tag = tableTag(t, pc, history);
+            entry.distance = uint8_t(distance);
+            entry.confidence.set(1);
+            entry.useful.reset();
+            return;
+        }
+        entry.useful.decrement();
+    }
+}
+
+void
+TageFusionPredictor::resolve(const FpPrediction &pred, bool correct)
+{
+    if (!pred.valid)
+        return;
+    if (correct)
+        return;
+
+    strikes[(pred.pc >> 2) & (strikeEntries - 1)].increment();
+    if (pred.provider >= 0) {
+        TaggedEntry &entry =
+            tagged[pred.provider]
+                  [tableIndex(pred.provider, pred.pc, pred.history)];
+        if (entry.valid &&
+            entry.tag == tableTag(pred.provider, pred.pc,
+                                  pred.history)) {
+            entry.distance = 0; // poisoned: must count down to retrain
+            entry.confidence.set(entry.confidence.maxValue);
+        }
+    } else {
+        BaseEntry &entry = base[baseIndex(pred.pc)];
+        entry.distance = 0;
+        entry.confidence.set(entry.confidence.maxValue);
+    }
+}
+
+} // namespace helios

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A TAGE-organized fusion predictor — the alternative organization the
+ * paper points at ("other predictors, such as TAGE-based [27] ...
+ * can be employed", Section IV-A2).
+ *
+ * A PC-indexed base table provides history-free distances; four
+ * tagged components indexed by PC ⊕ folded branch history (geometric
+ * lengths 4/8/16/32 over the 16-bit history the front end supplies)
+ * capture control-flow-dependent fusion patterns. The longest
+ * matching component with saturated confidence provides the
+ * prediction. The same per-PC strike suppression as the tournament
+ * predictor bounds serial mispredictors.
+ */
+
+#ifndef FUSION_TAGE_FP_HH
+#define FUSION_TAGE_FP_HH
+
+#include <array>
+#include <vector>
+
+#include "common/counters.hh"
+#include "fusion/fp_base.hh"
+
+namespace helios
+{
+
+class TageFusionPredictor : public FusionPredictorBase
+{
+  public:
+    static constexpr unsigned numTables = 4;
+    static constexpr unsigned tableSets = 256;
+    static constexpr unsigned baseEntries = 1024;
+    static constexpr unsigned maxDistance = 63;
+    static constexpr unsigned strikeEntries = 256;
+    static constexpr unsigned strikeLimit = 6;
+
+    TageFusionPredictor();
+
+    FpPrediction lookup(uint64_t pc, uint16_t history) override;
+    void train(uint64_t pc, uint16_t history,
+               unsigned distance) override;
+    void resolve(const FpPrediction &pred, bool correct) override;
+
+  private:
+    struct BaseEntry
+    {
+        uint8_t distance = 0;
+        SatCounter<2> confidence;
+    };
+
+    struct TaggedEntry
+    {
+        bool valid = false;
+        uint16_t tag = 0;
+        uint8_t distance = 0;
+        SatCounter<2> confidence;
+        SatCounter<2> useful;
+    };
+
+    static unsigned baseIndex(uint64_t pc);
+    unsigned tableIndex(unsigned table, uint64_t pc,
+                        uint16_t history) const;
+    uint16_t tableTag(unsigned table, uint64_t pc,
+                      uint16_t history) const;
+    static uint16_t foldHistory(uint16_t history, unsigned length,
+                                unsigned bits);
+
+    std::vector<BaseEntry> base;
+    std::array<std::vector<TaggedEntry>, numTables> tagged;
+    std::array<unsigned, numTables> historyLengths;
+    std::vector<SatCounter<3>> strikes;
+};
+
+} // namespace helios
+
+#endif // FUSION_TAGE_FP_HH

@@ -1,0 +1,59 @@
+#include "fusion/uch.hh"
+
+#include "common/logging.hh"
+
+namespace helios
+{
+
+std::optional<unsigned>
+UchHistory::access(uint64_t line_addr, uint8_t commit_number)
+{
+    helios_assert(numEntries <= maxEntries, "UCH too large");
+    const auto tag = static_cast<uint32_t>(line_addr);
+
+    // Search for a matching line.
+    for (unsigned i = 0; i < numEntries; ++i) {
+        Entry &entry = entries[i];
+        if (!entry.valid || entry.tag != tag)
+            continue;
+        const unsigned distance = (commit_number - entry.cn) & 0x7f;
+        // A µ-op can fuse with a single other µ-op: the match is
+        // consumed either way.
+        entry.valid = false;
+        if (distance >= 1 && distance <= maxDistance)
+            return distance;
+        // Over-distance (or CN-wrap) match: treat as a miss and
+        // remember the new access instead.
+        break;
+    }
+
+    // Miss: insert, preferring invalidated entries, then the entry
+    // with the oldest commit number (LRU through the CN).
+    Entry *victim = nullptr;
+    unsigned oldest_age = 0;
+    for (unsigned i = 0; i < numEntries; ++i) {
+        Entry &entry = entries[i];
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        const unsigned age = (commit_number - entry.cn) & 0x7f;
+        if (age >= oldest_age) {
+            oldest_age = age;
+            victim = &entry;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->cn = commit_number;
+    return std::nullopt;
+}
+
+void
+UchHistory::clear()
+{
+    for (Entry &entry : entries)
+        entry.valid = false;
+}
+
+} // namespace helios

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unfused Committed History (Section IV-A1).
+ *
+ * A commit-stage structure that discovers potential fusion pairs:
+ * memory µ-ops that access the same cache line within 64 µ-ops of each
+ * other. Loads use a 6-entry fully associative history (LRU through
+ * the commit number); stores keep a single entry, as stores cannot be
+ * fused across other stores.
+ */
+
+#ifndef FUSION_UCH_HH
+#define FUSION_UCH_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+namespace helios
+{
+
+/**
+ * One direction (load or store) of the Unfused Committed History.
+ */
+class UchHistory
+{
+  public:
+    static constexpr unsigned maxDistance = 64;
+
+    explicit UchHistory(unsigned entries) : numEntries(entries) {}
+
+    /**
+     * Access the history for a committing unfused memory µ-op.
+     *
+     * On a tag match, the matching entry is invalidated (a µ-op fuses
+     * with at most one other µ-op) and the µ-op distance is returned
+     * if it is within the 64-µ-op fusion window. On a miss (or an
+     * over-distance match), the µ-op is inserted.
+     *
+     * @param line_addr cache-line address accessed by the µ-op
+     * @param commit_number low 7 bits of the global µ-op commit count
+     * @return distance to the older pair member, if a pair was found
+     */
+    std::optional<unsigned> access(uint64_t line_addr,
+                                   uint8_t commit_number);
+
+    /** Invalidate everything (pipeline flush has no effect on UCH in
+     *  the paper, but tests and resets use this). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint32_t tag = 0;
+        uint8_t cn = 0;
+    };
+
+    static constexpr unsigned maxEntries = 8;
+
+    unsigned numEntries;
+    std::array<Entry, maxEntries> entries{};
+};
+
+/**
+ * The complete UCH: 6 load entries + 1 store entry (280 bits total in
+ * the paper's accounting).
+ */
+class UnfusedCommittedHistory
+{
+  public:
+    UnfusedCommittedHistory() : loads(6), stores(1) {}
+
+    std::optional<unsigned>
+    accessLoad(uint64_t line_addr, uint8_t commit_number)
+    {
+        return loads.access(line_addr, commit_number);
+    }
+
+    std::optional<unsigned>
+    accessStore(uint64_t line_addr, uint8_t commit_number)
+    {
+        return stores.access(line_addr, commit_number);
+    }
+
+    void
+    clear()
+    {
+        loads.clear();
+        stores.clear();
+    }
+
+  private:
+    UchHistory loads;
+    UchHistory stores;
+};
+
+} // namespace helios
+
+#endif // FUSION_UCH_HH

@@ -1,0 +1,166 @@
+#include "harness/analysis.hh"
+
+#include <deque>
+
+#include "fusion/idiom.hh"
+
+namespace helios
+{
+
+double
+IdiomStats::memoryFraction() const
+{
+    return totalUops ? double(memoryPairUops) / double(totalUops) : 0.0;
+}
+
+double
+IdiomStats::othersFraction() const
+{
+    return totalUops ? double(otherPairUops) / double(totalUops) : 0.0;
+}
+
+IdiomStats
+analyzeIdioms(const std::vector<DynInst> &trace)
+{
+    IdiomStats stats;
+    stats.totalUops = trace.size();
+    size_t i = 0;
+    while (i + 1 < trace.size()) {
+        const Idiom idiom =
+            matchIdiom(trace[i].inst, trace[i + 1].inst);
+        if (idiom == Idiom::None) {
+            ++i;
+            continue;
+        }
+        if (isMemoryIdiom(idiom))
+            stats.memoryPairUops += 2;
+        else
+            stats.otherPairUops += 2;
+        i += 2; // greedy non-overlapping pairing
+    }
+    return stats;
+}
+
+double
+CsfCategoryStats::fraction(uint64_t pairs) const
+{
+    return totalUops ? 2.0 * double(pairs) / double(totalUops) : 0.0;
+}
+
+CsfCategoryStats
+analyzeCsfCategories(const std::vector<DynInst> &trace,
+                     unsigned line_bytes)
+{
+    CsfCategoryStats stats;
+    stats.totalUops = trace.size();
+    size_t i = 0;
+    while (i + 1 < trace.size()) {
+        const DynInst &a = trace[i];
+        const DynInst &b = trace[i + 1];
+        const bool same_kind = (a.isLoad() && b.isLoad()) ||
+                               (a.isStore() && b.isStore());
+        if (!same_kind) {
+            ++i;
+            continue;
+        }
+        // Dependent loads cannot pair (Section II-B).
+        if (a.isLoad() && a.inst.writesReg() &&
+            a.inst.rd == b.inst.baseReg()) {
+            ++i;
+            continue;
+        }
+        const uint64_t a_begin = a.effAddr;
+        const uint64_t a_end = a_begin + a.memSize();
+        const uint64_t b_begin = b.effAddr;
+        const uint64_t b_end = b_begin + b.memSize();
+        const uint64_t line_a = a_begin / line_bytes;
+        const uint64_t line_b = b_begin / line_bytes;
+
+        bool paired = true;
+        if (a_end == b_begin || b_end == a_begin) {
+            ++stats.contiguous;
+        } else if (a_begin < b_end && b_begin < a_end) {
+            ++stats.overlapping;
+        } else if (line_a == line_b) {
+            ++stats.sameLine;
+        } else if (line_a + 1 == line_b || line_b + 1 == line_a) {
+            ++stats.nextLine;
+        } else {
+            paired = false;
+        }
+        i += paired ? 2 : 1;
+    }
+    return stats;
+}
+
+double
+NcsfPotentialStats::fraction(uint64_t pair_count) const
+{
+    return totalUops ? 2.0 * double(pair_count) / double(totalUops)
+                     : 0.0;
+}
+
+NcsfPotentialStats
+analyzeNcsfPotential(const std::vector<DynInst> &trace, unsigned window,
+                     unsigned region_bytes)
+{
+    NcsfPotentialStats stats;
+    stats.totalUops = trace.size();
+
+    struct Candidate
+    {
+        size_t index;
+        bool paired;
+    };
+    std::deque<Candidate> recent; // unpaired memory µ-ops, newest last
+
+    for (size_t i = 0; i < trace.size(); ++i) {
+        while (!recent.empty() && i - recent.front().index > window)
+            recent.pop_front();
+
+        const DynInst &tail = trace[i];
+        if (!tail.isMem())
+            continue;
+
+        bool matched = false;
+        for (auto it = recent.rbegin(); it != recent.rend(); ++it) {
+            if (it->paired)
+                continue;
+            const DynInst &head = trace[it->index];
+            const bool same_kind =
+                (head.isLoad() && tail.isLoad()) ||
+                (head.isStore() && tail.isStore());
+            if (!same_kind)
+                continue;
+            const uint64_t begin =
+                std::min(head.effAddr, tail.effAddr);
+            const uint64_t end =
+                std::max(head.effAddr + head.memSize(),
+                         tail.effAddr + tail.memSize());
+            if (end - begin > region_bytes)
+                continue;
+            if (head.inst.writesReg() &&
+                head.inst.rd == tail.inst.baseReg())
+                continue; // directly dependent
+
+            const bool consecutive = it->index + 1 == i;
+            const bool same_base =
+                head.inst.baseReg() == tail.inst.baseReg();
+            if (consecutive) {
+                ++(same_base ? stats.csfSbr : stats.csfDbr);
+            } else {
+                ++(same_base ? stats.ncsfSbr : stats.ncsfDbr);
+            }
+            if (head.memSize() != tail.memSize())
+                ++stats.asymmetric;
+            it->paired = true;
+            matched = true;
+            break;
+        }
+        if (!matched)
+            recent.push_back({i, false});
+    }
+    return stats;
+}
+
+} // namespace helios

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Dynamic-stream characterization for the paper's motivation figures
+ * (Figures 2, 4 and 5): idiom frequency, consecutive memory pair
+ * categories and non-consecutive fusion potential. These analyses run
+ * over the functional instruction stream, independent of the timing
+ * model, exactly as a trace study would.
+ */
+
+#ifndef HARNESS_ANALYSIS_HH
+#define HARNESS_ANALYSIS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/trace.hh"
+
+namespace helios
+{
+
+/** Figure 2: fused µ-ops by idiom class, relative to dynamic µ-ops. */
+struct IdiomStats
+{
+    uint64_t totalUops = 0;
+    uint64_t memoryPairUops = 0; ///< µ-ops in load/store pair idioms
+    uint64_t otherPairUops = 0;  ///< µ-ops in the non-memory idioms
+
+    double memoryFraction() const;
+    double othersFraction() const;
+};
+
+IdiomStats analyzeIdioms(const std::vector<DynInst> &trace);
+
+/** Figure 4: consecutive memory pairs by address relationship. */
+struct CsfCategoryStats
+{
+    uint64_t totalUops = 0;
+    uint64_t contiguous = 0;  ///< exactly adjacent bytes
+    uint64_t overlapping = 0; ///< overlapping bytes
+    uint64_t sameLine = 0;    ///< same 64 B line, gap between accesses
+    uint64_t nextLine = 0;    ///< two contiguous cache lines
+
+    double fraction(uint64_t pairs) const;
+};
+
+CsfCategoryStats analyzeCsfCategories(const std::vector<DynInst> &trace,
+                                      unsigned line_bytes = 64);
+
+/** Figure 5: additional potential of NCSF and DBR fusion. */
+struct NcsfPotentialStats
+{
+    uint64_t totalUops = 0;
+    uint64_t csfSbr = 0;     ///< consecutive, same base register
+    uint64_t csfDbr = 0;     ///< consecutive, different base register
+    uint64_t ncsfSbr = 0;    ///< non-consecutive, same base
+    uint64_t ncsfDbr = 0;    ///< non-consecutive, different base
+    uint64_t asymmetric = 0; ///< pairs with different access widths
+
+    uint64_t pairs() const { return csfSbr + csfDbr + ncsfSbr + ncsfDbr; }
+    double fraction(uint64_t pairs) const;
+};
+
+NcsfPotentialStats
+analyzeNcsfPotential(const std::vector<DynInst> &trace,
+                     unsigned window = 64, unsigned region_bytes = 64);
+
+} // namespace helios
+
+#endif // HARNESS_ANALYSIS_HH

@@ -1,0 +1,80 @@
+#include "harness/report.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace helios
+{
+
+Table::Table(std::vector<std::string> hs) : headers(std::move(hs)) {}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    helios_assert(cells.size() == headers.size(),
+                  "row width mismatch");
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double value, int digits)
+{
+    return strFormat("%.*f", digits, value);
+}
+
+std::string
+Table::pct(double ratio, int digits)
+{
+    return strFormat("%.*f%%", digits, ratio * 100.0);
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<size_t> widths(headers.size());
+    for (size_t i = 0; i < headers.size(); ++i)
+        widths[i] = headers[i].size();
+    for (const auto &row : rows)
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            out << cells[i];
+            out << std::string(widths[i] - cells[i].size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    emit(headers);
+    size_t total = 0;
+    for (size_t width : widths)
+        total += width + 2;
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit(row);
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+void
+printBenchHeader(const std::string &title,
+                 const std::string &description)
+{
+    std::printf("==================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("%s\n", description.c_str());
+    std::printf("Machine: Icelake-class (Table II): 8-wide fetch/"
+                "decode, 5-wide rename,\n  AQ=140 ROB=352 IQ=160 "
+                "LQ=128 SQ=72, TAGE + store-sets, 48K/512K/2M caches\n");
+    std::printf("==================================================\n");
+}
+
+} // namespace helios

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Plain-text table formatting for the bench binaries: fixed-width
+ * columns, a header, and per-row cells, in the spirit of the paper's
+ * tables and figure series.
+ */
+
+#ifndef HARNESS_REPORT_HH
+#define HARNESS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace helios
+{
+
+/** A simple fixed-width text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @a digits decimals. */
+    static std::string num(double value, int digits = 2);
+
+    /** Format a percentage (value is a ratio). */
+    static std::string pct(double ratio, int digits = 1);
+
+    std::string toString() const;
+    void print() const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Print the standard bench banner (config summary). */
+void printBenchHeader(const std::string &title,
+                      const std::string &description);
+
+} // namespace helios
+
+#endif // HARNESS_REPORT_HH

@@ -1,0 +1,73 @@
+#include "harness/runner.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "sim/hart.hh"
+#include "uarch/pipeline.hh"
+
+namespace helios
+{
+
+RunResult
+runOne(const Workload &workload, const CoreParams &params,
+       uint64_t max_insts)
+{
+    Memory mem;
+    Hart hart(mem);
+    hart.reset(workload.program());
+    HartFeed feed(hart, max_insts);
+
+    Pipeline pipeline(params, feed);
+    const PipelineResult pres = pipeline.run();
+
+    RunResult result;
+    result.workload = workload.name;
+    result.mode = params.fusion;
+    result.cycles = pres.cycles;
+    result.instructions = pres.instructions;
+    result.uops = pres.uops;
+    result.stats = pipeline.stats();
+    return result;
+}
+
+RunResult
+runOne(const Workload &workload, FusionMode mode, uint64_t max_insts)
+{
+    return runOne(workload, CoreParams::icelake(mode), max_insts);
+}
+
+std::vector<DynInst>
+functionalTrace(const Workload &workload, uint64_t max_insts)
+{
+    Memory mem;
+    Hart hart(mem);
+    hart.reset(workload.program());
+
+    std::vector<DynInst> trace;
+    DynInst rec;
+    while (trace.size() < max_insts && hart.step(rec))
+        trace.push_back(rec);
+    return trace;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double value : values)
+        log_sum += std::log(value);
+    return std::exp(log_sum / double(values.size()));
+}
+
+uint64_t
+benchInstructionBudget()
+{
+    if (const char *env = std::getenv("HELIOS_MAX_INSTS"))
+        return std::strtoull(env, nullptr, 0);
+    return 200'000;
+}
+
+} // namespace helios

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Experiment harness: run workload × configuration matrices and
+ * collect results for the paper's tables and figures.
+ */
+
+#ifndef HARNESS_RUNNER_HH
+#define HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/trace.hh"
+#include "uarch/params.hh"
+#include "workloads/workloads.hh"
+
+namespace helios
+{
+
+/** Result of one (workload, configuration) timing run. */
+struct RunResult
+{
+    std::string workload;
+    FusionMode mode = FusionMode::None;
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t uops = 0;
+    StatGroup stats;
+
+    double
+    ipc() const
+    {
+        return cycles ? double(instructions) / double(cycles) : 0.0;
+    }
+
+    /** Convenience accessor into the stat group. */
+    uint64_t stat(const std::string &name) const { return stats.get(name); }
+};
+
+/**
+ * Run one workload under one configuration.
+ *
+ * @param max_insts cap on executed architectural instructions
+ *        (UINT64_MAX: run the kernel to completion)
+ */
+RunResult runOne(const Workload &workload, FusionMode mode,
+                 uint64_t max_insts = UINT64_MAX);
+
+/** Same, with explicit parameters (ablation studies). */
+RunResult runOne(const Workload &workload, const CoreParams &params,
+                 uint64_t max_insts = UINT64_MAX);
+
+/**
+ * Functional-only run: execute the workload and return the dynamic
+ * instruction stream facts needed by the analysis figures (2, 4, 5).
+ */
+std::vector<DynInst> functionalTrace(const Workload &workload,
+                                     uint64_t max_insts = UINT64_MAX);
+
+/** Geometric mean of a list of ratios. */
+double geomean(const std::vector<double> &values);
+
+/**
+ * The default per-workload instruction budget used by bench binaries;
+ * overridable through the HELIOS_MAX_INSTS environment variable.
+ */
+uint64_t benchInstructionBudget();
+
+} // namespace helios
+
+#endif // HARNESS_RUNNER_HH

@@ -1,0 +1,295 @@
+#include "isa/decoder.hh"
+
+#include "common/bits.hh"
+
+namespace helios
+{
+
+namespace
+{
+
+int64_t
+immI(uint32_t word)
+{
+    return sextBits(bits(word, 31, 20), 12);
+}
+
+int64_t
+immS(uint32_t word)
+{
+    return sextBits((bits(word, 31, 25) << 5) | bits(word, 11, 7), 12);
+}
+
+int64_t
+immB(uint32_t word)
+{
+    const uint64_t imm = (bit(word, 31) << 12) | (bit(word, 7) << 11) |
+                         (bits(word, 30, 25) << 5) |
+                         (bits(word, 11, 8) << 1);
+    return sextBits(imm, 13);
+}
+
+int64_t
+immU(uint32_t word)
+{
+    // Keep the decoded immediate as imm[31:12] so that the encoder
+    // round-trips; consumers shift when materializing the value.
+    return sextBits(bits(word, 31, 12), 20);
+}
+
+int64_t
+immJ(uint32_t word)
+{
+    const uint64_t imm = (bit(word, 31) << 20) |
+                         (bits(word, 19, 12) << 12) |
+                         (bit(word, 20) << 11) |
+                         (bits(word, 30, 21) << 1);
+    return sextBits(imm, 21);
+}
+
+Op
+decodeLoad(uint32_t funct3)
+{
+    switch (funct3) {
+      case 0: return Op::Lb;
+      case 1: return Op::Lh;
+      case 2: return Op::Lw;
+      case 3: return Op::Ld;
+      case 4: return Op::Lbu;
+      case 5: return Op::Lhu;
+      case 6: return Op::Lwu;
+      default: return Op::Invalid;
+    }
+}
+
+Op
+decodeStore(uint32_t funct3)
+{
+    switch (funct3) {
+      case 0: return Op::Sb;
+      case 1: return Op::Sh;
+      case 2: return Op::Sw;
+      case 3: return Op::Sd;
+      default: return Op::Invalid;
+    }
+}
+
+Op
+decodeBranch(uint32_t funct3)
+{
+    switch (funct3) {
+      case 0: return Op::Beq;
+      case 1: return Op::Bne;
+      case 4: return Op::Blt;
+      case 5: return Op::Bge;
+      case 6: return Op::Bltu;
+      case 7: return Op::Bgeu;
+      default: return Op::Invalid;
+    }
+}
+
+Op
+decodeOpImm(uint32_t word, uint32_t funct3)
+{
+    switch (funct3) {
+      case 0: return Op::Addi;
+      case 1: return bits(word, 31, 26) == 0 ? Op::Slli : Op::Invalid;
+      case 2: return Op::Slti;
+      case 3: return Op::Sltiu;
+      case 4: return Op::Xori;
+      case 5:
+        switch (bits(word, 31, 26)) {
+          case 0x00: return Op::Srli;
+          case 0x10: return Op::Srai;
+          default: return Op::Invalid;
+        }
+      case 6: return Op::Ori;
+      case 7: return Op::Andi;
+      default: return Op::Invalid;
+    }
+}
+
+Op
+decodeOpImm32(uint32_t word, uint32_t funct3)
+{
+    switch (funct3) {
+      case 0: return Op::Addiw;
+      case 1: return bits(word, 31, 25) == 0 ? Op::Slliw : Op::Invalid;
+      case 5:
+        switch (bits(word, 31, 25)) {
+          case 0x00: return Op::Srliw;
+          case 0x20: return Op::Sraiw;
+          default: return Op::Invalid;
+        }
+      default: return Op::Invalid;
+    }
+}
+
+Op
+decodeOp(uint32_t funct7, uint32_t funct3)
+{
+    if (funct7 == 0x01) {
+        switch (funct3) {
+          case 0: return Op::Mul;
+          case 1: return Op::Mulh;
+          case 2: return Op::Mulhsu;
+          case 3: return Op::Mulhu;
+          case 4: return Op::Div;
+          case 5: return Op::Divu;
+          case 6: return Op::Rem;
+          case 7: return Op::Remu;
+        }
+    }
+    switch (funct3) {
+      case 0:
+        if (funct7 == 0x00) return Op::Add;
+        if (funct7 == 0x20) return Op::Sub;
+        return Op::Invalid;
+      case 1: return funct7 == 0 ? Op::Sll : Op::Invalid;
+      case 2: return funct7 == 0 ? Op::Slt : Op::Invalid;
+      case 3: return funct7 == 0 ? Op::Sltu : Op::Invalid;
+      case 4: return funct7 == 0 ? Op::Xor : Op::Invalid;
+      case 5:
+        if (funct7 == 0x00) return Op::Srl;
+        if (funct7 == 0x20) return Op::Sra;
+        return Op::Invalid;
+      case 6: return funct7 == 0 ? Op::Or : Op::Invalid;
+      case 7: return funct7 == 0 ? Op::And : Op::Invalid;
+      default: return Op::Invalid;
+    }
+}
+
+Op
+decodeOp32(uint32_t funct7, uint32_t funct3)
+{
+    if (funct7 == 0x01) {
+        switch (funct3) {
+          case 0: return Op::Mulw;
+          case 4: return Op::Divw;
+          case 5: return Op::Divuw;
+          case 6: return Op::Remw;
+          case 7: return Op::Remuw;
+          default: return Op::Invalid;
+        }
+    }
+    switch (funct3) {
+      case 0:
+        if (funct7 == 0x00) return Op::Addw;
+        if (funct7 == 0x20) return Op::Subw;
+        return Op::Invalid;
+      case 1: return funct7 == 0 ? Op::Sllw : Op::Invalid;
+      case 5:
+        if (funct7 == 0x00) return Op::Srlw;
+        if (funct7 == 0x20) return Op::Sraw;
+        return Op::Invalid;
+      default: return Op::Invalid;
+    }
+}
+
+} // namespace
+
+Instruction
+decode(uint32_t word)
+{
+    Instruction inst;
+    inst.raw = word;
+
+    const uint32_t opcode = bits(word, 6, 0);
+    const uint32_t funct3 = bits(word, 14, 12);
+    const uint32_t funct7 = bits(word, 31, 25);
+    inst.rd = static_cast<uint8_t>(bits(word, 11, 7));
+    inst.rs1 = static_cast<uint8_t>(bits(word, 19, 15));
+    inst.rs2 = static_cast<uint8_t>(bits(word, 24, 20));
+
+    switch (opcode) {
+      case 0x37:
+        inst.op = Op::Lui;
+        inst.imm = immU(word);
+        inst.rs1 = inst.rs2 = 0;
+        break;
+      case 0x17:
+        inst.op = Op::Auipc;
+        inst.imm = immU(word);
+        inst.rs1 = inst.rs2 = 0;
+        break;
+      case 0x6f:
+        inst.op = Op::Jal;
+        inst.imm = immJ(word);
+        inst.rs1 = inst.rs2 = 0;
+        break;
+      case 0x67:
+        inst.op = funct3 == 0 ? Op::Jalr : Op::Invalid;
+        inst.imm = immI(word);
+        inst.rs2 = 0;
+        break;
+      case 0x63:
+        inst.op = decodeBranch(funct3);
+        inst.imm = immB(word);
+        inst.rd = 0;
+        break;
+      case 0x03:
+        inst.op = decodeLoad(funct3);
+        inst.imm = immI(word);
+        inst.rs2 = 0;
+        break;
+      case 0x23:
+        inst.op = decodeStore(funct3);
+        inst.imm = immS(word);
+        inst.rd = 0;
+        break;
+      case 0x13:
+        inst.op = decodeOpImm(word, funct3);
+        if (inst.op == Op::Slli || inst.op == Op::Srli ||
+            inst.op == Op::Srai) {
+            inst.imm = static_cast<int64_t>(bits(word, 25, 20));
+        } else {
+            inst.imm = immI(word);
+        }
+        inst.rs2 = 0;
+        break;
+      case 0x1b:
+        inst.op = decodeOpImm32(word, funct3);
+        if (inst.op == Op::Slliw || inst.op == Op::Srliw ||
+            inst.op == Op::Sraiw) {
+            inst.imm = static_cast<int64_t>(bits(word, 24, 20));
+        } else {
+            inst.imm = immI(word);
+        }
+        inst.rs2 = 0;
+        break;
+      case 0x33:
+        inst.op = decodeOp(funct7, funct3);
+        inst.imm = 0;
+        break;
+      case 0x3b:
+        inst.op = decodeOp32(funct7, funct3);
+        inst.imm = 0;
+        break;
+      case 0x0f:
+        inst.op = Op::Fence;
+        inst.rd = inst.rs1 = inst.rs2 = 0;
+        inst.imm = 0;
+        break;
+      case 0x73:
+        if (word == 0x00000073)
+            inst.op = Op::Ecall;
+        else if (word == 0x00100073)
+            inst.op = Op::Ebreak;
+        else
+            inst.op = Op::Invalid;
+        inst.rd = inst.rs1 = inst.rs2 = 0;
+        inst.imm = 0;
+        break;
+      default:
+        inst.op = Op::Invalid;
+        break;
+    }
+
+    if (inst.op == Op::Invalid) {
+        inst.rd = inst.rs1 = inst.rs2 = 0;
+        inst.imm = 0;
+    }
+    return inst;
+}
+
+} // namespace helios

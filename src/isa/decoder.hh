@@ -1,0 +1,27 @@
+/**
+ * @file
+ * RV64IM machine-code decoder.
+ */
+
+#ifndef ISA_DECODER_HH
+#define ISA_DECODER_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+
+namespace helios
+{
+
+/**
+ * Decode a 32-bit machine word.
+ *
+ * Unknown encodings decode to Op::Invalid rather than raising an error;
+ * the functional simulator turns executing an invalid instruction into
+ * a fatal() so that bad jumps are reported at the faulting PC.
+ */
+Instruction decode(uint32_t word);
+
+} // namespace helios
+
+#endif // ISA_DECODER_HH

@@ -1,0 +1,49 @@
+#include "isa/disasm.hh"
+
+#include "common/logging.hh"
+
+namespace helios
+{
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const std::string name = opName(inst.op);
+    const std::string rd = regName(inst.rd);
+    const std::string rs1 = regName(inst.rs1);
+    const std::string rs2 = regName(inst.rs2);
+    const long long imm = inst.imm;
+
+    switch (opInfo(inst.op).cls) {
+      case OpClass::Load:
+        return strFormat("%s %s, %lld(%s)", name.c_str(), rd.c_str(),
+                         imm, rs1.c_str());
+      case OpClass::Store:
+        return strFormat("%s %s, %lld(%s)", name.c_str(), rs2.c_str(),
+                         imm, rs1.c_str());
+      case OpClass::Branch:
+        if (inst.op == Op::Jal)
+            return strFormat("jal %s, %lld", rd.c_str(), imm);
+        if (inst.op == Op::Jalr)
+            return strFormat("jalr %s, %lld(%s)", rd.c_str(), imm,
+                             rs1.c_str());
+        return strFormat("%s %s, %s, %lld", name.c_str(), rs1.c_str(),
+                         rs2.c_str(), imm);
+      case OpClass::Serializing:
+        return name;
+      default:
+        break;
+    }
+
+    if (inst.op == Op::Lui || inst.op == Op::Auipc)
+        return strFormat("%s %s, %lld", name.c_str(), rd.c_str(), imm);
+
+    const OpInfo &info = opInfo(inst.op);
+    if (info.readsRs2)
+        return strFormat("%s %s, %s, %s", name.c_str(), rd.c_str(),
+                         rs1.c_str(), rs2.c_str());
+    return strFormat("%s %s, %s, %lld", name.c_str(), rd.c_str(),
+                     rs1.c_str(), imm);
+}
+
+} // namespace helios

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Textual disassembly of decoded instructions (debug/trace output).
+ */
+
+#ifndef ISA_DISASM_HH
+#define ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace helios
+{
+
+/** Render an instruction in assembler-compatible syntax. */
+std::string disassemble(const Instruction &inst);
+
+} // namespace helios
+
+#endif // ISA_DISASM_HH

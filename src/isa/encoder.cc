@@ -1,0 +1,208 @@
+#include "isa/encoder.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace helios
+{
+
+namespace
+{
+
+// Major opcodes.
+constexpr uint32_t opcLoad = 0x03;
+constexpr uint32_t opcMiscMem = 0x0f;
+constexpr uint32_t opcOpImm = 0x13;
+constexpr uint32_t opcAuipc = 0x17;
+constexpr uint32_t opcOpImm32 = 0x1b;
+constexpr uint32_t opcStore = 0x23;
+constexpr uint32_t opcOp = 0x33;
+constexpr uint32_t opcLui = 0x37;
+constexpr uint32_t opcOp32 = 0x3b;
+constexpr uint32_t opcBranch = 0x63;
+constexpr uint32_t opcJalr = 0x67;
+constexpr uint32_t opcJal = 0x6f;
+constexpr uint32_t opcSystem = 0x73;
+
+void
+checkImm(int64_t imm, unsigned width, const char *kind)
+{
+    const int64_t lo = -(1LL << (width - 1));
+    const int64_t hi = (1LL << (width - 1)) - 1;
+    if (imm < lo || imm > hi)
+        fatal("%s immediate %lld out of range [%lld, %lld]",
+              kind, static_cast<long long>(imm),
+              static_cast<long long>(lo), static_cast<long long>(hi));
+}
+
+uint32_t
+encodeR(uint32_t funct7, uint8_t rs2, uint8_t rs1, uint32_t funct3,
+        uint8_t rd, uint32_t opcode)
+{
+    return (funct7 << 25) | (uint32_t(rs2) << 20) | (uint32_t(rs1) << 15) |
+           (funct3 << 12) | (uint32_t(rd) << 7) | opcode;
+}
+
+uint32_t
+encodeI(int64_t imm, uint8_t rs1, uint32_t funct3, uint8_t rd,
+        uint32_t opcode)
+{
+    checkImm(imm, 12, "I-type");
+    return (uint32_t(imm & 0xfff) << 20) | (uint32_t(rs1) << 15) |
+           (funct3 << 12) | (uint32_t(rd) << 7) | opcode;
+}
+
+uint32_t
+encodeS(int64_t imm, uint8_t rs2, uint8_t rs1, uint32_t funct3,
+        uint32_t opcode)
+{
+    checkImm(imm, 12, "S-type");
+    const uint32_t uimm = uint32_t(imm & 0xfff);
+    return (bits(uimm, 11, 5) << 25) | (uint32_t(rs2) << 20) |
+           (uint32_t(rs1) << 15) | (funct3 << 12) |
+           (uint32_t(bits(uimm, 4, 0)) << 7) | opcode;
+}
+
+uint32_t
+encodeB(int64_t imm, uint8_t rs2, uint8_t rs1, uint32_t funct3)
+{
+    checkImm(imm, 13, "branch");
+    if (imm & 1)
+        fatal("branch offset %lld is not even",
+              static_cast<long long>(imm));
+    const uint32_t uimm = uint32_t(imm & 0x1fff);
+    return (uint32_t(bit(uimm, 12)) << 31) |
+           (uint32_t(bits(uimm, 10, 5)) << 25) |
+           (uint32_t(rs2) << 20) | (uint32_t(rs1) << 15) |
+           (funct3 << 12) | (uint32_t(bits(uimm, 4, 1)) << 8) |
+           (uint32_t(bit(uimm, 11)) << 7) | opcBranch;
+}
+
+uint32_t
+encodeU(int64_t imm, uint8_t rd, uint32_t opcode)
+{
+    // imm is the value of imm[31:12].
+    checkImm(imm, 20, "U-type");
+    return (uint32_t(imm & 0xfffff) << 12) | (uint32_t(rd) << 7) | opcode;
+}
+
+uint32_t
+encodeJ(int64_t imm, uint8_t rd)
+{
+    checkImm(imm, 21, "jal");
+    if (imm & 1)
+        fatal("jal offset %lld is not even", static_cast<long long>(imm));
+    const uint32_t uimm = uint32_t(imm & 0x1fffff);
+    return (uint32_t(bit(uimm, 20)) << 31) |
+           (uint32_t(bits(uimm, 10, 1)) << 21) |
+           (uint32_t(bit(uimm, 11)) << 20) |
+           (uint32_t(bits(uimm, 19, 12)) << 12) |
+           (uint32_t(rd) << 7) | opcJal;
+}
+
+uint32_t
+encodeShiftImm(uint32_t funct6, const Instruction &inst, uint32_t funct3,
+               uint32_t opcode, unsigned shamt_bits)
+{
+    const auto shamt = static_cast<uint64_t>(inst.imm);
+    if (shamt >= (1ULL << shamt_bits))
+        fatal("shift amount %llu out of range",
+              static_cast<unsigned long long>(shamt));
+    return (funct6 << 26) | (uint32_t(shamt) << 20) |
+           (uint32_t(inst.rs1) << 15) | (funct3 << 12) |
+           (uint32_t(inst.rd) << 7) | opcode;
+}
+
+} // namespace
+
+uint32_t
+encode(const Instruction &inst)
+{
+    const uint8_t rd = inst.rd;
+    const uint8_t rs1 = inst.rs1;
+    const uint8_t rs2 = inst.rs2;
+    const int64_t imm = inst.imm;
+
+    switch (inst.op) {
+      case Op::Lui: return encodeU(imm, rd, opcLui);
+      case Op::Auipc: return encodeU(imm, rd, opcAuipc);
+      case Op::Jal: return encodeJ(imm, rd);
+      case Op::Jalr: return encodeI(imm, rs1, 0, rd, opcJalr);
+
+      case Op::Beq: return encodeB(imm, rs2, rs1, 0);
+      case Op::Bne: return encodeB(imm, rs2, rs1, 1);
+      case Op::Blt: return encodeB(imm, rs2, rs1, 4);
+      case Op::Bge: return encodeB(imm, rs2, rs1, 5);
+      case Op::Bltu: return encodeB(imm, rs2, rs1, 6);
+      case Op::Bgeu: return encodeB(imm, rs2, rs1, 7);
+
+      case Op::Lb: return encodeI(imm, rs1, 0, rd, opcLoad);
+      case Op::Lh: return encodeI(imm, rs1, 1, rd, opcLoad);
+      case Op::Lw: return encodeI(imm, rs1, 2, rd, opcLoad);
+      case Op::Ld: return encodeI(imm, rs1, 3, rd, opcLoad);
+      case Op::Lbu: return encodeI(imm, rs1, 4, rd, opcLoad);
+      case Op::Lhu: return encodeI(imm, rs1, 5, rd, opcLoad);
+      case Op::Lwu: return encodeI(imm, rs1, 6, rd, opcLoad);
+
+      case Op::Sb: return encodeS(imm, rs2, rs1, 0, opcStore);
+      case Op::Sh: return encodeS(imm, rs2, rs1, 1, opcStore);
+      case Op::Sw: return encodeS(imm, rs2, rs1, 2, opcStore);
+      case Op::Sd: return encodeS(imm, rs2, rs1, 3, opcStore);
+
+      case Op::Addi: return encodeI(imm, rs1, 0, rd, opcOpImm);
+      case Op::Slti: return encodeI(imm, rs1, 2, rd, opcOpImm);
+      case Op::Sltiu: return encodeI(imm, rs1, 3, rd, opcOpImm);
+      case Op::Xori: return encodeI(imm, rs1, 4, rd, opcOpImm);
+      case Op::Ori: return encodeI(imm, rs1, 6, rd, opcOpImm);
+      case Op::Andi: return encodeI(imm, rs1, 7, rd, opcOpImm);
+      case Op::Slli: return encodeShiftImm(0x00, inst, 1, opcOpImm, 6);
+      case Op::Srli: return encodeShiftImm(0x00, inst, 5, opcOpImm, 6);
+      case Op::Srai: return encodeShiftImm(0x10, inst, 5, opcOpImm, 6);
+
+      case Op::Add: return encodeR(0x00, rs2, rs1, 0, rd, opcOp);
+      case Op::Sub: return encodeR(0x20, rs2, rs1, 0, rd, opcOp);
+      case Op::Sll: return encodeR(0x00, rs2, rs1, 1, rd, opcOp);
+      case Op::Slt: return encodeR(0x00, rs2, rs1, 2, rd, opcOp);
+      case Op::Sltu: return encodeR(0x00, rs2, rs1, 3, rd, opcOp);
+      case Op::Xor: return encodeR(0x00, rs2, rs1, 4, rd, opcOp);
+      case Op::Srl: return encodeR(0x00, rs2, rs1, 5, rd, opcOp);
+      case Op::Sra: return encodeR(0x20, rs2, rs1, 5, rd, opcOp);
+      case Op::Or: return encodeR(0x00, rs2, rs1, 6, rd, opcOp);
+      case Op::And: return encodeR(0x00, rs2, rs1, 7, rd, opcOp);
+
+      case Op::Addiw: return encodeI(imm, rs1, 0, rd, opcOpImm32);
+      case Op::Slliw: return encodeShiftImm(0x00, inst, 1, opcOpImm32, 5);
+      case Op::Srliw: return encodeShiftImm(0x00, inst, 5, opcOpImm32, 5);
+      case Op::Sraiw: return encodeShiftImm(0x10, inst, 5, opcOpImm32, 5);
+      case Op::Addw: return encodeR(0x00, rs2, rs1, 0, rd, opcOp32);
+      case Op::Subw: return encodeR(0x20, rs2, rs1, 0, rd, opcOp32);
+      case Op::Sllw: return encodeR(0x00, rs2, rs1, 1, rd, opcOp32);
+      case Op::Srlw: return encodeR(0x00, rs2, rs1, 5, rd, opcOp32);
+      case Op::Sraw: return encodeR(0x20, rs2, rs1, 5, rd, opcOp32);
+
+      case Op::Mul: return encodeR(0x01, rs2, rs1, 0, rd, opcOp);
+      case Op::Mulh: return encodeR(0x01, rs2, rs1, 1, rd, opcOp);
+      case Op::Mulhsu: return encodeR(0x01, rs2, rs1, 2, rd, opcOp);
+      case Op::Mulhu: return encodeR(0x01, rs2, rs1, 3, rd, opcOp);
+      case Op::Div: return encodeR(0x01, rs2, rs1, 4, rd, opcOp);
+      case Op::Divu: return encodeR(0x01, rs2, rs1, 5, rd, opcOp);
+      case Op::Rem: return encodeR(0x01, rs2, rs1, 6, rd, opcOp);
+      case Op::Remu: return encodeR(0x01, rs2, rs1, 7, rd, opcOp);
+      case Op::Mulw: return encodeR(0x01, rs2, rs1, 0, rd, opcOp32);
+      case Op::Divw: return encodeR(0x01, rs2, rs1, 4, rd, opcOp32);
+      case Op::Divuw: return encodeR(0x01, rs2, rs1, 5, rd, opcOp32);
+      case Op::Remw: return encodeR(0x01, rs2, rs1, 6, rd, opcOp32);
+      case Op::Remuw: return encodeR(0x01, rs2, rs1, 7, rd, opcOp32);
+
+      case Op::Fence: return 0x0ff0000f;
+      case Op::Ecall: return 0x00000073;
+      case Op::Ebreak: return 0x00100073;
+
+      default:
+        fatal("cannot encode opcode %u",
+              static_cast<unsigned>(inst.op));
+    }
+    return 0; // unreachable
+}
+
+} // namespace helios

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * RV64IM machine-code encoder.
+ *
+ * The encoder is the assembler's backend and the test suite's
+ * round-trip partner for the decoder.
+ */
+
+#ifndef ISA_ENCODER_HH
+#define ISA_ENCODER_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+
+namespace helios
+{
+
+/**
+ * Encode a decoded instruction back into its 32-bit machine word.
+ *
+ * fatal()s if an immediate does not fit its encoding field, so the
+ * assembler reports range errors instead of silently truncating.
+ */
+uint32_t encode(const Instruction &inst);
+
+} // namespace helios
+
+#endif // ISA_ENCODER_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Decoded architectural instruction representation.
+ */
+
+#ifndef ISA_INSTRUCTION_HH
+#define ISA_INSTRUCTION_HH
+
+#include <cstdint>
+
+#include "isa/riscv.hh"
+
+namespace helios
+{
+
+/**
+ * A decoded RV64IM instruction.
+ *
+ * In this model every RISC-V architectural instruction translates to
+ * exactly one µ-op (footnote 2 of the paper), so this structure doubles
+ * as the µ-op payload before any fusion is applied.
+ */
+struct Instruction
+{
+    Op op = Op::Invalid;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int64_t imm = 0;
+    uint32_t raw = 0;
+
+    const OpInfo &info() const { return opInfo(op); }
+
+    bool isLoad() const { return isLoadOp(op); }
+    bool isStore() const { return isStoreOp(op); }
+    bool isMem() const { return isMemOp(op); }
+    bool isControl() const { return isControlOp(op); }
+    bool isCondBranch() const { return isCondBranchOp(op); }
+    bool isJump() const { return op == Op::Jal || op == Op::Jalr; }
+    bool isSerializing() const { return isSerializingOp(op); }
+
+    /** Memory access width in bytes (0 for non-memory ops). */
+    uint8_t memSize() const { return info().memSize; }
+
+    /** Destination register, honoring x0 hard-wiring. */
+    bool
+    writesReg() const
+    {
+        return info().writesRd && rd != RegZero;
+    }
+
+    bool readsRs1() const { return info().readsRs1 && rs1 != RegZero; }
+    bool readsRs2() const { return info().readsRs2 && rs2 != RegZero; }
+
+    /**
+     * Base register of a memory access. Loads use rs1; stores use rs1
+     * as base and rs2 as data.
+     */
+    uint8_t baseReg() const { return rs1; }
+
+    bool
+    operator==(const Instruction &other) const
+    {
+        return op == other.op && rd == other.rd && rs1 == other.rs1 &&
+               rs2 == other.rs2 && imm == other.imm;
+    }
+};
+
+} // namespace helios
+
+#endif // ISA_INSTRUCTION_HH

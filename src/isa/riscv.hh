@@ -1,0 +1,122 @@
+/**
+ * @file
+ * RV64IM architectural definitions: registers, opcodes and per-opcode
+ * metadata used by the decoder, the functional simulator and the
+ * fusion idiom matcher.
+ */
+
+#ifndef ISA_RISCV_HH
+#define ISA_RISCV_HH
+
+#include <cstdint>
+#include <string>
+
+namespace helios
+{
+
+/** Number of integer architectural registers. */
+constexpr unsigned numArchRegs = 32;
+
+/** ABI register aliases. */
+enum Reg : uint8_t
+{
+    RegZero = 0, RegRa = 1, RegSp = 2, RegGp = 3, RegTp = 4,
+    RegT0 = 5, RegT1 = 6, RegT2 = 7,
+    RegS0 = 8, RegFp = 8, RegS1 = 9,
+    RegA0 = 10, RegA1 = 11, RegA2 = 12, RegA3 = 13,
+    RegA4 = 14, RegA5 = 15, RegA6 = 16, RegA7 = 17,
+    RegS2 = 18, RegS3 = 19, RegS4 = 20, RegS5 = 21, RegS6 = 22,
+    RegS7 = 23, RegS8 = 24, RegS9 = 25, RegS10 = 26, RegS11 = 27,
+    RegT3 = 28, RegT4 = 29, RegT5 = 30, RegT6 = 31,
+};
+
+/** Every RV64IM architectural opcode modeled by the simulator. */
+enum class Op : uint8_t
+{
+    Invalid = 0,
+    // RV32I / RV64I upper-immediate and control transfer
+    Lui, Auipc, Jal, Jalr,
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    // Loads
+    Lb, Lh, Lw, Ld, Lbu, Lhu, Lwu,
+    // Stores
+    Sb, Sh, Sw, Sd,
+    // Immediate ALU
+    Addi, Slti, Sltiu, Xori, Ori, Andi, Slli, Srli, Srai,
+    // Register ALU
+    Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And,
+    // RV64I word forms
+    Addiw, Slliw, Srliw, Sraiw,
+    Addw, Subw, Sllw, Srlw, Sraw,
+    // RV64M
+    Mul, Mulh, Mulhsu, Mulhu, Div, Divu, Rem, Remu,
+    Mulw, Divw, Divuw, Remw, Remuw,
+    // System
+    Fence, Ecall, Ebreak,
+
+    NumOps,
+};
+
+/** Broad execution class; selects issue port and latency. */
+enum class OpClass : uint8_t
+{
+    Invalid,
+    IntAlu,      ///< single-cycle integer
+    IntMul,      ///< pipelined multiplier
+    IntDiv,      ///< unpipelined divider
+    Load,
+    Store,
+    Branch,      ///< conditional branches and jumps
+    Serializing, ///< fence / ecall / ebreak
+};
+
+/** Metadata table entry for one opcode. */
+struct OpInfo
+{
+    const char *mnemonic;
+    OpClass cls;
+    uint8_t memSize;    ///< access width in bytes; 0 for non-memory
+    bool memSigned;     ///< sign-extending load
+    bool writesRd;
+    bool readsRs1;
+    bool readsRs2;
+};
+
+/** Look up the metadata for an opcode. */
+const OpInfo &opInfo(Op op);
+
+/** Mnemonic for an opcode. */
+inline const char *opName(Op op) { return opInfo(op).mnemonic; }
+
+inline bool isLoadOp(Op op) { return opInfo(op).cls == OpClass::Load; }
+inline bool isStoreOp(Op op) { return opInfo(op).cls == OpClass::Store; }
+inline bool isMemOp(Op op) { return isLoadOp(op) || isStoreOp(op); }
+
+inline bool
+isControlOp(Op op)
+{
+    return opInfo(op).cls == OpClass::Branch;
+}
+
+inline bool
+isSerializingOp(Op op)
+{
+    return opInfo(op).cls == OpClass::Serializing;
+}
+
+/** Conditional branch (not jal/jalr). */
+inline bool
+isCondBranchOp(Op op)
+{
+    return op >= Op::Beq && op <= Op::Bgeu;
+}
+
+/** ABI name ("a0", "sp", ...) for a register index. */
+std::string regName(unsigned reg);
+
+/** Parse a register name ("x13", "a3", "sp", ...); -1 if unknown. */
+int parseRegName(const std::string &name);
+
+} // namespace helios
+
+#endif // ISA_RISCV_HH

@@ -1,0 +1,314 @@
+#include "sim/hart.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "isa/decoder.hh"
+#include "isa/disasm.hh"
+
+namespace helios
+{
+
+namespace
+{
+
+int64_t s64(uint64_t v) { return static_cast<int64_t>(v); }
+int32_t s32(uint64_t v) { return static_cast<int32_t>(v); }
+
+uint64_t
+sext32(uint64_t v)
+{
+    return static_cast<uint64_t>(static_cast<int64_t>(s32(v)));
+}
+
+uint64_t
+mulhu64(uint64_t a, uint64_t b)
+{
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(a) * b) >> 64);
+}
+
+uint64_t
+mulh64(int64_t a, int64_t b)
+{
+    return static_cast<uint64_t>(
+        (static_cast<__int128>(a) * b) >> 64);
+}
+
+uint64_t
+mulhsu64(int64_t a, uint64_t b)
+{
+    return static_cast<uint64_t>(
+        (static_cast<__int128>(a) *
+         static_cast<unsigned __int128>(b)) >> 64);
+}
+
+} // namespace
+
+Hart::Hart(Memory &memory) : mem(memory) {}
+
+void
+Hart::reset(const Program &prog)
+{
+    for (uint64_t &reg : regs)
+        reg = 0;
+    regs[RegSp] = defaultStackTop;
+    thePc = prog.entry;
+    seq = 0;
+    hasExited = false;
+    theExitCode = 0;
+    theOutput.clear();
+    mem.loadProgram(prog);
+}
+
+void
+Hart::setReg(unsigned index, uint64_t value)
+{
+    helios_assert(index < numArchRegs, "register index out of range");
+    if (index != RegZero)
+        regs[index] = value;
+}
+
+bool
+Hart::step(DynInst &out)
+{
+    if (hasExited)
+        return false;
+
+    const uint32_t word = static_cast<uint32_t>(mem.read(thePc, 4));
+    const Instruction inst = decode(word);
+    if (inst.op == Op::Invalid)
+        fatal("invalid instruction 0x%08x at pc 0x%llx", word,
+              static_cast<unsigned long long>(thePc));
+
+    out = DynInst{};
+    out.seq = seq++;
+    out.pc = thePc;
+    out.inst = inst;
+
+    execute(inst, out);
+
+    out.nextPc = thePc;
+    return true;
+}
+
+uint64_t
+Hart::run(uint64_t max_insts)
+{
+    DynInst rec;
+    uint64_t executed = 0;
+    while (executed < max_insts && step(rec))
+        ++executed;
+    return executed;
+}
+
+void
+Hart::execute(const Instruction &inst, DynInst &rec)
+{
+    const uint64_t a = regs[inst.rs1];
+    const uint64_t b = regs[inst.rs2];
+    const int64_t imm = inst.imm;
+    uint64_t next_pc = thePc + 4;
+    uint64_t result = 0;
+    bool writes = inst.writesReg();
+
+    switch (inst.op) {
+      case Op::Lui:
+        result = static_cast<uint64_t>(imm << 12);
+        break;
+      case Op::Auipc:
+        result = thePc + static_cast<uint64_t>(imm << 12);
+        break;
+      case Op::Jal:
+        result = thePc + 4;
+        next_pc = thePc + static_cast<uint64_t>(imm);
+        rec.taken = true;
+        break;
+      case Op::Jalr:
+        result = thePc + 4;
+        next_pc = (a + static_cast<uint64_t>(imm)) & ~1ULL;
+        rec.taken = true;
+        break;
+
+      case Op::Beq: rec.taken = a == b; break;
+      case Op::Bne: rec.taken = a != b; break;
+      case Op::Blt: rec.taken = s64(a) < s64(b); break;
+      case Op::Bge: rec.taken = s64(a) >= s64(b); break;
+      case Op::Bltu: rec.taken = a < b; break;
+      case Op::Bgeu: rec.taken = a >= b; break;
+
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Ld:
+      case Op::Lbu: case Op::Lhu: case Op::Lwu: {
+        const uint64_t addr = a + static_cast<uint64_t>(imm);
+        rec.effAddr = addr;
+        const uint64_t raw = mem.read(addr, inst.memSize());
+        if (inst.info().memSigned)
+            result = static_cast<uint64_t>(
+                sextBits(raw, 8 * inst.memSize()));
+        else
+            result = raw;
+        break;
+      }
+
+      case Op::Sb: case Op::Sh: case Op::Sw: case Op::Sd: {
+        const uint64_t addr = a + static_cast<uint64_t>(imm);
+        rec.effAddr = addr;
+        mem.write(addr, b, inst.memSize());
+        break;
+      }
+
+      case Op::Addi: result = a + static_cast<uint64_t>(imm); break;
+      case Op::Slti: result = s64(a) < imm ? 1 : 0; break;
+      case Op::Sltiu:
+        result = a < static_cast<uint64_t>(imm) ? 1 : 0;
+        break;
+      case Op::Xori: result = a ^ static_cast<uint64_t>(imm); break;
+      case Op::Ori: result = a | static_cast<uint64_t>(imm); break;
+      case Op::Andi: result = a & static_cast<uint64_t>(imm); break;
+      case Op::Slli: result = a << (imm & 63); break;
+      case Op::Srli: result = a >> (imm & 63); break;
+      case Op::Srai:
+        result = static_cast<uint64_t>(s64(a) >> (imm & 63));
+        break;
+
+      case Op::Add: result = a + b; break;
+      case Op::Sub: result = a - b; break;
+      case Op::Sll: result = a << (b & 63); break;
+      case Op::Slt: result = s64(a) < s64(b) ? 1 : 0; break;
+      case Op::Sltu: result = a < b ? 1 : 0; break;
+      case Op::Xor: result = a ^ b; break;
+      case Op::Srl: result = a >> (b & 63); break;
+      case Op::Sra:
+        result = static_cast<uint64_t>(s64(a) >> (b & 63));
+        break;
+      case Op::Or: result = a | b; break;
+      case Op::And: result = a & b; break;
+
+      case Op::Addiw:
+        result = sext32(a + static_cast<uint64_t>(imm));
+        break;
+      case Op::Slliw: result = sext32(a << (imm & 31)); break;
+      case Op::Srliw:
+        result = sext32(static_cast<uint32_t>(a) >> (imm & 31));
+        break;
+      case Op::Sraiw:
+        result = static_cast<uint64_t>(
+            static_cast<int64_t>(s32(a) >> (imm & 31)));
+        break;
+      case Op::Addw: result = sext32(a + b); break;
+      case Op::Subw: result = sext32(a - b); break;
+      case Op::Sllw: result = sext32(a << (b & 31)); break;
+      case Op::Srlw:
+        result = sext32(static_cast<uint32_t>(a) >> (b & 31));
+        break;
+      case Op::Sraw:
+        result = static_cast<uint64_t>(
+            static_cast<int64_t>(s32(a) >> (b & 31)));
+        break;
+
+      case Op::Mul: result = a * b; break;
+      case Op::Mulh: result = mulh64(s64(a), s64(b)); break;
+      case Op::Mulhsu: result = mulhsu64(s64(a), b); break;
+      case Op::Mulhu: result = mulhu64(a, b); break;
+      case Op::Div:
+        if (b == 0)
+            result = ~0ULL;
+        else if (s64(a) == INT64_MIN && s64(b) == -1)
+            result = a;
+        else
+            result = static_cast<uint64_t>(s64(a) / s64(b));
+        break;
+      case Op::Divu: result = b == 0 ? ~0ULL : a / b; break;
+      case Op::Rem:
+        if (b == 0)
+            result = a;
+        else if (s64(a) == INT64_MIN && s64(b) == -1)
+            result = 0;
+        else
+            result = static_cast<uint64_t>(s64(a) % s64(b));
+        break;
+      case Op::Remu: result = b == 0 ? a : a % b; break;
+
+      case Op::Mulw: result = sext32(a * b); break;
+      case Op::Divw: {
+        const int32_t da = s32(a), db = s32(b);
+        if (db == 0)
+            result = ~0ULL;
+        else if (da == INT32_MIN && db == -1)
+            result = sext32(static_cast<uint64_t>(
+                static_cast<uint32_t>(da)));
+        else
+            result = static_cast<uint64_t>(
+                static_cast<int64_t>(da / db));
+        break;
+      }
+      case Op::Divuw: {
+        const uint32_t da = static_cast<uint32_t>(a);
+        const uint32_t db = static_cast<uint32_t>(b);
+        result = db == 0 ? ~0ULL : sext32(da / db);
+        break;
+      }
+      case Op::Remw: {
+        const int32_t da = s32(a), db = s32(b);
+        if (db == 0)
+            result = sext32(a);
+        else if (da == INT32_MIN && db == -1)
+            result = 0;
+        else
+            result = static_cast<uint64_t>(
+                static_cast<int64_t>(da % db));
+        break;
+      }
+      case Op::Remuw: {
+        const uint32_t da = static_cast<uint32_t>(a);
+        const uint32_t db = static_cast<uint32_t>(b);
+        result = db == 0 ? sext32(a) : sext32(da % db);
+        break;
+      }
+
+      case Op::Fence:
+        break;
+      case Op::Ecall:
+        doEcall();
+        break;
+      case Op::Ebreak:
+        fatal("ebreak at pc 0x%llx",
+              static_cast<unsigned long long>(thePc));
+
+      default:
+        panic("unhandled opcode in Hart::execute: %s",
+              disassemble(inst).c_str());
+    }
+
+    if (inst.isCondBranch() && rec.taken)
+        next_pc = thePc + static_cast<uint64_t>(imm);
+
+    if (writes)
+        regs[inst.rd] = result;
+    thePc = next_pc;
+}
+
+void
+Hart::doEcall()
+{
+    const uint64_t call = regs[RegA7];
+    switch (call) {
+      case 93: // exit
+        hasExited = true;
+        theExitCode = regs[RegA0];
+        break;
+      case 64: { // write(fd, buf, len)
+        const uint64_t buf = regs[RegA1];
+        const uint64_t len = regs[RegA2];
+        for (uint64_t i = 0; i < len; ++i)
+            theOutput += static_cast<char>(mem.readByte(buf + i));
+        regs[RegA0] = len;
+        break;
+      }
+      default:
+        fatal("unsupported ecall %llu at pc 0x%llx",
+              static_cast<unsigned long long>(call),
+              static_cast<unsigned long long>(thePc));
+    }
+}
+
+} // namespace helios

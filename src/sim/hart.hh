@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The functional RV64IM hart: architectural state plus an instruction-
+ * at-a-time execution loop. Plays the role Spike plays in the paper's
+ * infrastructure.
+ */
+
+#ifndef SIM_HART_HH
+#define SIM_HART_HH
+
+#include <cstdint>
+#include <string>
+
+#include "asm/program.hh"
+#include "sim/memory.hh"
+#include "sim/trace.hh"
+
+namespace helios
+{
+
+/**
+ * Architectural state and functional execution.
+ *
+ * System interaction follows the Linux RISC-V user ABI subset used by
+ * the workloads: ecall with a7=93 exits (a0 = exit value) and a7=64
+ * writes bytes to the collected output string.
+ */
+class Hart
+{
+  public:
+    explicit Hart(Memory &memory);
+
+    /** Reset state and load a program (sp points at the stack top). */
+    void reset(const Program &prog);
+
+    /**
+     * Execute a single instruction.
+     * @param out record of the executed instruction
+     * @return false once the program has exited (out is untouched)
+     */
+    bool step(DynInst &out);
+
+    /** Run to completion or until @a max_insts executed. */
+    uint64_t run(uint64_t max_insts = UINT64_MAX);
+
+    bool exited() const { return hasExited; }
+    uint64_t exitCode() const { return theExitCode; }
+    uint64_t pc() const { return thePc; }
+    uint64_t instsExecuted() const { return seq; }
+    const std::string &output() const { return theOutput; }
+
+    uint64_t reg(unsigned index) const { return regs[index]; }
+    void setReg(unsigned index, uint64_t value);
+
+  private:
+    void execute(const Instruction &inst, DynInst &rec);
+    void doEcall();
+
+    Memory &mem;
+    uint64_t regs[numArchRegs] = {};
+    uint64_t thePc = 0;
+    uint64_t seq = 0;
+    bool hasExited = false;
+    uint64_t theExitCode = 0;
+    std::string theOutput;
+};
+
+/** Feed adapter running a hart with an instruction budget. */
+class HartFeed : public InstructionFeed
+{
+  public:
+    HartFeed(Hart &hart, uint64_t max_insts = UINT64_MAX)
+        : hart(hart), remaining(max_insts)
+    {}
+
+    bool
+    next(DynInst &out) override
+    {
+        if (remaining == 0)
+            return false;
+        --remaining;
+        return hart.step(out);
+    }
+
+  private:
+    Hart &hart;
+    uint64_t remaining;
+};
+
+} // namespace helios
+
+#endif // SIM_HART_HH

@@ -1,0 +1,89 @@
+#include "sim/memory.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace helios
+{
+
+uint64_t
+Memory::read(uint64_t addr, unsigned size) const
+{
+    helios_assert(size == 1 || size == 2 || size == 4 || size == 8,
+                  "bad access size");
+    uint64_t value = 0;
+    // Fast path: access within one page.
+    const uint64_t offset = addr & (pageSize - 1);
+    if (offset + size <= pageSize) {
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        for (unsigned i = 0; i < size; ++i)
+            value |= uint64_t((*page)[offset + i]) << (8 * i);
+        return value;
+    }
+    for (unsigned i = 0; i < size; ++i)
+        value |= uint64_t(readByte(addr + i)) << (8 * i);
+    return value;
+}
+
+void
+Memory::write(uint64_t addr, uint64_t value, unsigned size)
+{
+    helios_assert(size == 1 || size == 2 || size == 4 || size == 8,
+                  "bad access size");
+    const uint64_t offset = addr & (pageSize - 1);
+    if (offset + size <= pageSize) {
+        Page &page = touchPage(addr);
+        for (unsigned i = 0; i < size; ++i)
+            page[offset + i] = uint8_t(value >> (8 * i));
+        return;
+    }
+    for (unsigned i = 0; i < size; ++i)
+        writeByte(addr + i, uint8_t(value >> (8 * i)));
+}
+
+void
+Memory::writeBlock(uint64_t addr, const void *src, size_t len)
+{
+    const auto *bytes = static_cast<const uint8_t *>(src);
+    size_t done = 0;
+    while (done < len) {
+        const uint64_t offset = (addr + done) & (pageSize - 1);
+        const size_t chunk =
+            std::min<size_t>(len - done, pageSize - offset);
+        std::memcpy(touchPage(addr + done).data() + offset, bytes + done,
+                    chunk);
+        done += chunk;
+    }
+}
+
+void
+Memory::readBlock(uint64_t addr, void *dst, size_t len) const
+{
+    auto *bytes = static_cast<uint8_t *>(dst);
+    size_t done = 0;
+    while (done < len) {
+        const uint64_t offset = (addr + done) & (pageSize - 1);
+        const size_t chunk =
+            std::min<size_t>(len - done, pageSize - offset);
+        const Page *page = findPage(addr + done);
+        if (page)
+            std::memcpy(bytes + done, page->data() + offset, chunk);
+        else
+            std::memset(bytes + done, 0, chunk);
+        done += chunk;
+    }
+}
+
+void
+Memory::loadProgram(const Program &prog)
+{
+    for (size_t i = 0; i < prog.code.size(); ++i)
+        write(prog.textBase + i * 4, prog.code[i], 4);
+    if (!prog.data.empty())
+        writeBlock(prog.dataBase, prog.data.data(), prog.data.size());
+}
+
+} // namespace helios

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Sparse byte-addressable 64-bit physical memory.
+ */
+
+#ifndef SIM_MEMORY_HH
+#define SIM_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "asm/program.hh"
+
+namespace helios
+{
+
+/**
+ * Sparse memory backed by 4 KiB pages allocated on first touch.
+ * Uninitialized memory reads as zero.
+ */
+class Memory
+{
+  public:
+    static constexpr uint64_t pageBits = 12;
+    static constexpr uint64_t pageSize = 1ULL << pageBits;
+
+    uint8_t
+    readByte(uint64_t addr) const
+    {
+        const Page *page = findPage(addr);
+        return page ? (*page)[addr & (pageSize - 1)] : 0;
+    }
+
+    void
+    writeByte(uint64_t addr, uint8_t value)
+    {
+        touchPage(addr)[addr & (pageSize - 1)] = value;
+    }
+
+    /** Little-endian multi-byte read of 1, 2, 4 or 8 bytes. */
+    uint64_t read(uint64_t addr, unsigned size) const;
+
+    /** Little-endian multi-byte write of 1, 2, 4 or 8 bytes. */
+    void write(uint64_t addr, uint64_t value, unsigned size);
+
+    /** Copy a block of bytes into memory. */
+    void writeBlock(uint64_t addr, const void *src, size_t len);
+
+    /** Copy a block of bytes out of memory. */
+    void readBlock(uint64_t addr, void *dst, size_t len) const;
+
+    /** Load an assembled program's text and data segments. */
+    void loadProgram(const Program &prog);
+
+    /** Number of resident pages (for tests / footprint reporting). */
+    size_t numPages() const { return pages.size(); }
+
+  private:
+    using Page = std::array<uint8_t, pageSize>;
+
+    const Page *
+    findPage(uint64_t addr) const
+    {
+        auto it = pages.find(addr >> pageBits);
+        return it == pages.end() ? nullptr : it->second.get();
+    }
+
+    Page &
+    touchPage(uint64_t addr)
+    {
+        std::unique_ptr<Page> &slot = pages[addr >> pageBits];
+        if (!slot) {
+            slot = std::make_unique<Page>();
+            slot->fill(0);
+        }
+        return *slot;
+    }
+
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages;
+};
+
+} // namespace helios
+
+#endif // SIM_MEMORY_HH

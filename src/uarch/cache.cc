@@ -1,0 +1,111 @@
+#include "uarch/cache.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace helios
+{
+
+Cache::Cache(unsigned size_bytes, unsigned ways, unsigned line_bytes)
+    : numSets(size_bytes / (ways * line_bytes)), numWays(ways)
+{
+    helios_assert(isPowerOf2(numSets), "cache sets not a power of two");
+    this->ways.resize(numSets * numWays);
+}
+
+bool
+Cache::access(uint64_t line_addr)
+{
+    const unsigned set = line_addr & (numSets - 1);
+    const uint64_t tag = line_addr >> floorLog2(numSets);
+
+    ++tick;
+    for (unsigned i = 0; i < numWays; ++i) {
+        Way &way = ways[set * numWays + i];
+        if (way.valid && way.tag == tag) {
+            way.lru = tick;
+            ++hits;
+            return true;
+        }
+    }
+
+    Way *victim = nullptr;
+    for (unsigned i = 0; i < numWays; ++i) {
+        Way &way = ways[set * numWays + i];
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (!victim || way.lru < victim->lru)
+            victim = &way;
+    }
+    ++misses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = tick;
+    return false;
+}
+
+bool
+Cache::probe(uint64_t line_addr) const
+{
+    const unsigned set = line_addr & (numSets - 1);
+    const uint64_t tag = line_addr >> floorLog2(numSets);
+    for (unsigned i = 0; i < numWays; ++i) {
+        const Way &way = ways[set * numWays + i];
+        if (way.valid && way.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+CacheHierarchy::CacheHierarchy(const CoreParams &p)
+    : l1i(p.l1iBytes, p.l1iWays, p.lineBytes),
+      l1d(p.l1dBytes, p.l1dWays, p.lineBytes),
+      l2(p.l2Bytes, p.l2Ways, p.lineBytes),
+      l3(p.l3Bytes, p.l3Ways, p.lineBytes),
+      params(p)
+{}
+
+unsigned
+CacheHierarchy::dataAccess(uint64_t line_addr)
+{
+    if (l1d.access(line_addr))
+        return params.l1Latency;
+    if (l2.access(line_addr))
+        return params.l2Latency;
+    if (l3.access(line_addr))
+        return params.l3Latency;
+    return params.memLatency;
+}
+
+unsigned
+CacheHierarchy::instAccess(uint64_t line_addr)
+{
+    if (l1i.access(line_addr))
+        return 0;
+    if (l2.access(line_addr))
+        return params.l2Latency;
+    if (l3.access(line_addr))
+        return params.l3Latency;
+    return params.memLatency;
+}
+
+unsigned
+CacheHierarchy::storeDrain(uint64_t line_addr)
+{
+    // A store retires into the L1 in a cycle when its line is present.
+    // Misses hold the store-queue entry for part of the fill latency;
+    // the remainder overlaps with younger fills through the write
+    // buffers. This occupancy is the SQ pressure that store-pair
+    // fusion relieves (Section V-B3).
+    if (l1d.access(line_addr))
+        return 1;
+    if (l2.access(line_addr))
+        return 1 + params.l2Latency / 4;
+    if (l3.access(line_addr))
+        return 1 + params.l3Latency / 4;
+    return 1 + params.memLatency / 7;
+}
+
+} // namespace helios

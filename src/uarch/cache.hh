@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tag-only set-associative caches and the three-level hierarchy used
+ * for load/store/fetch timing. Data values come from the functional
+ * simulator; the hierarchy only answers "how many cycles".
+ */
+
+#ifndef UARCH_CACHE_HH
+#define UARCH_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "uarch/params.hh"
+
+namespace helios
+{
+
+/** A single tag-only LRU cache level. */
+class Cache
+{
+  public:
+    Cache(unsigned size_bytes, unsigned ways, unsigned line_bytes);
+
+    /** Look up a line; allocates on miss. @return hit? */
+    bool access(uint64_t line_addr);
+
+    /** Look up without allocating. */
+    bool probe(uint64_t line_addr) const;
+
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        uint64_t lru = 0;
+    };
+
+    unsigned numSets;
+    unsigned numWays;
+    uint64_t tick = 0;
+    std::vector<Way> ways;
+};
+
+/**
+ * L1D + L2 + L3 + memory. Inclusive allocation on miss at every level.
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const CoreParams &params);
+
+    /** Data-side access latency for one line. */
+    unsigned dataAccess(uint64_t line_addr);
+
+    /** Instruction-side access latency for one line (L1I then L2...). */
+    unsigned instAccess(uint64_t line_addr);
+
+    /**
+     * Latency to retire one committed store into the hierarchy: a hit
+     * drains in a cycle, a miss ties the store-queue entry down for a
+     * fraction of the fill latency (write-combining approximation).
+     */
+    unsigned storeDrain(uint64_t line_addr);
+
+    Cache l1i;
+    Cache l1d;
+    Cache l2;
+    Cache l3;
+
+  private:
+    const CoreParams &params;
+};
+
+} // namespace helios
+
+#endif // UARCH_CACHE_HH

@@ -1,0 +1,35 @@
+#include "uarch/params.hh"
+
+#include "common/logging.hh"
+
+namespace helios
+{
+
+const char *
+fusionModeName(FusionMode mode)
+{
+    switch (mode) {
+      case FusionMode::None: return "NoFusion";
+      case FusionMode::RiscvFusion: return "RISCVFusion";
+      case FusionMode::CsfSbr: return "CSF-SBR";
+      case FusionMode::RiscvFusionPP: return "RISCVFusion++";
+      case FusionMode::Helios: return "Helios";
+      case FusionMode::Oracle: return "OracleFusion";
+    }
+    return "?";
+}
+
+FusionMode
+fusionModeFromName(const std::string &name)
+{
+    for (FusionMode mode :
+         {FusionMode::None, FusionMode::RiscvFusion, FusionMode::CsfSbr,
+          FusionMode::RiscvFusionPP, FusionMode::Helios,
+          FusionMode::Oracle}) {
+        if (name == fusionModeName(mode))
+            return mode;
+    }
+    fatal("unknown fusion mode '%s'", name.c_str());
+}
+
+} // namespace helios

@@ -1,0 +1,1724 @@
+#include "uarch/pipeline.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "isa/disasm.hh"
+
+#include "common/logging.hh"
+#include "fusion/fusion_predictor.hh"
+#include "fusion/tage_fp.hh"
+
+namespace helios
+{
+
+namespace
+{
+
+constexpr uint64_t invalidSeq = ~0ULL;
+
+bool
+rangesOverlap(uint64_t a_begin, uint64_t a_end, uint64_t b_begin,
+              uint64_t b_end)
+{
+    return a_begin < b_end && b_begin < a_end;
+}
+
+bool
+sameMemKind(const Uop *a, const Uop *b)
+{
+    return (a->isLoad() && b->isLoad()) ||
+           (a->isStore() && b->isStore());
+}
+
+} // namespace
+
+Pipeline::Pipeline(const CoreParams &p, InstructionFeed &f)
+    : params(p), feed(f), caches(params)
+{
+    if (params.fpKind == FpKind::Tage)
+        fusionPred = std::make_unique<TageFusionPredictor>();
+    else
+        fusionPred = std::make_unique<FusionPredictor>();
+    rat.resize(numArchRegs);
+    for (RatEntry &entry : rat)
+        entry.producerSeq = invalidSeq;
+}
+
+Pipeline::~Pipeline() = default;
+
+Uop *
+Pipeline::findInflight(uint64_t seq) const
+{
+    auto it = inflight.find(seq);
+    return it == inflight.end() ? nullptr : it->second.get();
+}
+
+bool
+Pipeline::sourceIsReady(uint64_t producer_seq) const
+{
+    if (producer_seq == invalidSeq)
+        return true;
+    const Uop *producer = findInflight(producer_seq);
+    return !producer || producer->done;
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+void
+Pipeline::fetchStage()
+{
+    if (cycle < fetchBlockedUntil) {
+        counter("fetch.blocked_cycles")++;
+        return;
+    }
+    if (fetchStallSeq != invalidSeq) {
+        counter("fetch.mispredict_stall_cycles")++;
+        return;
+    }
+    if (decodePipe.size() >= params.frontendDepth + 4)
+        return;
+
+    std::vector<Uop *> group;
+    for (unsigned i = 0; i < params.fetchWidth; ++i) {
+        DynInst dyn;
+        if (!replayQueue.empty()) {
+            dyn = replayQueue.front();
+            replayQueue.pop_front();
+        } else if (feedExhausted) {
+            break;
+        } else if (!feed.next(dyn)) {
+            feedExhausted = true;
+            break;
+        }
+
+        auto owned = std::make_unique<Uop>();
+        Uop *uop = owned.get();
+        uop->seq = dyn.seq;
+        uop->uid = nextUid++;
+        uop->dyn = dyn;
+        uop->fetchCycle = cycle;
+        uop->fetchHistory = bpred.fusionHistory();
+        helios_assert(inflight.emplace(dyn.seq, std::move(owned)).second,
+                      "duplicate in-flight seq");
+        group.push_back(uop);
+        counter("fetch.uops")++;
+
+        // Instruction cache: charge a stall when a new line misses.
+        const uint64_t line = dyn.pc / params.lineBytes;
+        if (line != lastFetchLine) {
+            lastFetchLine = line;
+            const unsigned lat = caches.instAccess(line);
+            if (lat > 0) {
+                fetchBlockedUntil = cycle + lat;
+                break;
+            }
+        }
+
+        if (dyn.inst.isControl()) {
+            const bool correct = bpred.predictAndCheck(
+                dyn.pc, dyn.inst, dyn.taken, dyn.nextPc);
+            if (!correct) {
+                uop->mispredictedBranch = true;
+                fetchStallSeq = dyn.seq;
+                break;
+            }
+            // Decoupled front end: correctly predicted taken
+            // branches redirect fetch without ending the group (the
+            // paper's 8-wide fetch keeps the AQ full even in small
+            // loops). The target line is charged by the next µ-op's
+            // instruction-cache check.
+        }
+    }
+
+    if (!group.empty())
+        decodePipe.push_back({std::move(group),
+                              cycle + params.frontendDepth});
+}
+
+// ---------------------------------------------------------------------
+// Decode: consecutive fusion + AQ insertion + predicted/oracle fusion
+// ---------------------------------------------------------------------
+
+void
+Pipeline::applyConsecutiveFusion(std::vector<Uop *> &group)
+{
+    const FusionMode mode = params.fusion;
+    if (mode == FusionMode::None)
+        return;
+
+    std::vector<Uop *> out;
+    out.reserve(group.size());
+    size_t i = 0;
+    while (i < group.size()) {
+        Uop *head = group[i];
+        if (i + 1 < group.size()) {
+            Uop *tail = group[i + 1];
+            const Idiom idiom =
+                matchIdiom(head->dyn.inst, tail->dyn.inst);
+            bool enabled = false;
+            switch (mode) {
+              case FusionMode::RiscvFusion:
+                enabled = idiom != Idiom::None && !isMemoryIdiom(idiom);
+                break;
+              case FusionMode::CsfSbr:
+                enabled = isMemoryIdiom(idiom);
+                break;
+              case FusionMode::RiscvFusionPP:
+              case FusionMode::Helios:
+                enabled = idiom != Idiom::None;
+                break;
+              case FusionMode::Oracle:
+                // Memory pairs are fused (better) in the AQ.
+                enabled = idiom != Idiom::None && !isMemoryIdiom(idiom);
+                break;
+              default:
+                break;
+            }
+            if (enabled && !head->mispredictedBranch) {
+                head->fusion = isMemoryIdiom(idiom) ? FusionKind::CsfMem
+                                                    : FusionKind::CsfOther;
+                head->idiom = idiom;
+                head->hasTail = true;
+                head->tailDyn = tail->dyn;
+                inflight.erase(tail->seq);
+                out.push_back(head);
+                i += 2;
+                continue;
+            }
+        }
+        out.push_back(head);
+        ++i;
+    }
+    group = std::move(out);
+}
+
+bool
+Pipeline::tryPredictedFusion(Uop *tail)
+{
+    const FpPrediction &pred = tail->fpPred;
+    if (!pred.valid)
+        return false;
+    counter("fusion.fp_attempts")++;
+
+    if (tail->fusion != FusionKind::None || tail->isTailMarker)
+        return false;
+    if (pred.distance > tail->seq)
+        return false;
+
+    Uop *head = findInflight(tail->seq - pred.distance);
+    if (!head || !head->inAq || head->isTailMarker ||
+        head->fusion != FusionKind::None || head->hasTail ||
+        !sameMemKind(head, tail)) {
+        counter("fusion.fp_no_head")++;
+        return false;
+    }
+    // Different-base-register store pairs are not supported by
+    // default (Section IV-B: 0.54% of fused stores; they would need a
+    // fourth source register).
+    if (!params.fuseDbrStorePairs && tail->isStore() &&
+        head->dyn.inst.baseReg() != tail->dyn.inst.baseReg()) {
+        counter("fusion.fp_store_dbr")++;
+        return false;
+    }
+    // Statically-known dependent loads never fuse (Section II-B).
+    if (head->dyn.inst.writesReg() &&
+        head->dyn.inst.rd == tail->dyn.inst.baseReg()) {
+        counter("fusion.fp_dependent")++;
+        return false;
+    }
+
+    head->hasTail = true;
+    head->tailDyn = tail->dyn;
+    head->fusion = FusionKind::NcsfMem;
+    head->ncsReady = false;
+    head->fpInitiated = true;
+    head->fpPred = pred;
+    head->pairSeq = tail->seq;
+
+    tail->isTailMarker = true;
+    tail->pairSeq = head->seq;
+
+    ++pendingNcsf;
+    counter("fusion.fp_applied")++;
+    counter("fusion.fp_distance_sum") += pred.distance;
+    return true;
+}
+
+namespace
+{
+
+/**
+ * Exact register-dependence walk over a catalyst window: does any
+ * source of @a tail (transitively) depend on a destination of
+ * @a head, through the catalyst µ-ops supplied by @a visit?
+ *
+ * This computes the precise outcome of the paper's Deadlock-Tag
+ * hardware (Section IV-B2); the real tags are a conservative one-hot
+ * approximation that may also yield false positives.
+ */
+class TaintWalk
+{
+  public:
+    explicit TaintWalk(const Uop *head) : headSeq(head->seq)
+    {
+        if (head->dyn.inst.writesReg())
+            taintReg(head->dyn.inst.rd);
+        // The tail nucleus' destination is invisible to the catalyst
+        // (WaR deferral), so only the head's register output seeds the
+        // register taint; memory (store-set) wakeup edges on the head
+        // are tracked through taintedSeqs.
+    }
+
+    void
+    step(const Uop *u)
+    {
+        const Instruction &inst = u->dyn.inst;
+        bool depends =
+            (inst.readsRs1() && isTainted(inst.rs1)) ||
+            (inst.readsRs2() && isTainted(inst.rs2));
+        if (u->hasTail) {
+            const Instruction &t = u->tailDyn.inst;
+            depends |= (t.readsRs1() && isTainted(t.rs1)) ||
+                       (t.readsRs2() && isTainted(t.rs2));
+        }
+        // Memory-dependence wakeup edge: a catalyst load made to wait
+        // on the head (or on a tainted catalyst store) by the
+        // store-set predictor depends on the head for scheduling.
+        if (u->waitStoreSeq == headSeq || seqTainted(u->waitStoreSeq))
+            depends = true;
+
+        if (depends)
+            taintedSeqs.push_back(u->seq);
+
+        if (inst.writesReg()) {
+            if (depends)
+                taintReg(inst.rd);
+            else
+                clearReg(inst.rd);
+        }
+        if (u->hasTail && u->tailDyn.inst.writesReg() &&
+            u->fusion != FusionKind::NcsfMem) {
+            // CSF pairs produce the tail value in place; a pending
+            // NCSF tail destination stays owned by the old producer.
+            if (depends)
+                taintReg(u->tailDyn.inst.rd);
+            else
+                clearReg(u->tailDyn.inst.rd);
+        }
+    }
+
+    bool
+    tailDepends(const Instruction &tail) const
+    {
+        if (tail.readsRs1() && isTainted(tail.rs1))
+            return true;
+        return tail.readsRs2() && isTainted(tail.rs2);
+    }
+
+  private:
+    void
+    taintReg(unsigned reg)
+    {
+        if (reg != RegZero)
+            tainted |= 1u << reg;
+    }
+
+    void clearReg(unsigned reg) { tainted &= ~(1u << reg); }
+    bool isTainted(unsigned reg) const { return (tainted >> reg) & 1; }
+
+    bool
+    seqTainted(uint64_t seq) const
+    {
+        for (uint64_t tainted_seq : taintedSeqs)
+            if (tainted_seq == seq)
+                return true;
+        return false;
+    }
+
+    uint64_t headSeq;
+    uint32_t tainted = 0;
+    std::vector<uint64_t> taintedSeqs;
+};
+
+} // namespace
+
+bool
+Pipeline::oracleDependent(const Uop *head, const Uop *tail) const
+{
+    TaintWalk walk(head);
+    for (const Uop *u : aq) {
+        if (u->seq <= head->seq || u->seq >= tail->seq ||
+            u->isTailMarker)
+            continue;
+        walk.step(u);
+    }
+    return walk.tailDepends(tail->dyn.inst);
+}
+
+bool
+Pipeline::tailDependsOnCatalystLoad(const Uop *head,
+                                    const Uop *marker) const
+{
+    uint32_t tainted = 0;
+    auto is_tainted = [&tainted](unsigned reg) {
+        return reg != RegZero && ((tainted >> reg) & 1);
+    };
+    for (uint64_t seq = head->seq + 1; seq < marker->seq; ++seq) {
+        const Uop *u = findInflight(seq);
+        if (!u)
+            continue;
+        if (u->isTailMarker) {
+            // The marker stands for a real load (the tail nucleus of
+            // another pair): its destination is load-produced.
+            if (u->dyn.inst.writesReg())
+                tainted |= 1u << u->dyn.inst.rd;
+            continue;
+        }
+        const Instruction &inst = u->dyn.inst;
+        const bool reads_tainted =
+            (inst.readsRs1() && is_tainted(inst.rs1)) ||
+            (inst.readsRs2() && is_tainted(inst.rs2));
+        const bool produces_load = u->isLoad();
+        if (inst.writesReg()) {
+            if (produces_load || reads_tainted)
+                tainted |= 1u << inst.rd;
+            else
+                tainted &= ~(1u << inst.rd);
+        }
+        if (u->hasTail && u->tailDyn.inst.writesReg() &&
+            u->fusion != FusionKind::NcsfMem) {
+            if (produces_load || reads_tainted)
+                tainted |= 1u << u->tailDyn.inst.rd;
+            else
+                tainted &= ~(1u << u->tailDyn.inst.rd);
+        }
+    }
+    const Instruction &tail = marker->dyn.inst;
+    if (tail.readsRs1() && is_tainted(tail.rs1))
+        return true;
+    return tail.readsRs2() && is_tainted(tail.rs2);
+}
+
+bool
+Pipeline::heliosDependent(const Uop *head, const Uop *marker) const
+{
+    TaintWalk walk(head);
+    // Catalyst µ-ops renamed before the marker live in the ROB or the
+    // rename->dispatch buffer; CSF'd tails are folded into their
+    // heads, so walking the seq range finds every writer.
+    for (uint64_t seq = head->seq + 1; seq < marker->seq; ++seq) {
+        const Uop *u = findInflight(seq);
+        if (!u || u->isTailMarker)
+            continue;
+        walk.step(u);
+    }
+    return walk.tailDepends(marker->dyn.inst);
+}
+
+bool
+Pipeline::tryOracleFusion(Uop *tail)
+{
+    if (tail->fusion != FusionKind::None)
+        return false;
+
+    for (auto it = aq.rbegin(); it != aq.rend(); ++it) {
+        Uop *cand = *it;
+        if (cand == tail)
+            continue;
+        if (cand->seq >= tail->seq)
+            continue;
+        const uint64_t distance = tail->seq - cand->seq;
+        if (distance > params.maxFusionDistance)
+            break;
+        if (cand->isTailMarker)
+            continue;
+        if (cand->dyn.inst.isSerializing())
+            break;
+        if (!sameMemKind(cand, tail)) {
+            // A store between two stores blocks store pairing.
+            if (tail->isStore() && cand->isStore())
+                break;
+            continue;
+        }
+
+        const bool usable = cand->fusion == FusionKind::None &&
+                            !cand->hasTail;
+        bool fused = false;
+        if (usable) {
+            // Region check with oracle (actual) addresses.
+            const uint64_t begin =
+                std::min(cand->dyn.effAddr, tail->dyn.effAddr);
+            const uint64_t end =
+                std::max(cand->dyn.effAddr + cand->dyn.memSize(),
+                         tail->dyn.effAddr + tail->dyn.memSize());
+            bool ok = end - begin <= params.fusionRegionBytes;
+            if (ok && tail->isStore() &&
+                cand->dyn.inst.baseReg() != tail->dyn.inst.baseReg())
+                ok = false;
+            if (ok && oracleDependent(cand, tail))
+                ok = false;
+            // Perfect knowledge: never hoist the tail over a catalyst
+            // store that writes bytes the pair reads (the predictive
+            // scheme learns this through ordering violations).
+            if (ok && tail->isLoad()) {
+                for (const Uop *u : aq) {
+                    if (u->seq <= cand->seq || u->seq >= tail->seq ||
+                        u->isTailMarker || !u->isStore())
+                        continue;
+                    const uint64_t s_begin = u->dyn.effAddr;
+                    const uint64_t s_end = s_begin + u->dyn.memSize();
+                    if (rangesOverlap(s_begin, s_end, begin, end)) {
+                        ok = false;
+                        break;
+                    }
+                    if (u->hasTail) {
+                        const uint64_t t_begin = u->tailDyn.effAddr;
+                        const uint64_t t_end =
+                            t_begin + u->tailDyn.memSize();
+                        if (rangesOverlap(t_begin, t_end, begin, end)) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if (ok) {
+                cand->hasTail = true;
+                cand->tailDyn = tail->dyn;
+                cand->fusion = FusionKind::NcsfMem;
+                cand->pairSeq = tail->seq;
+                fused = true;
+            }
+        }
+        if (fused)
+            return true;
+        // Stores may only pair with the nearest older store.
+        if (tail->isStore())
+            break;
+    }
+    return false;
+}
+
+void
+Pipeline::aqInsertStage()
+{
+    while (!decodePipe.empty() &&
+           decodePipe.front().readyCycle <= cycle) {
+        DecodeGroup &grp = decodePipe.front();
+        applyConsecutiveFusion(grp.uops);
+
+        while (!grp.uops.empty()) {
+            if (aq.size() >= params.aqSize) {
+                counter("decode.stall.aq_full")++;
+                return;
+            }
+            Uop *uop = grp.uops.front();
+            grp.uops.erase(grp.uops.begin());
+
+            // Fusion-predictor lookup at Decode (Helios).
+            if (params.fusion == FusionMode::Helios && uop->isMem() &&
+                uop->fusion == FusionKind::None) {
+                uop->fpPred =
+                    fusionPred->lookup(uop->dyn.pc, uop->fetchHistory);
+            }
+
+            uop->inAq = true;
+            aq.push_back(uop);
+
+            if (params.fusion == FusionMode::Helios && uop->fpPred.valid)
+                tryPredictedFusion(uop);
+
+            if (params.fusion == FusionMode::Oracle && uop->isMem() &&
+                tryOracleFusion(uop)) {
+                // Tail disappears immediately (ideal hardware).
+                aq.pop_back();
+                inflight.erase(uop->seq);
+                counter("fusion.oracle_applied")++;
+            }
+        }
+        decodePipe.pop_front();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rename
+// ---------------------------------------------------------------------
+
+bool
+Pipeline::attachDependency(Uop *consumer, uint64_t producer_seq,
+                           int reg)
+{
+    if (producer_seq == invalidSeq)
+        return false;
+    Uop *producer = findInflight(producer_seq);
+    if (!producer || producer->done)
+        return false;
+    // The paper requires fused pairs to deliver their two destination
+    // registers to dependents independently (Section II-B): route the
+    // dependency to the producing half. reg < 0 (non-register
+    // dependences, e.g. store sets) waits for full completion.
+    const bool tail_half = reg >= 0 && producer->hasTail &&
+                           producer->tailDyn.inst.writesReg() &&
+                           producer->tailDyn.inst.rd == unsigned(reg);
+    const bool head_half = reg >= 0 && !tail_half &&
+                           producer->dyn.inst.writesReg() &&
+                           producer->dyn.inst.rd == unsigned(reg);
+    if (tail_half) {
+        if (producer->tailDone)
+            return false;
+        producer->dependentsTail.push_back(consumer->seq);
+    } else if (head_half) {
+        if (producer->headDone)
+            return false;
+        producer->dependents.push_back(consumer->seq);
+    } else {
+        // Wait for full completion (final event wakes head list).
+        producer->dependents.push_back(consumer->seq);
+    }
+    ++consumer->notReady;
+    return true;
+}
+
+void
+Pipeline::addSourceDependency(Uop *uop, unsigned reg)
+{
+    if (reg == RegZero)
+        return;
+    attachDependency(uop, rat[reg].producerSeq, int(reg));
+}
+
+void
+Pipeline::addStoreSetDependency(Uop *uop)
+{
+    uint64_t store_seq = storeSets.loadDependence(uop->dyn.pc);
+    if (uop->hasTail && uop->tailDyn.inst.isLoad()) {
+        const uint64_t tail_dep =
+            storeSets.loadDependence(uop->tailDyn.pc);
+        if (store_seq == StoreSets::invalidSeq ||
+            (tail_dep != StoreSets::invalidSeq && tail_dep > store_seq))
+            store_seq = tail_dep;
+    }
+    if (store_seq == StoreSets::invalidSeq || store_seq >= uop->seq)
+        return;
+    if (attachDependency(uop, store_seq, -1)) {
+        uop->waitStoreSeq = store_seq;
+        counter("storeset.dependencies")++;
+    }
+}
+
+void
+Pipeline::renameNormal(Uop *uop)
+{
+    const Instruction &inst = uop->dyn.inst;
+    bool helios_pending = uop->fusion == FusionKind::NcsfMem &&
+                          uop->fpInitiated;
+
+    // Max Active NCS saturation: a head nucleus entering Rename while
+    // the nest levels are all busy behaves as unfused, and the tail
+    // nucleus reverts to a regular µ-op in the AQ (Section IV-B2).
+    if (helios_pending &&
+        activeNcsHeads.size() >= params.ncsfNestDepth) {
+        Uop *marker = findInflight(uop->pairSeq);
+        helios_assert(marker && marker->isTailMarker,
+                      "nest-unfuse lost its marker");
+        marker->isTailMarker = false;
+        marker->pairSeq = 0;
+        marker->fpPred.valid = false;
+        uop->hasTail = false;
+        uop->fusion = FusionKind::None;
+        uop->ncsReady = true;
+        uop->fpInitiated = false;
+        uop->pairSeq = 0;
+        helios_assert(pendingNcsf > 0, "pendingNcsf underflow");
+        --pendingNcsf;
+        counter("fusion.fp_nest_limited")++;
+        helios_pending = false;
+    }
+
+    // ---- catalyst flags for active NCSF nests (Section IV-B) ----
+    if (!activeNcsHeads.empty()) {
+        if (uop->isStore()) {
+            for (Uop *head : activeNcsHeads)
+                if (head->isStore())
+                    head->storeInCatalyst = true;
+        }
+        if (inst.isSerializing()) {
+            for (Uop *head : activeNcsHeads)
+                head->serializingInCatalyst = true;
+        }
+    }
+
+    // ---- sources ----
+    if (inst.readsRs1())
+        addSourceDependency(uop, inst.rs1);
+    if (inst.readsRs2())
+        addSourceDependency(uop, inst.rs2);
+    if (uop->hasTail && !helios_pending) {
+        const Instruction &t = uop->tailDyn.inst;
+        switch (uop->fusion) {
+          case FusionKind::CsfMem:
+          case FusionKind::NcsfMem: // oracle
+            if (t.readsRs1() && t.rs1 != inst.rs1)
+                addSourceDependency(uop, t.rs1);
+            if (t.isStore() && t.readsRs2())
+                addSourceDependency(uop, t.rs2);
+            break;
+          case FusionKind::CsfOther:
+            // The idiom's internal register is produced inside the
+            // fused µ-op; only external sources count.
+            if (t.readsRs1() && t.rs1 != inst.rd)
+                addSourceDependency(uop, t.rs1);
+            if (t.readsRs2() && t.rs2 != inst.rd)
+                addSourceDependency(uop, t.rs2);
+            break;
+          default:
+            break;
+        }
+    }
+
+    // ---- memory dependence prediction ----
+    if (uop->isLoad())
+        addStoreSetDependency(uop);
+    if (uop->isStore()) {
+        // Store-store chaining (Chrysos & Emer): stores of a set
+        // execute in order so that a load's single LFST dependence
+        // covers all older same-set stores.
+        const uint64_t previous =
+            storeSets.storeRenamed(uop->dyn.pc, uop->seq);
+        if (previous < uop->seq &&
+            attachDependency(uop, previous, -1))
+            counter("storeset.chained")++;
+    }
+
+    // ---- destinations & RAT ----
+    unsigned dests = 0;
+    if (inst.writesReg()) {
+        rat[inst.rd].producerSeq = uop->seq;
+        ++dests;
+    }
+    if (uop->hasTail && uop->tailDyn.inst.writesReg()) {
+        const uint8_t tail_rd = uop->tailDyn.inst.rd;
+        switch (uop->fusion) {
+          case FusionKind::CsfMem:
+            // Consecutive: no catalyst, RAT updates immediately.
+            rat[tail_rd].producerSeq = uop->seq;
+            uop->tailRenamed = true;
+            ++dests;
+            break;
+          case FusionKind::CsfOther:
+            // Idioms write a single architectural register (tail.rd ==
+            // head.rd), already counted above.
+            uop->tailRenamed = true;
+            break;
+          case FusionKind::NcsfMem:
+            if (helios_pending) {
+                // WaR deferral: RAT update happens when the tail
+                // marker renames (Section IV-B2). The physical
+                // register is allocated now.
+                ++dests;
+            } else {
+                // Oracle: idealized immediate update.
+                rat[tail_rd].producerSeq = uop->seq;
+                uop->tailRenamed = true;
+                ++dests;
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    uop->numDests = dests;
+    allocatedRegs += dests;
+
+    // ---- activate a Helios NCSF nest ----
+    if (helios_pending)
+        activeNcsHeads.push_back(uop);
+
+    uop->renamed = true;
+}
+
+bool
+Pipeline::renameMarker(Uop *marker)
+{
+    Uop *head = findInflight(marker->pairSeq);
+    helios_assert(head && head->hasTail && !head->ncsReady,
+                  "tail marker without pending head");
+
+    const Instruction &tail = marker->dyn.inst;
+
+    // Deadlock detection (load pairs only: store pairs write nothing).
+    // The hardware uses the Deadlock-Tag propagation of Section IV-B2;
+    // the simulator computes its precise outcome with an exact walk.
+    if (heliosDependent(head, marker)) {
+        marker->mustUnfuse = true;
+        counter("fusion.unfuse_deadlock")++;
+    }
+    if (head->isStore() && head->storeInCatalyst) {
+        marker->mustUnfuse = true;
+        counter("fusion.unfuse_store_catalyst")++;
+    }
+    if (head->serializingInCatalyst) {
+        marker->mustUnfuse = true;
+        counter("fusion.unfuse_serializing")++;
+    }
+
+    // Capture the program-order-correct producers of the tail sources.
+    if (tail.readsRs1())
+        marker->tailProducers.push_back(rat[tail.rs1].producerSeq);
+    if (tail.isStore() && tail.readsRs2())
+        marker->tailProducers.push_back(rat[tail.rs2].producerSeq);
+
+    // Refinement over the paper: when a tail source hangs off a LOAD
+    // inside the catalyst (a pointer-chase step), the fused µ-op
+    // cannot issue until that load returns — the head gains nothing
+    // and loses its early issue. Such pairs are unfused; ALU-fed
+    // catalyst RaWs keep their fusion, preserving the paper's
+    // RaW-in-catalyst support.
+    if (!marker->mustUnfuse &&
+        tailDependsOnCatalystLoad(head, marker)) {
+        marker->mustUnfuse = true;
+        counter("fusion.unfuse_late_raw")++;
+    }
+
+    if (tail.writesReg()) {
+        if (marker->mustUnfuse) {
+            // The tail will re-dispatch as its own µ-op: younger
+            // µ-ops must see it as the producer.
+            rat[tail.rd].producerSeq = marker->seq;
+        } else {
+            // Deferred RAT update for the tail destination (the
+            // paper's WaR buffer, Section IV-B2).
+            rat[tail.rd].producerSeq = head->seq;
+            head->tailRenamed = true;
+        }
+    }
+
+    // Nest teardown.
+    auto it = std::find(activeNcsHeads.begin(), activeNcsHeads.end(),
+                        head);
+    if (it != activeNcsHeads.end())
+        activeNcsHeads.erase(it);
+    helios_assert(pendingNcsf > 0, "pendingNcsf underflow");
+    --pendingNcsf;
+
+    marker->renamed = true;
+    return true;
+}
+
+void
+Pipeline::renameStage()
+{
+    unsigned renamed = 0;
+    if (aq.empty()) {
+        counter("rename.stall.aq_empty")++;
+        return;
+    }
+    while (renamed < params.renameWidth && !aq.empty()) {
+        // Rename stalls when the rename->dispatch skid buffer backs
+        // up; physical registers must not be hoarded by µ-ops that
+        // cannot dispatch yet.
+        if (renamedQueue.size() >= 2 * params.dispatchWidth) {
+            counter("rename.stall.dispatch_backlog")++;
+            return;
+        }
+        Uop *uop = aq.front();
+        if (uop->isTailMarker) {
+            renameMarker(uop);
+        } else {
+            unsigned dests = uop->dyn.inst.writesReg() ? 1 : 0;
+            if (uop->hasTail && uop->tailDyn.inst.writesReg() &&
+                uop->fusion != FusionKind::CsfOther)
+                ++dests;
+            if (allocatedRegs + dests >
+                params.numPhysRegs - numArchRegs) {
+                counter("rename.stall.prf")++;
+                return;
+            }
+            renameNormal(uop);
+        }
+        uop->inAq = false;
+        uop->renameCycle = cycle;
+        aq.pop_front();
+        renamedQueue.push_back(uop);
+        ++renamed;
+        counter("rename.uops")++;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
+
+void
+Pipeline::unfuseInPlace(Uop *head)
+{
+    helios_assert(!head->issued, "unfusing an issued µ-op");
+    head->fusion = FusionKind::None;
+    head->hasTail = false;
+    head->ncsReady = true;
+    head->fpInitiated = false;
+    if (head->tailDyn.inst.writesReg() && head->numDests > 0) {
+        // Release the tail's physical register.
+        --head->numDests;
+        --allocatedRegs;
+    }
+    counter("fusion.unfused")++;
+}
+
+void
+Pipeline::maybeReady(Uop *uop)
+{
+    if (uop->dispatched && uop->ncsReady && !uop->issued &&
+        !uop->done && uop->notReady == 0 && !uop->isTailMarker)
+        readySet.emplace(uop->seq, uop);
+}
+
+void
+Pipeline::dispatchStage()
+{
+    unsigned slots = params.dispatchWidth;
+    while (slots > 0 && !renamedQueue.empty()) {
+        Uop *uop = renamedQueue.front();
+
+        if (uop->isTailMarker) {
+            Uop *head = findInflight(uop->pairSeq);
+            helios_assert(head, "marker lost its head");
+
+            if (uop->mustUnfuse) {
+                // The tail re-dispatches as its own µ-op: two dispatch
+                // slots plus fresh ROB/IQ/LQ/SQ entries.
+                if (slots < 2)
+                    return;
+                if (rob.size() >= params.robSize) {
+                    counter("dispatch.stall.rob")++;
+                    return;
+                }
+                if (iqCount >= params.iqSize) {
+                    counter("dispatch.stall.iq")++;
+                    return;
+                }
+                if (uop->dyn.isLoad() && lqList.size() >= params.lqSize) {
+                    counter("dispatch.stall.lq")++;
+                    return;
+                }
+                if (uop->dyn.isStore() &&
+                    sqList.size() + drainQueue.size() >= params.sqSize) {
+                    counter("dispatch.stall.sq")++;
+                    return;
+                }
+                if (allocatedRegs + 1 >
+                    params.numPhysRegs - numArchRegs) {
+                    counter("dispatch.stall.prf")++;
+                    return;
+                }
+
+                unfuseInPlace(head);
+                maybeReady(head);
+                if (head->fpPred.valid)
+                    fusionPred->resolve(head->fpPred, false);
+                counter("fusion.mispredicts")++;
+
+                // Convert the marker into a real µ-op.
+                uop->isTailMarker = false;
+                uop->pairSeq = 0;
+                uop->ncsReady = true;
+                if (uop->dyn.inst.writesReg()) {
+                    // RAT already points at the marker (renameMarker).
+                    uop->numDests = 1;
+                    ++allocatedRegs;
+                }
+                for (uint64_t producer_seq : uop->tailProducers) {
+                    if (sourceIsReady(producer_seq))
+                        continue;
+                    findInflight(producer_seq)
+                        ->dependents.push_back(uop->seq);
+                    ++uop->notReady;
+                                }
+                if (uop->dyn.isLoad())
+                    addStoreSetDependency(uop);
+                if (uop->dyn.isStore()) {
+                    const uint64_t previous =
+                        storeSets.storeRenamed(uop->dyn.pc, uop->seq);
+                    if (previous != StoreSets::invalidSeq &&
+                        previous < uop->seq) {
+                        Uop *prev_store = findInflight(previous);
+                        if (prev_store && !prev_store->done) {
+                            prev_store->dependents.push_back(uop->seq);
+                            ++uop->notReady;
+                        }
+                    }
+                }
+
+                rob.push_back(uop);
+                ++iqCount;
+                uop->inIq = true;
+                if (uop->dyn.isLoad())
+                    lqList.push_back(uop);
+                if (uop->dyn.isStore())
+                    sqList.push_back(uop);
+                uop->dispatched = true;
+                uop->renamed = true;
+                maybeReady(uop);
+                renamedQueue.pop_front();
+                slots -= 2;
+                continue;
+            }
+
+            // Validation: repair/complete the head's tail sources and
+            // set NCS Ready (one dispatch slot, Section IV-B2).
+            {
+                size_t index = 0;
+                const Instruction &t = uop->dyn.inst;
+                if (t.readsRs1() && index < uop->tailProducers.size())
+                    attachDependency(head, uop->tailProducers[index++],
+                                     t.rs1);
+                if (t.isStore() && t.readsRs2() &&
+                    index < uop->tailProducers.size())
+                    attachDependency(head, uop->tailProducers[index++],
+                                     t.rs2);
+            }
+            head->ncsReady = true;
+            maybeReady(head);
+            counter("fusion.validated")++;
+            renamedQueue.pop_front();
+            inflight.erase(uop->seq);
+            --slots;
+            continue;
+        }
+
+        // ---- regular µ-op ----
+        if (rob.size() >= params.robSize) {
+            counter("dispatch.stall.rob")++;
+            return;
+        }
+        if (iqCount >= params.iqSize) {
+            counter("dispatch.stall.iq")++;
+            return;
+        }
+        if (uop->isLoad() && lqList.size() >= params.lqSize) {
+            counter("dispatch.stall.lq")++;
+            return;
+        }
+        if (uop->isStore() &&
+            sqList.size() + drainQueue.size() >= params.sqSize) {
+            counter("dispatch.stall.sq")++;
+            return;
+        }
+
+        rob.push_back(uop);
+        ++iqCount;
+        uop->inIq = true;
+        uop->dispatchCycle = cycle;
+        if (uop->isLoad())
+            lqList.push_back(uop);
+        if (uop->isStore())
+            sqList.push_back(uop);
+        uop->dispatched = true;
+        maybeReady(uop);
+        renamedQueue.pop_front();
+        --slots;
+        counter("dispatch.uops")++;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue & execute
+// ---------------------------------------------------------------------
+
+bool
+Pipeline::validateFusedAddresses(Uop *uop)
+{
+    uop->computeMemRange();
+    return uop->memEnd - uop->memBegin <= params.fusionRegionBytes;
+}
+
+unsigned
+Pipeline::loadHalfLatency(uint64_t load_seq, uint64_t begin,
+                          uint64_t end)
+{
+    // Store-to-load forwarding for this half: youngest older
+    // overlapping store (SQ, then committed stores still draining).
+    const Uop *forwarder = nullptr;
+    for (const Uop *store : sqList) {
+        if (store->seq >= load_seq)
+            break;
+        if (store->addrKnown && store->overlaps(begin, end))
+            forwarder = store;
+    }
+    if (!forwarder) {
+        for (const auto &entry : drainQueue) {
+            const Uop *store = entry.uop.get();
+            if (store->overlaps(begin, end))
+                forwarder = store;
+        }
+    }
+    if (forwarder) {
+        const bool full = forwarder->memBegin <= begin &&
+                          end <= forwarder->memEnd;
+        if (full) {
+            counter("stlf.forwards")++;
+            return params.forwardLatency;
+        }
+        counter("stlf.partial")++;
+        return params.forwardLatency + 10;
+    }
+
+    const uint64_t first_line = begin / params.lineBytes;
+    const uint64_t last_line = (end - 1) / params.lineBytes;
+    unsigned latency = caches.dataAccess(first_line);
+    if (last_line != first_line) {
+        latency = std::max(latency, caches.dataAccess(last_line)) +
+                  params.lineCrossPenalty;
+        counter("exec.line_crossers")++;
+    }
+    return latency;
+}
+
+unsigned
+Pipeline::executeStore(Uop *uop)
+{
+    uop->computeMemRange();
+    uop->addrKnown = true;
+    counter("exec.stores")++;
+
+    // Memory-order violation: a younger load already executed against
+    // stale data. Fused load pairs are checked per nucleus: the tail
+    // bytes carry the tail's (younger) program position even though
+    // the pair executed at the head's (Section IV-B4).
+    for (Uop *load : lqList) {
+        if (!load->addrKnown || !load->issued)
+            continue;
+        bool violated = false;
+        uint64_t violator_pc = load->dyn.pc;
+        if (load->seq > uop->seq && load->dyn.inst.isMem() &&
+            rangesOverlap(load->dyn.effAddr,
+                          load->dyn.effAddr + load->dyn.memSize(),
+                          uop->memBegin, uop->memEnd)) {
+            violated = true;
+        } else if (load->hasTail && load->tailDyn.seq > uop->seq &&
+                   rangesOverlap(
+                       load->tailDyn.effAddr,
+                       load->tailDyn.effAddr + load->tailDyn.memSize(),
+                       uop->memBegin, uop->memEnd)) {
+            violated = true;
+            violator_pc = load->tailDyn.pc;
+        }
+        if (violated) {
+            storeSets.trainViolation(violator_pc, uop->dyn.pc);
+            counter("lsq.violations")++;
+            // A violation caused by a hoisted fused pair is a fusion
+            // misprediction: the store-set cannot protect a load
+            // hoisted above a store that has not renamed yet, so the
+            // fusion predictor must lose confidence in this pair.
+            if (load->fusion == FusionKind::NcsfMem &&
+                load->fpInitiated) {
+                fusionPred->resolve(load->fpPred, false);
+                counter("fusion.mispredicts")++;
+                counter("fusion.mispredict_violation")++;
+            }
+            if (flushRequestSeq == invalidSeq ||
+                load->seq < flushRequestSeq) {
+                flushRequestSeq = load->seq;
+                flushReason = "order_violation";
+            }
+            break;
+        }
+    }
+    return 1;
+}
+
+void
+Pipeline::scheduleCompletion(Uop *uop, unsigned latency)
+{
+    uop->issued = true;
+    uop->issueCycle = cycle;
+    uop->doneCycle = cycle + std::max(1u, latency);
+    if (uop->inIq) {
+        uop->inIq = false;
+        --iqCount;
+    }
+    events.push({uop->doneCycle, uop->seq, uop->uid, uint8_t(2)});
+}
+
+void
+Pipeline::scheduleSplitCompletion(Uop *uop, unsigned head_latency,
+                                  unsigned tail_latency)
+{
+    uop->issued = true;
+    uop->issueCycle = cycle;
+    const uint64_t head_done = cycle + std::max(1u, head_latency);
+    const uint64_t tail_done = cycle + std::max(1u, tail_latency);
+    uop->doneCycle = std::max(head_done, tail_done);
+    if (uop->inIq) {
+        uop->inIq = false;
+        --iqCount;
+    }
+    // Each destination register is delivered at its own latency
+    // (Section II-B); the µ-op is commit-eligible once both are.
+    if (head_done == tail_done) {
+        events.push({uop->doneCycle, uop->seq, uop->uid, uint8_t(2)});
+    } else if (head_done < tail_done) {
+        events.push({head_done, uop->seq, uop->uid, uint8_t(0)});
+        events.push({tail_done, uop->seq, uop->uid, uint8_t(2)});
+    } else {
+        events.push({tail_done, uop->seq, uop->uid, uint8_t(1)});
+        events.push({head_done, uop->seq, uop->uid, uint8_t(2)});
+    }
+}
+
+void
+Pipeline::issueStage()
+{
+    unsigned alu = params.aluPorts;
+    unsigned mul = params.mulPorts;
+    unsigned div = params.divPorts;
+    unsigned load = params.loadPorts;
+    unsigned store = params.storePorts;
+    unsigned branch = params.branchPorts;
+
+    std::vector<uint64_t> issued;
+    for (auto &[seq, uop] : readySet) {
+        if (alu + mul + div + load + store + branch == 0)
+            break;
+
+        unsigned latency = 0;
+        OpClass cls = uop->dyn.inst.info().cls;
+        if (uop->isMem())
+            cls = uop->isLoad() ? OpClass::Load : OpClass::Store;
+        switch (cls) {
+          case OpClass::IntAlu:
+          case OpClass::Serializing:
+            if (alu == 0)
+                continue;
+            --alu;
+            latency = params.aluLatency;
+            break;
+          case OpClass::Branch:
+            if (branch == 0)
+                continue;
+            --branch;
+            latency = params.aluLatency;
+            break;
+          case OpClass::IntMul:
+            if (mul == 0)
+                continue;
+            --mul;
+            latency = params.mulLatency;
+            break;
+          case OpClass::IntDiv:
+            if (div == 0 || cycle < divBusyUntil)
+                continue;
+            --div;
+            latency = params.divLatency;
+            divBusyUntil = cycle + params.divLatency;
+            break;
+          case OpClass::Load:
+          case OpClass::Store: {
+            const bool is_load = uop->isLoad();
+            if (is_load) {
+                if (load == 0)
+                    continue;
+                --load;
+            } else {
+                if (store == 0)
+                    continue;
+                --store;
+            }
+            // Address-based fusion validation (case 5, Section IV-C).
+            if (uop->fusion == FusionKind::NcsfMem && uop->fpInitiated &&
+                !validateFusedAddresses(uop)) {
+                fusionPred->resolve(uop->fpPred, false);
+                counter("fusion.mispredicts")++;
+                counter("fusion.mispredict_region")++;
+                if (flushRequestSeq == invalidSeq ||
+                    uop->seq < flushRequestSeq) {
+                    flushRequestSeq = uop->seq;
+                    flushReason = "fusion_region";
+                }
+                issued.push_back(seq);
+                // Keep the µ-op unissued; the flush below removes it.
+                uop->issued = true;
+                goto after_loop;
+            }
+            if (uop->fusion == FusionKind::NcsfMem && uop->fpInitiated) {
+                fusionPred->resolve(uop->fpPred, true);
+                counter("fusion.fp_correct")++;
+            }
+            if (!is_load) {
+                latency = executeStore(uop);
+                break;
+            }
+            uop->computeMemRange();
+            uop->addrKnown = true;
+            counter("exec.loads")++;
+            // Each nucleus forwards / accesses the cache and delivers
+            // its destination independently (Section II-B).
+            if (uop->hasTail && uop->dyn.inst.isMem() &&
+                uop->tailDyn.inst.isMem()) {
+                const unsigned head_latency = loadHalfLatency(
+                    uop->seq, uop->dyn.effAddr,
+                    uop->dyn.effAddr + uop->dyn.memSize());
+                const unsigned tail_latency = loadHalfLatency(
+                    uop->seq, uop->tailDyn.effAddr,
+                    uop->tailDyn.effAddr + uop->tailDyn.memSize());
+                scheduleSplitCompletion(uop, head_latency,
+                                        tail_latency);
+                issued.push_back(seq);
+                counter("issue.uops")++;
+                continue;
+            }
+            latency =
+                loadHalfLatency(uop->seq, uop->memBegin, uop->memEnd);
+            break;
+          }
+          default:
+            latency = params.aluLatency;
+            break;
+        }
+
+        scheduleCompletion(uop, latency);
+        issued.push_back(seq);
+        counter("issue.uops")++;
+    }
+
+  after_loop:
+    for (uint64_t seq : issued)
+        readySet.erase(seq);
+
+    if (flushRequestSeq != invalidSeq) {
+        const uint64_t target = flushRequestSeq;
+        const char *reason = flushReason;
+        flushRequestSeq = invalidSeq;
+        flushReason = nullptr;
+        squashFrom(target, reason);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Completion
+// ---------------------------------------------------------------------
+
+void
+Pipeline::wakeDependents(Uop *uop)
+{
+    auto wake = [this](std::vector<uint64_t> &list) {
+        for (uint64_t dep_seq : list) {
+            Uop *dep = findInflight(dep_seq);
+            if (!dep)
+                continue;
+            --dep->notReady;
+            maybeReady(dep);
+        }
+        list.clear();
+    };
+    wake(uop->dependents);
+    wake(uop->dependentsTail);
+}
+
+void
+Pipeline::completeExecution()
+{
+    while (!events.empty() && events.top().cycle <= cycle) {
+        const Event event = events.top();
+        events.pop();
+        Uop *uop = findInflight(event.seq);
+        if (!uop || uop->uid != event.uid || uop->done)
+            continue; // squashed (and possibly refetched)
+        auto wake_list = [this](std::vector<uint64_t> &list) {
+            for (uint64_t dep_seq : list) {
+                Uop *dep = findInflight(dep_seq);
+                if (!dep)
+                    continue;
+                --dep->notReady;
+                maybeReady(dep);
+            }
+            list.clear();
+        };
+        if (event.kind == 0) {
+            uop->headDone = true;
+            wake_list(uop->dependents);
+            continue;
+        }
+        if (event.kind == 1) {
+            uop->tailDone = true;
+            wake_list(uop->dependentsTail);
+            continue;
+        }
+        uop->done = true;
+        uop->headDone = true;
+        uop->tailDone = true;
+        wakeDependents(uop);
+
+        if (uop->isStore())
+            storeSets.storeCompleted(uop->dyn.pc, uop->seq);
+
+        if (uop->mispredictedBranch && fetchStallSeq == uop->seq) {
+            fetchStallSeq = invalidSeq;
+            const unsigned refill =
+                params.mispredictPenalty > params.frontendDepth
+                    ? params.mispredictPenalty - params.frontendDepth
+                    : 0;
+            fetchBlockedUntil =
+                std::max(fetchBlockedUntil, cycle + refill);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Commit & store drain
+// ---------------------------------------------------------------------
+
+void
+Pipeline::countFusedPair(const Uop *uop)
+{
+    switch (uop->fusion) {
+      case FusionKind::CsfOther:
+        counter("pairs.csf_other")++;
+        return;
+      case FusionKind::CsfMem:
+        counter("pairs.csf_mem")++;
+        return;
+      case FusionKind::NcsfMem: {
+        const uint64_t distance = uop->tailDyn.seq - uop->dyn.seq;
+        if (distance == 1)
+            counter("pairs.csf_mem")++;
+        else
+            counter("pairs.ncsf")++;
+        counter("pairs.distance_sum") += distance;
+        if (uop->dyn.inst.baseReg() != uop->tailDyn.inst.baseReg())
+            counter("pairs.dbr")++;
+        const bool static_csf =
+            distance == 1 &&
+            isMemPairable(uop->dyn.inst, uop->tailDyn.inst, true);
+        if (!static_csf)
+            counter("pairs.need_prediction")++;
+        if (uop->fpInitiated)
+            counter("pairs.fp_validated")++;
+        return;
+      }
+      default:
+        return;
+    }
+}
+
+void
+Pipeline::traceCommit(const Uop *uop) const
+{
+    std::ostream &out = *params.traceOut;
+    out << strFormat("%6llu 0x%05llx ",
+                     (unsigned long long)uop->seq,
+                     (unsigned long long)uop->dyn.pc);
+    out << strFormat(
+        "[F%llu R%llu D%llu I%llu C%llu @%llu] ",
+        (unsigned long long)uop->fetchCycle,
+        (unsigned long long)uop->renameCycle,
+        (unsigned long long)uop->dispatchCycle,
+        (unsigned long long)uop->issueCycle,
+        (unsigned long long)uop->doneCycle,
+        (unsigned long long)cycle);
+    out << disassemble(uop->dyn.inst);
+    if (uop->hasTail) {
+        const char *kind = uop->fusion == FusionKind::CsfOther
+                               ? "CSF-idiom"
+                               : (uop->tailDyn.seq == uop->dyn.seq + 1
+                                      ? "CSF"
+                                      : "NCSF");
+        out << "  <" << kind << " + "
+            << disassemble(uop->tailDyn.inst) << ">";
+    }
+    out << '\n';
+}
+
+void
+Pipeline::commitStage()
+{
+    unsigned slots = params.commitWidth;
+    while (slots > 0 && !rob.empty()) {
+        Uop *uop = rob.front();
+        if (!uop->done) {
+            if (!uop->dispatched)
+                counter("commit.blocked.not_dispatched")++;
+            else if (!uop->ncsReady)
+                counter("commit.blocked.ncs_pending")++;
+            else if (!uop->issued && uop->notReady > 0)
+                counter("commit.blocked.waiting_sources")++;
+            else if (!uop->issued)
+                counter("commit.blocked.port_starved")++;
+            else if (uop->hasTail)
+                counter("commit.blocked.executing_fused")++;
+            else if (uop->isLoad())
+                counter("commit.blocked.executing_load")++;
+            else if (uop->isStore())
+                counter("commit.blocked.executing_store")++;
+            else
+                counter("commit.blocked.executing")++;
+            return;
+        }
+
+        if (params.traceOut)
+            traceCommit(uop);
+        counter("commit.insts") += uop->archInsts();
+        counter("commit.uops")++;
+        if (uop->isLoad()) {
+            counter("commit.loads") += uop->archInsts();
+        } else if (uop->isStore()) {
+            counter("commit.stores") += uop->archInsts();
+        }
+        if (uop->hasTail)
+            countFusedPair(uop);
+
+        // UCH training (Helios): unfused committed memory µ-ops look
+        // for a same-line partner among recent commits.
+        if (params.fusion == FusionMode::Helios && uop->isMem() &&
+            uop->fusion == FusionKind::None) {
+            const auto cn = uint8_t(uop->seq & 0x7f);
+            const uint64_t line = uop->dyn.effAddr / params.lineBytes;
+            const auto distance =
+                uop->isLoad() ? uch.accessLoad(line, cn)
+                              : uch.accessStore(line, cn);
+            if (distance) {
+                counter("uch.matches")++;
+                fusionPred->train(uop->dyn.pc, uop->fetchHistory,
+                                 *distance);
+            }
+        }
+
+        uop->committed = true;
+        ++commitCount;
+        if ((commitCount & 0xffff) == 0)
+            storeSets.age();
+        allocatedRegs -= uop->numDests;
+        rob.pop_front();
+        if (uop->isLoad()) {
+            helios_assert(!lqList.empty() && lqList.front() == uop,
+                          "LQ order mismatch");
+            lqList.pop_front();
+        }
+        const uint64_t seq = uop->seq;
+        if (uop->isStore()) {
+            helios_assert(!sqList.empty() && sqList.front() == uop,
+                          "SQ order mismatch");
+            sqList.pop_front();
+            auto it = inflight.find(seq);
+            drainQueue.push_back({std::move(it->second)});
+            inflight.erase(it);
+        } else {
+            inflight.erase(seq);
+        }
+        --slots;
+    }
+}
+
+void
+Pipeline::drainStores()
+{
+    if (drainQueue.empty() || cycle < drainBusyUntil)
+        return;
+    const Uop *store = drainQueue.front().uop.get();
+    const uint64_t first_line = store->memBegin / params.lineBytes;
+    const uint64_t last_line = (store->memEnd - 1) / params.lineBytes;
+    unsigned latency = caches.storeDrain(first_line);
+    if (last_line != first_line)
+        latency += caches.storeDrain(last_line);
+    drainBusyUntil = cycle + latency;
+    counter("sq.drained")++;
+    drainQueue.pop_front();
+}
+
+// ---------------------------------------------------------------------
+// Squash / replay
+// ---------------------------------------------------------------------
+
+void
+Pipeline::resumeFetchAfter(uint64_t delay)
+{
+    fetchBlockedUntil = std::max(fetchBlockedUntil, cycle + delay);
+}
+
+void
+Pipeline::squashFrom(uint64_t seq_min, const char *reason)
+{
+    counter(strFormat("flush.%s", reason).c_str())++;
+    if (params.traceOut)
+        *params.traceOut << "FLUSH  " << reason << " from seq "
+                         << seq_min << " @" << cycle << '\n';
+
+    // Solution ii) of Section IV-C: if a surviving fused µ-op's tail
+    // would be squashed, move the flush point up to that head.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &[seq, up] : inflight) {
+            const Uop *uop = up.get();
+            if (uop->hasTail && !uop->isTailMarker &&
+                uop->seq < seq_min && uop->tailDyn.seq >= seq_min) {
+                seq_min = uop->seq;
+                changed = true;
+            }
+        }
+    }
+
+    // Collect replayed architectural instructions and squashed seqs.
+    std::map<uint64_t, DynInst> replay;
+    std::vector<uint64_t> squashed;
+    for (const auto &[seq, up] : inflight) {
+        if (seq < seq_min)
+            continue;
+        const Uop *uop = up.get();
+        squashed.push_back(seq);
+        if (uop->isTailMarker) {
+            // The head is older; if it survived we would have moved
+            // the flush point above, so the head must be squashed and
+            // contributes the tail's dyn record itself.
+            helios_assert(uop->pairSeq >= seq_min,
+                          "marker survived its head's squash");
+            continue;
+        }
+        replay.emplace(uop->dyn.seq, uop->dyn);
+        if (uop->hasTail)
+            replay.emplace(uop->tailDyn.seq, uop->tailDyn);
+        if (uop->renamed)
+            allocatedRegs -= uop->numDests;
+        if (uop->inIq)
+            --iqCount;
+    }
+
+    auto is_squashed = [seq_min](const Uop *uop) {
+        return uop->seq >= seq_min;
+    };
+
+    // Filter every structure.
+    for (auto &grp : decodePipe)
+        std::erase_if(grp.uops, is_squashed);
+    std::erase_if(decodePipe,
+                  [](const DecodeGroup &g) { return g.uops.empty(); });
+    std::erase_if(aq, is_squashed);
+    std::erase_if(renamedQueue, is_squashed);
+    std::erase_if(rob, is_squashed);
+    std::erase_if(lqList, is_squashed);
+    std::erase_if(sqList, is_squashed);
+    std::erase_if(activeNcsHeads, is_squashed);
+    for (auto it = readySet.begin(); it != readySet.end();) {
+        if (it->first >= seq_min)
+            it = readySet.erase(it);
+        else
+            ++it;
+    }
+
+    // Remove squashed seqs from survivors' wakeup lists.
+    for (auto &[seq, up] : inflight) {
+        if (seq >= seq_min)
+            continue;
+        std::erase_if(up->dependents, [seq_min](uint64_t dep) {
+            return dep >= seq_min;
+        });
+    }
+
+    for (uint64_t seq : squashed)
+        inflight.erase(seq);
+
+    // Rebuild the RAT from surviving renamed µ-ops in program order.
+    for (RatEntry &entry : rat)
+        entry.producerSeq = invalidSeq;
+    auto rebuild = [this](const Uop *uop) {
+        if (uop->isTailMarker)
+            return;
+        if (uop->dyn.inst.writesReg())
+            rat[uop->dyn.inst.rd].producerSeq = uop->seq;
+        if (uop->hasTail && uop->tailRenamed &&
+            uop->tailDyn.inst.writesReg())
+            rat[uop->tailDyn.inst.rd].producerSeq = uop->seq;
+    };
+    for (const Uop *uop : rob)
+        rebuild(uop);
+    for (const Uop *uop : renamedQueue)
+        rebuild(uop);
+
+    // Helios rename-side state: pendingNcsf counts fused pairs whose
+    // tail marker has not yet renamed (markers still in the AQ).
+    pendingNcsf = 0;
+    for (const Uop *uop : aq)
+        if (uop->isTailMarker)
+            ++pendingNcsf;
+
+    storeSets.squash(seq_min);
+
+    // Prepend replayed instructions (all older than anything already
+    // waiting in the replay queue).
+    helios_assert(replayQueue.empty() ||
+                      replay.empty() ||
+                      replay.rbegin()->first < replayQueue.front().seq,
+                  "replay order violated");
+    for (auto it = replay.rbegin(); it != replay.rend(); ++it)
+        replayQueue.push_front(it->second);
+
+    if (fetchStallSeq >= seq_min)
+        fetchStallSeq = invalidSeq;
+    lastFetchLine = ~0ULL;
+    resumeFetchAfter(params.mispredictPenalty);
+    counter("flush.squashed_uops") += squashed.size();
+}
+
+// ---------------------------------------------------------------------
+// Main loop
+// ---------------------------------------------------------------------
+
+PipelineResult
+Pipeline::run()
+{
+    uint64_t last_commit_count = 0;
+    uint64_t last_progress_cycle = 0;
+
+    while (cycle < params.maxCycles) {
+        commitStage();
+        drainStores();
+        completeExecution();
+        issueStage();
+        dispatchStage();
+        renameStage();
+        aqInsertStage();
+        fetchStage();
+        ++cycle;
+
+        if (feedExhausted && replayQueue.empty() && inflight.empty() &&
+            drainQueue.empty() && decodePipe.empty() &&
+            renamedQueue.empty() && aq.empty() && rob.empty())
+            break;
+
+        const uint64_t committed = statGroup.get("commit.insts");
+        if (committed != last_commit_count) {
+            last_commit_count = committed;
+            last_progress_cycle = cycle;
+        } else if (cycle - last_progress_cycle > 200000) {
+            if (!rob.empty()) {
+                const Uop *head = rob.front();
+                warn("ROB head seq=%llu pc=0x%llx fused=%d "
+                     "ncsReady=%d notReady=%d issued=%d done=%d",
+                     static_cast<unsigned long long>(head->seq),
+                     static_cast<unsigned long long>(head->dyn.pc),
+                     int(head->fusion), int(head->ncsReady),
+                     head->notReady, int(head->issued),
+                     int(head->done));
+            }
+            panic("pipeline deadlock at cycle %llu (committed %llu)",
+                  static_cast<unsigned long long>(cycle),
+                  static_cast<unsigned long long>(committed));
+        }
+    }
+
+    if (feedExhausted && inflight.empty() && allocatedRegs != 0)
+        warn("PRF leak: %u registers still allocated at drain",
+             allocatedRegs);
+
+    counter("cycles") += cycle;
+    PipelineResult result;
+    result.cycles = cycle;
+    result.instructions = statGroup.get("commit.insts");
+    result.uops = statGroup.get("commit.uops");
+    return result;
+}
+
+} // namespace helios

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * The cycle-level out-of-order core.
+ *
+ * A seven-stage model (Fetch, Decode, Allocation Queue, Rename,
+ * Dispatch, Issue/Execute, Commit) in the style of González et al.,
+ * configured as an Icelake-class machine (Table II). The pipeline is
+ * trace-driven: it consumes the committed dynamic instruction stream
+ * from the functional simulator and models speculation as front-end
+ * bubbles plus squash/replay of in-flight work (DESIGN.md §6).
+ *
+ * All fusion flavours live here: consecutive fusion at Decode, the
+ * Helios predictive NCSF/NCTF/DBR machinery across AQ / Rename /
+ * Dispatch / Execute / Commit, and the oracle.
+ */
+
+#ifndef UARCH_PIPELINE_HH
+#define UARCH_PIPELINE_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "fusion/fp_base.hh"
+#include "fusion/uch.hh"
+#include "sim/trace.hh"
+#include "uarch/branch_pred.hh"
+#include "uarch/cache.hh"
+#include "uarch/params.hh"
+#include "uarch/storeset.hh"
+#include "uarch/uop.hh"
+
+namespace helios
+{
+
+/** Result summary of a pipeline run. */
+struct PipelineResult
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t uops = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? double(instructions) / double(cycles) : 0.0;
+    }
+};
+
+class Pipeline
+{
+  public:
+    Pipeline(const CoreParams &params, InstructionFeed &feed);
+    ~Pipeline();
+
+    /** Run until the feed is exhausted and the pipeline drains. */
+    PipelineResult run();
+
+    /** Statistics collected during run(). */
+    const StatGroup &stats() const { return statGroup; }
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    // ---- per-cycle stages (called in reverse pipeline order) ----
+    void commitStage();
+    void drainStores();
+    void completeExecution();
+    void issueStage();
+    void dispatchStage();
+    void renameStage();
+    void aqInsertStage();
+    void fetchStage();
+
+    // ---- fusion ----
+    void applyConsecutiveFusion(std::vector<Uop *> &group);
+    bool tryPredictedFusion(Uop *tail);
+    bool tryOracleFusion(Uop *tail);
+    bool oracleDependent(const Uop *head, const Uop *tail) const;
+    void unfuseInPlace(Uop *head);
+    void countFusedPair(const Uop *head);
+    void traceCommit(const Uop *uop) const;
+
+    // ---- rename helpers ----
+    void renameNormal(Uop *uop);
+    bool renameMarker(Uop *uop);
+    bool heliosDependent(const Uop *head, const Uop *marker) const;
+    bool tailDependsOnCatalystLoad(const Uop *head,
+                                   const Uop *marker) const;
+    bool attachDependency(Uop *consumer, uint64_t producer_seq,
+                          int reg);
+    void addSourceDependency(Uop *uop, unsigned reg);
+    void addStoreSetDependency(Uop *uop);
+
+    // ---- execute helpers ----
+    unsigned executeStore(Uop *uop);
+    bool validateFusedAddresses(Uop *uop);
+    void scheduleCompletion(Uop *uop, unsigned latency);
+    void scheduleSplitCompletion(Uop *uop, unsigned head_latency,
+                                 unsigned tail_latency);
+    unsigned loadHalfLatency(uint64_t load_seq, uint64_t begin,
+                             uint64_t end);
+    void wakeDependents(Uop *uop);
+    void maybeReady(Uop *uop);
+
+    // ---- recovery ----
+    void squashFrom(uint64_t seq_min, const char *reason);
+    void resumeFetchAfter(uint64_t delay);
+
+    // ---- bookkeeping ----
+    Uop *findInflight(uint64_t seq) const;
+    bool sourceIsReady(uint64_t producer_seq) const;
+    Stat &counter(const char *name) { return statGroup.counter(name); }
+
+    const CoreParams params;
+    InstructionFeed &feed;
+
+    StatGroup statGroup;
+    CacheHierarchy caches;
+    BranchPredictor bpred;
+    StoreSets storeSets;
+    UnfusedCommittedHistory uch;
+    std::unique_ptr<FusionPredictorBase> fusionPred;
+
+    uint64_t cycle = 0;
+    bool feedExhausted = false;
+
+    // Master ownership of in-flight µ-ops.
+    std::unordered_map<uint64_t, std::unique_ptr<Uop>> inflight;
+
+    // Replayed (squashed) instructions to refetch, in program order.
+    std::deque<DynInst> replayQueue;
+
+    // Front end.
+    struct DecodeGroup
+    {
+        std::vector<Uop *> uops;
+        uint64_t readyCycle;
+    };
+    std::deque<DecodeGroup> decodePipe;
+    uint64_t fetchBlockedUntil = 0;
+    uint64_t fetchStallSeq = ~0ULL; ///< mispredicted branch in flight
+    uint64_t lastFetchLine = ~0ULL;
+
+    // Allocation Queue, rename output, ROB.
+    std::deque<Uop *> aq;
+    std::deque<Uop *> renamedQueue;
+    std::deque<Uop *> rob;
+
+    // Load/store queues (program order; drainQueue holds committed
+    // stores until they retire into the cache).
+    std::deque<Uop *> lqList;
+    std::deque<Uop *> sqList;
+
+    // Issue bookkeeping.
+    std::map<uint64_t, Uop *> readySet; // ordered by age
+    struct Event
+    {
+        uint64_t cycle;
+        uint64_t seq;
+        uint64_t uid;
+        uint8_t kind; ///< 0: head-half, 1: tail-half, 2: final
+        bool operator>(const Event &o) const { return cycle > o.cycle; }
+    };
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        events;
+
+    unsigned iqCount = 0;
+    unsigned allocatedRegs = 0;
+    uint64_t commitCount = 0;
+    uint64_t divBusyUntil = 0;
+    uint64_t nextUid = 1;
+
+    // Deferred flush request raised during issue (at most one/cycle).
+    uint64_t flushRequestSeq = ~0ULL;
+    const char *flushReason = nullptr;
+
+    // Post-commit store drain.
+    struct DrainEntry
+    {
+        std::unique_ptr<Uop> uop;
+    };
+    std::deque<DrainEntry> drainQueue;
+    uint64_t drainBusyUntil = 0;
+
+    // Rename-side Helios state.
+    struct RatEntry
+    {
+        uint64_t producerSeq = 0; ///< 0: architecturally ready
+    };
+    std::vector<RatEntry> rat;
+
+    std::vector<Uop *> activeNcsHeads; ///< renamed, marker not yet
+    unsigned pendingNcsf = 0;          ///< fused-in-AQ, marker pending
+
+    // Dyn records of arch instructions fetched so far (for squash
+    // replay we only need in-flight ones; committed are dropped).
+    uint64_t nextFetchSeq = 0;
+};
+
+} // namespace helios
+
+#endif // UARCH_PIPELINE_HH

@@ -1,0 +1,84 @@
+#include "uarch/storeset.hh"
+
+namespace helios
+{
+
+StoreSets::StoreSets()
+{
+    ssit.assign(ssitEntries, -1);
+    lfst.assign(lfstEntries, invalidSeq);
+}
+
+unsigned
+StoreSets::ssitIndex(uint64_t pc) const
+{
+    return (pc >> 2) & (ssitEntries - 1);
+}
+
+uint64_t
+StoreSets::loadDependence(uint64_t load_pc) const
+{
+    const int32_t set = ssit[ssitIndex(load_pc)];
+    if (set < 0)
+        return invalidSeq;
+    return lfst[set % lfstEntries];
+}
+
+uint64_t
+StoreSets::storeRenamed(uint64_t store_pc, uint64_t store_seq)
+{
+    const int32_t set = ssit[ssitIndex(store_pc)];
+    if (set < 0)
+        return invalidSeq;
+    const uint64_t previous = lfst[set % lfstEntries];
+    lfst[set % lfstEntries] = store_seq;
+    return previous;
+}
+
+void
+StoreSets::storeCompleted(uint64_t store_pc, uint64_t store_seq)
+{
+    const int32_t set = ssit[ssitIndex(store_pc)];
+    if (set >= 0 && lfst[set % lfstEntries] == store_seq)
+        lfst[set % lfstEntries] = invalidSeq;
+}
+
+void
+StoreSets::trainViolation(uint64_t load_pc, uint64_t store_pc)
+{
+    const unsigned load_index = ssitIndex(load_pc);
+    const unsigned store_index = ssitIndex(store_pc);
+    const int32_t load_set = ssit[load_index];
+    const int32_t store_set = ssit[store_index];
+
+    if (load_set < 0 && store_set < 0) {
+        const int32_t set = int32_t(nextSetId++ % lfstEntries);
+        ssit[load_index] = set;
+        ssit[store_index] = set;
+    } else if (load_set >= 0 && store_set < 0) {
+        ssit[store_index] = load_set;
+    } else if (load_set < 0 && store_set >= 0) {
+        ssit[load_index] = store_set;
+    } else {
+        // Merge: both adopt the smaller set id (declining-id rule).
+        const int32_t winner = std::min(load_set, store_set);
+        ssit[load_index] = winner;
+        ssit[store_index] = winner;
+    }
+}
+
+void
+StoreSets::age()
+{
+    ssit.assign(ssitEntries, -1);
+}
+
+void
+StoreSets::squash(uint64_t min_squashed_seq)
+{
+    for (uint64_t &seq : lfst)
+        if (seq != invalidSeq && seq >= min_squashed_seq)
+            seq = invalidSeq;
+}
+
+} // namespace helios

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Store-set memory dependence predictor (Chrysos & Emer), as listed in
+ * the paper's Table II. Loads that previously violated ordering with a
+ * store are placed in the same store set and made to wait for it.
+ */
+
+#ifndef UARCH_STORESET_HH
+#define UARCH_STORESET_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace helios
+{
+
+class StoreSets
+{
+  public:
+    static constexpr unsigned ssitEntries = 2048;
+    static constexpr unsigned lfstEntries = 128;
+    static constexpr uint64_t invalidSeq = ~0ULL;
+
+    StoreSets();
+
+    /**
+     * A load is being renamed: return the sequence number of the store
+     * it should wait for (invalidSeq when independent).
+     */
+    uint64_t loadDependence(uint64_t load_pc) const;
+
+    /**
+     * A store is being renamed: record it as its set's last store.
+     * @return the previous store of the set (for store-store
+     *         chaining: stores in a set execute in order), or
+     *         invalidSeq.
+     */
+    uint64_t storeRenamed(uint64_t store_pc, uint64_t store_seq);
+
+    /** A store left the pipeline: clear its LFST entry. */
+    void storeCompleted(uint64_t store_pc, uint64_t store_seq);
+
+    /** A memory-order violation was detected: merge the two sets. */
+    void trainViolation(uint64_t load_pc, uint64_t store_pc);
+
+    /** Squash recovery: drop LFST entries younger than @a seq. */
+    void squash(uint64_t min_squashed_seq);
+
+    /**
+     * Periodic SSIT invalidation (Chrysos & Emer): without aging, a
+     * single stale violation serializes every future instance of a
+     * hot load PC. Call every ~100K committed µ-ops.
+     */
+    void age();
+
+  private:
+    unsigned ssitIndex(uint64_t pc) const;
+
+    std::vector<int32_t> ssit;   // pc -> store set id (-1 invalid)
+    std::vector<uint64_t> lfst;  // set id -> last store seq
+    uint32_t nextSetId = 0;
+};
+
+} // namespace helios
+
+#endif // UARCH_STORESET_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The in-flight µ-op record used by the timing pipeline.
+ */
+
+#ifndef UARCH_UOP_HH
+#define UARCH_UOP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fusion/fusion_predictor.hh"
+#include "fusion/idiom.hh"
+#include "sim/trace.hh"
+
+namespace helios
+{
+
+/** How a µ-op came to be fused. */
+enum class FusionKind : uint8_t
+{
+    None = 0,
+    CsfMem,    ///< decode-time consecutive memory pair
+    CsfOther,  ///< decode-time non-memory Table I idiom
+    NcsfMem,   ///< AQ-time (predicted or oracle) memory pair
+};
+
+/**
+ * One µ-op flowing through the pipeline.
+ *
+ * A fused µ-op carries both nucleii (dyn = head, tailDyn = tail). An
+ * NCSF tail nucleus additionally leaves a *tail marker* µ-op in the
+ * Allocation Queue which consumes Rename/Dispatch slots and validates
+ * the pending NCSF'd µ-op (Section IV-B).
+ */
+struct Uop
+{
+    uint64_t seq = 0;     ///< dynamic sequence number (head nucleus)
+    uint64_t uid = 0;     ///< unique id (seq repeats after replay)
+    DynInst dyn;
+    uint16_t fetchHistory = 0; ///< global branch history at fetch
+
+    // ---- control flow ----
+    bool mispredictedBranch = false;
+
+    // ---- fusion ----
+    FusionKind fusion = FusionKind::None;
+    Idiom idiom = Idiom::None;
+    bool hasTail = false;
+    DynInst tailDyn;
+    bool isTailMarker = false;
+    uint64_t pairSeq = 0;      ///< marker <-> fused-head linkage
+    bool ncsReady = true;      ///< NCS Ready bit (Section IV-B2)
+    bool tailRenamed = false;  ///< marker passed Rename (RAT updated)
+    bool mustUnfuse = false;   ///< deadlock / store-catalyst / fence
+    bool storeInCatalyst = false;
+    bool serializingInCatalyst = false;
+    bool fpInitiated = false;  ///< fusion came from the predictor
+    FpPrediction fpPred;
+
+    /** Producers of the tail nucleus' sources, captured when the tail
+     *  marker renames (the program-order-correct lookup point). */
+    std::vector<uint64_t> tailProducers;
+
+
+    // ---- rename state ----
+    unsigned numDests = 0;
+    int notReady = 0;
+    std::vector<uint64_t> dependents; ///< woken by head-half completion
+    std::vector<uint64_t> dependentsTail; ///< woken by tail half
+    uint64_t waitStoreSeq = ~0ULL;    ///< store-set dependence
+
+    // ---- pipeline state ----
+    bool inAq = false;
+    bool renamed = false;
+    bool dispatched = false;
+    bool inIq = false;
+    bool issued = false;
+    bool headDone = false; ///< head-half result delivered
+    bool tailDone = false; ///< tail-half result delivered
+    bool done = false;     ///< fully complete (commit-eligible)
+    bool committed = false;
+    uint64_t fetchCycle = 0;
+    uint64_t renameCycle = 0;
+    uint64_t dispatchCycle = 0;
+    uint64_t issueCycle = 0;
+    uint64_t doneCycle = 0;
+
+    // ---- memory state ----
+    bool addrKnown = false;
+    uint64_t memBegin = 0; ///< effective byte range (both nucleii)
+    uint64_t memEnd = 0;
+
+    bool
+    isLoad() const
+    {
+        return !isTailMarker &&
+               (dyn.isLoad() || (hasTail && tailDyn.isLoad()));
+    }
+
+    bool
+    isStore() const
+    {
+        return !isTailMarker &&
+               (dyn.isStore() || (hasTail && tailDyn.isStore()));
+    }
+
+    bool isMem() const { return isLoad() || isStore(); }
+
+    /** Committed architectural instructions this µ-op represents. */
+    unsigned archInsts() const { return hasTail ? 2 : 1; }
+
+    /** Combined access range of both nucleii (valid for mem µ-ops). */
+    void
+    computeMemRange()
+    {
+        bool have = false;
+        if (dyn.inst.isMem()) {
+            memBegin = dyn.effAddr;
+            memEnd = dyn.effAddr + dyn.memSize();
+            have = true;
+        }
+        if (hasTail && tailDyn.inst.isMem()) {
+            if (have) {
+                memBegin = std::min(memBegin, tailDyn.effAddr);
+                memEnd = std::max(memEnd,
+                                  tailDyn.effAddr + tailDyn.memSize());
+            } else {
+                memBegin = tailDyn.effAddr;
+                memEnd = tailDyn.effAddr + tailDyn.memSize();
+            }
+        }
+    }
+
+    bool
+    overlaps(uint64_t begin, uint64_t end) const
+    {
+        return memBegin < end && begin < memEnd;
+    }
+};
+
+} // namespace helios
+
+#endif // UARCH_UOP_HH

@@ -1,0 +1,65 @@
+#include "workloads/workloads.hh"
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+
+namespace helios
+{
+
+Program
+Workload::program() const
+{
+    return assemble(source);
+}
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> workloads = [] {
+        std::vector<Workload> all = workload_detail::specWorkloads();
+        std::vector<Workload> mi = workload_detail::mibenchWorkloads();
+        std::vector<Workload> mi2 = workload_detail::mibenchWorkloads2();
+        all.insert(all.end(), mi.begin(), mi.end());
+        all.insert(all.end(), mi2.begin(), mi2.end());
+        return all;
+    }();
+    return workloads;
+}
+
+const Workload &
+findWorkload(const std::string &name)
+{
+    for (const Workload &workload : allWorkloads())
+        if (workload.name == name)
+            return workload;
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &workload : allWorkloads())
+        names.push_back(workload.name);
+    return names;
+}
+
+namespace workload_detail
+{
+
+std::string
+substitute(std::string text, const std::string &key, uint64_t value)
+{
+    const std::string pattern = "{" + key + "}";
+    size_t pos = 0;
+    while ((pos = text.find(pattern, pos)) != std::string::npos) {
+        const std::string replacement = std::to_string(value);
+        text.replace(pos, pattern.size(), replacement);
+        pos += replacement.size();
+    }
+    return text;
+}
+
+} // namespace workload_detail
+
+} // namespace helios

@@ -1,0 +1,1337 @@
+/**
+ * @file
+ * MiBench-like kernels, part 1: adpcm, basicmath, bitcount, blowfish,
+ * crc32, dijkstra, fft, gsm (toast/untoast).
+ */
+
+#include "workloads/workloads.hh"
+
+#include <array>
+#include <vector>
+
+namespace helios
+{
+namespace workload_detail
+{
+
+namespace
+{
+
+using std::vector;
+
+const std::string exitStub = R"(
+    li a7, 93
+    ecall
+)";
+
+std::string
+finish(std::string source)
+{
+    const size_t pos = source.find("{EXIT}");
+    source.replace(pos, 6, exitStub);
+    return source;
+}
+
+std::string
+withLcg(std::string source, uint64_t seed)
+{
+    source = substitute(source, "SEED", seed);
+    source = substitute(source, "LCGMUL", lcgMul);
+    source = substitute(source, "LCGADD", lcgAdd);
+    return source;
+}
+
+// ---------------------------------------------------------------------
+// adpcm: IMA-style ADPCM encoding with step/index tables.
+// ---------------------------------------------------------------------
+
+constexpr int adpcmStepTable[89] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34,
+    37, 41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143,
+    157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494,
+    544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552,
+    1707, 1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428,
+    4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487,
+    12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086,
+    29794, 32767};
+
+constexpr int adpcmIndexTable[8] = {-1, -1, -1, -1, 2, 4, 6, 8};
+
+constexpr uint64_t adpcmSamples = 6000;
+
+std::string
+adpcmTables()
+{
+    std::string text = "step_table:\n";
+    for (int step : adpcmStepTable)
+        text += "    .word " + std::to_string(step) + "\n";
+    text += "index_table:\n";
+    for (int delta : adpcmIndexTable)
+        text += "    .word " + std::to_string(delta) + "\n";
+    return text;
+}
+
+const char *adpcmSource = R"(
+    la s0, step_table
+    la s1, index_table
+    li s2, 0
+    li s3, 0
+    li s4, 0
+    li s9, {SEED}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li s5, {N}
+    lw s6, 0(s0)
+loop:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t0, s9, 48
+    slli t0, t0, 48
+    srai t0, t0, 48
+    sub t1, t0, s2
+    li t2, 0
+    bgez t1, pos
+    li t2, 8
+    neg t1, t1
+pos:
+    mv t3, s6
+    srli t4, t3, 3
+    blt t1, t3, b2
+    ori t2, t2, 4
+    sub t1, t1, t3
+    add t4, t4, t3
+b2:
+    srli t3, t3, 1
+    blt t1, t3, b1
+    ori t2, t2, 2
+    sub t1, t1, t3
+    add t4, t4, t3
+b1:
+    srli t3, t3, 1
+    blt t1, t3, bdone
+    ori t2, t2, 1
+    add t4, t4, t3
+bdone:
+    andi t5, t2, 8
+    beqz t5, addp
+    sub s2, s2, t4
+    j clampp
+addp:
+    add s2, s2, t4
+clampp:
+    li t5, 32767
+    ble s2, t5, c2
+    mv s2, t5
+c2:
+    li t5, -32768
+    bge s2, t5, c3
+    mv s2, t5
+c3:
+    andi t5, t2, 7
+    slli t5, t5, 2
+    add t5, t5, s1
+    lw t6, 0(t5)
+    add s3, s3, t6
+    bgez s3, c4
+    li s3, 0
+c4:
+    li t5, 88
+    ble s3, t5, c5
+    mv s3, t5
+c5:
+    slli t5, s3, 2
+    add t5, t5, s0
+    lw s6, 0(t5)
+    li t5, 3
+    mul s4, s4, t5
+    add s4, s4, t2
+    addi s5, s5, -1
+    bnez s5, loop
+    slli t0, s2, 48
+    srli t0, t0, 48
+    add a0, s4, t0
+    add a0, a0, s3
+{EXIT}
+    .data
+    .align 6
+{TABLES}
+)";
+
+uint64_t
+adpcmReference(uint64_t seed)
+{
+    uint64_t x = seed;
+    int64_t predicted = 0;
+    int64_t index = 0;
+    int64_t step = adpcmStepTable[0];
+    uint64_t sum = 0;
+    for (uint64_t n = 0; n < adpcmSamples; ++n) {
+        lcgNext(x);
+        const int64_t sample = int16_t(x >> 48);
+        int64_t diff = sample - predicted;
+        int64_t code = 0;
+        if (diff < 0) {
+            code = 8;
+            diff = -diff;
+        }
+        int64_t step_work = step;
+        int64_t vpdiff = step_work >> 3;
+        if (diff >= step_work) {
+            code |= 4;
+            diff -= step_work;
+            vpdiff += step_work;
+        }
+        step_work >>= 1;
+        if (diff >= step_work) {
+            code |= 2;
+            diff -= step_work;
+            vpdiff += step_work;
+        }
+        step_work >>= 1;
+        if (diff >= step_work) {
+            code |= 1;
+            vpdiff += step_work;
+        }
+        predicted += (code & 8) ? -vpdiff : vpdiff;
+        if (predicted > 32767)
+            predicted = 32767;
+        if (predicted < -32768)
+            predicted = -32768;
+        index += adpcmIndexTable[code & 7];
+        if (index < 0)
+            index = 0;
+        if (index > 88)
+            index = 88;
+        step = adpcmStepTable[index];
+        sum = sum * 3 + uint64_t(code);
+    }
+    return sum + (uint64_t(predicted) & 0xffff) + uint64_t(index);
+}
+
+Workload
+makeAdpcm()
+{
+    const uint64_t seed = 31337;
+    std::string source = adpcmSource;
+    source = substitute(source, "N", adpcmSamples);
+    source = withLcg(source, seed);
+    const size_t pos = source.find("{TABLES}");
+    source.replace(pos, 8, adpcmTables());
+    return {"adpcm", Suite::MiBench,
+            "IMA ADPCM quantization with step/index table lookups",
+            finish(source), [seed] { return adpcmReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// basicmath: integer sqrt, gcd and polynomial evaluation.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t basicmathIters = 1500;
+
+const char *basicmathSource = R"(
+    li s2, 0
+    li s3, 1
+    li s9, {SEED}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li s5, {N}
+loop:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli s6, s9, 33
+
+    mv t0, s6
+    li t1, 0
+    li t2, 0x40000000
+isq:
+    beqz t2, isq_done
+    add t3, t1, t2
+    sltu t4, t0, t3
+    addi t4, t4, -1
+    and t5, t3, t4
+    sub t0, t0, t5
+    srli t1, t1, 1
+    and t5, t2, t4
+    add t1, t1, t5
+    srli t2, t2, 2
+    j isq
+isq_done:
+    add s2, s2, t1
+
+    mv t2, s6
+    mv t3, s3
+gcd:
+    beqz t3, gcd_done
+    remu t4, t2, t3
+    mv t2, t3
+    mv t3, t4
+    j gcd
+gcd_done:
+    add s2, s2, t2
+    addi s3, s6, 1
+
+    li t0, 3
+    mul t1, s6, t0
+    addi t1, t1, 7
+    mul t1, t1, s6
+    addi t1, t1, -5
+    mul t1, t1, s6
+    addi t1, t1, 11
+    xor s2, s2, t1
+
+    addi s5, s5, -1
+    bnez s5, loop
+    mv a0, s2
+{EXIT}
+)";
+
+uint64_t
+basicmathReference(uint64_t seed)
+{
+    uint64_t x = seed, sum = 0, prev = 1;
+    for (uint64_t n = 0; n < basicmathIters; ++n) {
+        lcgNext(x);
+        const uint64_t v = x >> 33;
+
+        uint64_t rem = v, res = 0, bit = 0x40000000;
+        while (bit != 0) {
+            if (rem >= res + bit) {
+                rem -= res + bit;
+                res = (res >> 1) + bit;
+            } else {
+                res >>= 1;
+            }
+            bit >>= 2;
+        }
+        sum += res;
+
+        uint64_t a = v, b = prev;
+        while (b != 0) {
+            const uint64_t r = a % b;
+            a = b;
+            b = r;
+        }
+        sum += a;
+        prev = v + 1;
+
+        const uint64_t poly = ((3 * v + 7) * v - 5) * v + 11;
+        sum ^= poly;
+    }
+    return sum;
+}
+
+Workload
+makeBasicmath()
+{
+    const uint64_t seed = 555;
+    std::string source = basicmathSource;
+    source = substitute(source, "N", basicmathIters);
+    source = withLcg(source, seed);
+    return {"basicmath", Suite::MiBench,
+            "integer sqrt, Euclid gcd (divider) and Horner polynomials",
+            finish(source), [seed] { return basicmathReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// bitcount: three bit-counting algorithms (ALU heavy, few memory ops).
+// ---------------------------------------------------------------------
+
+constexpr uint64_t bitcountIters = 4000;
+
+const char *bitcountSource = R"(
+    li s2, 0
+    li s9, {SEED}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li s5, {N}
+    li s6, 0x5555555555555555
+    li s7, 0x3333333333333333
+    li s8, 0x0f0f0f0f0f0f0f0f
+loop:
+    mul s9, s9, s10
+    add s9, s9, s11
+
+    mv t0, s9
+    li t1, 0
+kern:
+    beqz t0, kern_done
+    addi t2, t0, -1
+    and t0, t0, t2
+    addi t1, t1, 1
+    j kern
+kern_done:
+    add s2, s2, t1
+
+    mv t0, s9
+    li t1, 0
+nib:
+    beqz t0, nib_done
+    andi t2, t0, 15
+    srli t3, t2, 1
+    andi t3, t3, 5
+    sub t2, t2, t3
+    andi t3, t2, 3
+    srli t2, t2, 2
+    add t2, t2, t3
+    add t1, t1, t2
+    srli t0, t0, 4
+    j nib
+nib_done:
+    add s2, s2, t1
+
+    mv t0, s9
+    srli t1, t0, 1
+    and t1, t1, s6
+    sub t0, t0, t1
+    and t1, t0, s7
+    srli t0, t0, 2
+    and t0, t0, s7
+    add t0, t0, t1
+    srli t1, t0, 4
+    add t0, t0, t1
+    and t0, t0, s8
+    li t1, 0x0101010101010101
+    mul t0, t0, t1
+    srli t0, t0, 56
+    add s2, s2, t0
+
+    addi s5, s5, -1
+    bnez s5, loop
+    mv a0, s2
+{EXIT}
+)";
+
+uint64_t
+bitcountReference(uint64_t seed)
+{
+    uint64_t x = seed, sum = 0;
+    for (uint64_t n = 0; n < bitcountIters; ++n) {
+        lcgNext(x);
+
+        uint64_t v = x, count = 0;
+        while (v) {
+            v &= v - 1;
+            ++count;
+        }
+        sum += count;
+
+        v = x;
+        count = 0;
+        while (v) {
+            uint64_t nib = v & 15;
+            nib = nib - ((nib >> 1) & 5);
+            nib = (nib & 3) + (nib >> 2);
+            count += nib;
+            v >>= 4;
+        }
+        sum += count;
+
+        v = x;
+        v = v - ((v >> 1) & 0x5555555555555555ULL);
+        v = (v >> 2 & 0x3333333333333333ULL) +
+            (v & 0x3333333333333333ULL);
+        v = (v + (v >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
+        sum += (v * 0x0101010101010101ULL) >> 56;
+    }
+    return sum;
+}
+
+Workload
+makeBitcount()
+{
+    const uint64_t seed = 808;
+    std::string source = bitcountSource;
+    source = substitute(source, "N", bitcountIters);
+    source = withLcg(source, seed);
+    return {"bitcount", Suite::MiBench,
+            "Kernighan, nibble-SWAR and full-SWAR popcounts (ALU only)",
+            finish(source), [seed] { return bitcountReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// blowfish: Feistel rounds with two generated 256-entry S-tables.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t blowfishBlocks = 1200;
+constexpr uint64_t blowfishRounds = 16;
+
+const char *blowfishSource = R"(
+    la s0, sbox0
+    la s1, sbox1
+    la s2, parr
+    li s9, {SEED}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+
+    li t0, 256
+    mv t1, s0
+fill0:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t2, s9, 32
+    sw t2, 0(t1)
+    addi t1, t1, 4
+    addi t0, t0, -1
+    bnez t0, fill0
+    li t0, 256
+    mv t1, s1
+fill1:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t2, s9, 32
+    sw t2, 0(t1)
+    addi t1, t1, 4
+    addi t0, t0, -1
+    bnez t0, fill1
+    li t0, {ROUNDS}
+    mv t1, s2
+fillp:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t2, s9, 32
+    sw t2, 0(t1)
+    addi t1, t1, 4
+    addi t0, t0, -1
+    bnez t0, fillp
+
+    li s4, 0
+    li s5, {BLOCKS}
+block:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli s6, s9, 32
+    li t6, 0xffffffff
+    and s7, s9, t6
+
+    li s8, 0
+round:
+    slli t0, s8, 2
+    add t0, t0, s2
+    lwu t1, 0(t0)
+    andi t2, s6, 0xff
+    slli t2, t2, 2
+    add t2, t2, s0
+    lwu t3, 0(t2)
+    srli t4, s6, 8
+    andi t4, t4, 0xff
+    slli t4, t4, 2
+    add t4, t4, s1
+    lwu t5, 0(t4)
+    add t3, t3, t5
+    srli t5, s6, 16
+    xor t3, t3, t5
+    add t3, t3, t1
+    li t6, 0xffffffff
+    and t3, t3, t6
+    xor s7, s7, t3
+    mv t0, s6
+    mv s6, s7
+    mv s7, t0
+    addi s8, s8, 1
+    li t1, {ROUNDS}
+    blt s8, t1, round
+
+    add s4, s4, s6
+    slli t0, s7, 1
+    xor s4, s4, t0
+    addi s5, s5, -1
+    bnez s5, block
+    mv a0, s4
+{EXIT}
+    .data
+    .align 6
+sbox0:
+    .zero 1024
+sbox1:
+    .zero 1024
+parr:
+    .zero 64
+)";
+
+uint64_t
+blowfishReference(uint64_t seed)
+{
+    uint64_t x = seed;
+    uint32_t sbox0[256], sbox1[256], parr[blowfishRounds];
+    for (auto &entry : sbox0)
+        entry = uint32_t(lcgNext(x) >> 32);
+    for (auto &entry : sbox1)
+        entry = uint32_t(lcgNext(x) >> 32);
+    for (auto &entry : parr)
+        entry = uint32_t(lcgNext(x) >> 32);
+
+    uint64_t sum = 0;
+    for (uint64_t b = 0; b < blowfishBlocks; ++b) {
+        lcgNext(x);
+        uint64_t left = x >> 32;
+        uint64_t right = x & 0xffffffffULL;
+        for (uint64_t r = 0; r < blowfishRounds; ++r) {
+            uint64_t f = uint64_t(sbox0[left & 0xff]) +
+                         uint64_t(sbox1[(left >> 8) & 0xff]);
+            f ^= left >> 16;
+            f += parr[r];
+            f &= 0xffffffffULL;
+            right ^= f;
+            std::swap(left, right);
+        }
+        sum += left;
+        sum ^= right << 1;
+    }
+    return sum;
+}
+
+Workload
+makeBlowfish()
+{
+    const uint64_t seed = 0xb10f15b;
+    std::string source = blowfishSource;
+    source = substitute(source, "BLOCKS", blowfishBlocks);
+    source = substitute(source, "ROUNDS", blowfishRounds);
+    source = withLcg(source, seed);
+    return {"blowfish", Suite::MiBench,
+            "Feistel rounds with word S-box lookups",
+            finish(source), [seed] { return blowfishReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// crc32: table-driven CRC over a generated buffer.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t crcLen = 16384;
+
+const char *crcSource = R"(
+    la s0, crc_table
+    li t0, 0
+tgen:
+    mv t1, t0
+    li t2, 8
+    li t4, 0xedb88320
+tbit:
+    andi t3, t1, 1
+    srli t1, t1, 1
+    sub t3, zero, t3
+    and t3, t3, t4
+    xor t1, t1, t3
+    addi t2, t2, -1
+    bnez t2, tbit
+    slli t3, t0, 2
+    add t3, t3, s0
+    sw t1, 0(t3)
+    addi t0, t0, 1
+    li t4, 256
+    blt t0, t4, tgen
+
+    la s1, buf
+    li s9, {SEED}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li t0, {LEN}
+    mv t1, s1
+bgen:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t2, s9, 35
+    sb t2, 0(t1)
+    addi t1, t1, 1
+    addi t0, t0, -1
+    bnez t0, bgen
+
+    li t0, 0xffffffff
+    mv t1, s1
+    li t2, {HALFLEN}
+crc:
+    lbu t3, 0(t1)
+    lbu t5, 1(t1)
+    xor t3, t3, t0
+    andi t3, t3, 0xff
+    slli t3, t3, 2
+    add t3, t3, s0
+    lwu t4, 0(t3)
+    srli t0, t0, 8
+    xor t0, t0, t4
+    xor t5, t5, t0
+    andi t5, t5, 0xff
+    slli t5, t5, 2
+    add t5, t5, s0
+    lwu t6, 0(t5)
+    srli t0, t0, 8
+    xor t0, t0, t6
+    addi t1, t1, 2
+    addi t2, t2, -1
+    bnez t2, crc
+    li t4, 0xffffffff
+    xor a0, t0, t4
+{EXIT}
+    .data
+    .align 6
+crc_table:
+    .zero 1024
+buf:
+    .zero {LEN}
+)";
+
+uint64_t
+crcReference(uint64_t seed)
+{
+    uint32_t table[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t v = i;
+        for (int b = 0; b < 8; ++b)
+            v = (v & 1) ? (v >> 1) ^ 0xedb88320u : v >> 1;
+        table[i] = v;
+    }
+    uint64_t x = seed;
+    vector<uint8_t> buf(crcLen);
+    for (auto &byte : buf) {
+        lcgNext(x);
+        byte = uint8_t(x >> 35);
+    }
+    uint32_t crc = 0xffffffffu;
+    for (uint8_t byte : buf)
+        crc = (crc >> 8) ^ table[(crc ^ byte) & 0xff];
+    return ~crc & 0xffffffffULL;
+}
+
+Workload
+makeCrc32()
+{
+    const uint64_t seed = 0xc4c32;
+    std::string source = crcSource;
+    source = substitute(source, "LEN", crcLen);
+    source = substitute(source, "HALFLEN", crcLen / 2);
+    source = withLcg(source, seed);
+    return {"crc32", Suite::MiBench,
+            "table-driven CRC-32 over a 16 KiB buffer",
+            finish(source), [seed] { return crcReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// dijkstra: dense-graph shortest paths with linear min scans.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t dijkstraNodes = 64;
+constexpr uint64_t dijkstraSources = 6;
+
+const char *dijkstraSource = R"(
+    la s0, weights
+    li s9, {SEED}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li t0, {EDGES}
+    mv t1, s0
+wgen:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t2, s9, 40
+    andi t2, t2, 63
+    addi t2, t2, 1
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, -1
+    bnez t0, wgen
+
+    la s1, dist
+    la s2, visited
+    li s4, 0
+    li s5, 0
+source_loop:
+    li t0, 0
+    li t1, {INF}
+init:
+    slli t2, t0, 3
+    add t2, t2, s1
+    sd t1, 0(t2)
+    add t3, s2, t0
+    sb zero, 0(t3)
+    addi t0, t0, 1
+    li t4, {V}
+    blt t0, t4, init
+    slli t0, s5, 3
+    add t0, t0, s1
+    sd zero, 0(t0)
+
+    li s6, {V}
+iter:
+    li t0, 0
+    li t1, {INF}
+    li t2, -1
+scan:
+    add t3, s2, t0
+    lbu t4, 0(t3)
+    bnez t4, scan_next
+    slli t5, t0, 3
+    add t5, t5, s1
+    ld t6, 0(t5)
+    bgeu t6, t1, scan_next
+    mv t1, t6
+    mv t2, t0
+scan_next:
+    addi t0, t0, 1
+    li t3, {V}
+    blt t0, t3, scan
+    bltz t2, iter_done
+    add t3, s2, t2
+    li t4, 1
+    sb t4, 0(t3)
+
+    li t0, 0
+    li t5, {V}
+    mul t6, t2, t5
+    slli t6, t6, 3
+    add t6, t6, s0
+relax:
+    ld a1, 0(t6)
+    add a1, a1, t1
+    slli a2, t0, 3
+    add a2, a2, s1
+    ld a3, 0(a2)
+    bgeu a1, a3, relax_next
+    sd a1, 0(a2)
+relax_next:
+    addi t6, t6, 8
+    addi t0, t0, 1
+    blt t0, t5, relax
+iter_done:
+    addi s6, s6, -1
+    bnez s6, iter
+
+    li t0, 0
+    li t1, {V}
+fold:
+    slli t2, t0, 3
+    add t2, t2, s1
+    ld t3, 0(t2)
+    add s4, s4, t3
+    addi t0, t0, 1
+    blt t0, t1, fold
+
+    addi s5, s5, 1
+    li t0, {SOURCES}
+    blt s5, t0, source_loop
+    mv a0, s4
+{EXIT}
+    .data
+    .align 6
+weights:
+    .zero {WBYTES}
+dist:
+    .zero {DBYTES}
+visited:
+    .zero {V}
+)";
+
+uint64_t
+dijkstraReference(uint64_t seed)
+{
+    constexpr uint64_t v = dijkstraNodes;
+    constexpr uint64_t inf = 1ULL << 40;
+    uint64_t x = seed;
+    vector<uint64_t> w(v * v);
+    for (auto &weight : w) {
+        lcgNext(x);
+        weight = ((x >> 40) & 63) + 1;
+    }
+    uint64_t sum = 0;
+    for (uint64_t src = 0; src < dijkstraSources; ++src) {
+        vector<uint64_t> dist(v, inf);
+        vector<uint8_t> visited(v, 0);
+        dist[src] = 0;
+        for (uint64_t it = 0; it < v; ++it) {
+            uint64_t best = inf;
+            int64_t u = -1;
+            for (uint64_t i = 0; i < v; ++i) {
+                if (!visited[i] && dist[i] < best) {
+                    best = dist[i];
+                    u = int64_t(i);
+                }
+            }
+            if (u < 0)
+                continue;
+            visited[u] = 1;
+            for (uint64_t i = 0; i < v; ++i) {
+                const uint64_t nd = w[uint64_t(u) * v + i] + best;
+                if (nd < dist[i])
+                    dist[i] = nd;
+            }
+        }
+        for (uint64_t i = 0; i < v; ++i)
+            sum += dist[i];
+    }
+    return sum;
+}
+
+Workload
+makeDijkstra()
+{
+    const uint64_t seed = 60046;
+    std::string source = dijkstraSource;
+    source = substitute(source, "V", dijkstraNodes);
+    source = substitute(source, "EDGES", dijkstraNodes * dijkstraNodes);
+    source = substitute(source, "WBYTES",
+                        dijkstraNodes * dijkstraNodes * 8);
+    source = substitute(source, "DBYTES", dijkstraNodes * 8);
+    source = substitute(source, "SOURCES", dijkstraSources);
+    source = substitute(source, "INF", 1ULL << 40);
+    source = withLcg(source, seed);
+    return {"dijkstra", Suite::MiBench,
+            "dense Dijkstra with linear min scans and relaxations",
+            finish(source), [seed] { return dijkstraReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// fft: fixed-point radix-2 FFT over interleaved complex data.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t fftSize = 256;
+constexpr uint64_t fftRuns = 8;
+
+std::string
+fftTwiddles()
+{
+    // Q14 twiddle factors for a size-256 forward FFT, baked into the
+    // data segment (computing sin/cos in integer assembly would bring
+    // nothing to the evaluation).
+    std::string text = "twiddle:\n";
+    for (uint64_t j = 0; j < fftSize / 2; ++j) {
+        const double angle = -2.0 * 3.14159265358979323846 *
+                             double(j) / double(fftSize);
+        const auto wr = int64_t(16384.0 * __builtin_cos(angle));
+        const auto wi = int64_t(16384.0 * __builtin_sin(angle));
+        text += "    .dword " + std::to_string(uint64_t(wr)) + "\n";
+        text += "    .dword " + std::to_string(uint64_t(wi)) + "\n";
+    }
+    return text;
+}
+
+const char *fftSource = R"(
+    li s7, 0
+    li s9, {SEED}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li s8, 0
+run_loop:
+    la s0, cdata
+    li t0, {N}
+    mv t1, s0
+dgen:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srai t2, s9, 52
+    sd t2, 0(t1)
+    srli t3, s9, 20
+    slli t3, t3, 52
+    srai t3, t3, 52
+    sd t3, 8(t1)
+    addi t1, t1, 16
+    addi t0, t0, -1
+    bnez t0, dgen
+
+    li t0, 0
+bitrev:
+    li t1, 0
+    li t2, 0
+    li t3, {LOGN}
+brbit:
+    slli t1, t1, 1
+    srl t4, t0, t2
+    andi t4, t4, 1
+    or t1, t1, t4
+    addi t2, t2, 1
+    blt t2, t3, brbit
+    bge t0, t1, brskip
+    slli t4, t0, 4
+    add t4, t4, s0
+    slli t5, t1, 4
+    add t5, t5, s0
+    ld t6, 0(t4)
+    ld a1, 8(t4)
+    ld a2, 0(t5)
+    ld a3, 8(t5)
+    sd a2, 0(t4)
+    sd a3, 8(t4)
+    sd t6, 0(t5)
+    sd a1, 8(t5)
+brskip:
+    addi t0, t0, 1
+    li t4, {N}
+    blt t0, t4, bitrev
+
+    la s1, twiddle
+    li s2, 2
+stage:
+    li s3, {N}
+    divu s4, s3, s2
+    li s5, 0
+group:
+    li s6, 0
+butterfly:
+    mul t0, s6, s4
+    slli t0, t0, 4
+    add t0, t0, s1
+    ld a1, 0(t0)
+    ld a2, 8(t0)
+    add t1, s5, s6
+    slli t1, t1, 4
+    add t1, t1, s0
+    srli t2, s2, 1
+    add t2, t2, s5
+    add t2, t2, s6
+    slli t2, t2, 4
+    add t2, t2, s0
+    ld a3, 0(t1)
+    ld a4, 8(t1)
+    ld a5, 0(t2)
+    ld a6, 8(t2)
+    mul t3, a1, a5
+    mul t4, a2, a6
+    sub t3, t3, t4
+    srai t3, t3, 14
+    mul t4, a1, a6
+    mul t5, a2, a5
+    add t4, t4, t5
+    srai t4, t4, 14
+    sub t5, a3, t3
+    sub t6, a4, t4
+    sd t5, 0(t2)
+    sd t6, 8(t2)
+    add t5, a3, t3
+    add t6, a4, t4
+    sd t5, 0(t1)
+    sd t6, 8(t1)
+    addi s6, s6, 1
+    srli t0, s2, 1
+    blt s6, t0, butterfly
+    add s5, s5, s2
+    li t0, {N}
+    blt s5, t0, group
+    slli s2, s2, 1
+    li t0, {N}
+    ble s2, t0, stage
+
+    li t0, {N}
+    mv t1, s0
+ffold:
+    ld t2, 0(t1)
+    ld t3, 8(t1)
+    add s7, s7, t2
+    slli t4, s7, 1
+    srli t5, s7, 63
+    or s7, t4, t5
+    xor s7, s7, t3
+    addi t1, t1, 16
+    addi t0, t0, -1
+    bnez t0, ffold
+
+    addi s8, s8, 1
+    li t0, {RUNS}
+    blt s8, t0, run_loop
+    mv a0, s7
+{EXIT}
+    .data
+    .align 6
+cdata:
+    .zero {CBYTES}
+    .align 6
+{TWIDDLE}
+)";
+
+uint64_t
+fftReference(uint64_t seed)
+{
+    constexpr uint64_t n = fftSize;
+    int64_t twr[n / 2], twi[n / 2];
+    for (uint64_t j = 0; j < n / 2; ++j) {
+        const double angle =
+            -2.0 * 3.14159265358979323846 * double(j) / double(n);
+        twr[j] = int64_t(16384.0 * __builtin_cos(angle));
+        twi[j] = int64_t(16384.0 * __builtin_sin(angle));
+    }
+
+    uint64_t x = seed, sum = 0;
+    for (uint64_t run = 0; run < fftRuns; ++run) {
+        int64_t re[n], im[n];
+        for (uint64_t i = 0; i < n; ++i) {
+            lcgNext(x);
+            re[i] = int64_t(x) >> 52;
+            im[i] = (int64_t(x >> 20) << 52) >> 52;
+        }
+        for (uint64_t i = 0; i < n; ++i) {
+            uint64_t j = 0;
+            for (uint64_t b = 0; b < 8; ++b)
+                j = (j << 1) | ((i >> b) & 1);
+            if (int64_t(i) < int64_t(j)) {
+                std::swap(re[i], re[j]);
+                std::swap(im[i], im[j]);
+            }
+        }
+        for (uint64_t len = 2; len <= n; len <<= 1) {
+            const uint64_t step = n / len;
+            for (uint64_t base = 0; base < n; base += len) {
+                for (uint64_t j = 0; j < len / 2; ++j) {
+                    const int64_t wr = twr[j * step];
+                    const int64_t wi = twi[j * step];
+                    const uint64_t a = base + j;
+                    const uint64_t b = base + j + len / 2;
+                    const int64_t tr = (wr * re[b] - wi * im[b]) >> 14;
+                    const int64_t ti = (wr * im[b] + wi * re[b]) >> 14;
+                    re[b] = re[a] - tr;
+                    im[b] = im[a] - ti;
+                    re[a] = re[a] + tr;
+                    im[a] = im[a] + ti;
+                }
+            }
+        }
+        for (uint64_t i = 0; i < n; ++i) {
+            sum += uint64_t(re[i]);
+            sum = (sum << 1) | (sum >> 63);
+            sum ^= uint64_t(im[i]);
+        }
+    }
+    return sum;
+}
+
+Workload
+makeFft()
+{
+    const uint64_t seed = 0xff7;
+    std::string source = fftSource;
+    source = substitute(source, "N", fftSize);
+    source = substitute(source, "LOGN", 8);
+    source = substitute(source, "RUNS", fftRuns);
+    source = substitute(source, "CBYTES", fftSize * 16);
+    source = withLcg(source, seed);
+    const size_t pos = source.find("{TWIDDLE}");
+    source.replace(pos, 9, fftTwiddles());
+    return {"fft", Suite::MiBench,
+            "fixed-point radix-2 FFT: interleaved re/im butterfly pairs",
+            finish(source), [seed] { return fftReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// gsm toast / untoast: autocorrelation MACs and synthesis filtering.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t gsmFrames = 40;
+constexpr uint64_t gsmFrameLen = 160;
+constexpr uint64_t gsmLags = 9;
+
+const char *gsmToastSource = R"(
+    la s0, samples
+    li s9, {SEED}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li t0, {TOTAL}
+    mv t1, s0
+sgen:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t2, s9, 49
+    slli t2, t2, 49
+    srai t2, t2, 49
+    sh t2, 0(t1)
+    addi t1, t1, 2
+    addi t0, t0, -1
+    bnez t0, sgen
+
+    li s4, 0
+    li s5, 0
+frame:
+    li t0, {FRAMELEN}
+    mul t0, t0, s5
+    slli t0, t0, 1
+    add s6, s0, t0
+    li s7, 0
+lag:
+    li t0, 0
+    li t1, 0
+    li t2, {FRAMELEN}
+    sub t2, t2, s7
+mac:
+    slli t3, t0, 1
+    add t3, t3, s6
+    lh t4, 0(t3)
+    add t5, t0, s7
+    slli t5, t5, 1
+    add t5, t5, s6
+    lh t6, 0(t5)
+    mul t4, t4, t6
+    add t1, t1, t4
+    addi t0, t0, 1
+    blt t0, t2, mac
+    srai t1, t1, 10
+    add s4, s4, t1
+    slli t3, s4, 3
+    srli t4, s4, 61
+    or t3, t3, t4
+    xor s4, t3, t1
+    addi s7, s7, 1
+    li t0, {LAGS}
+    blt s7, t0, lag
+    addi s5, s5, 1
+    li t0, {FRAMES}
+    blt s5, t0, frame
+    mv a0, s4
+{EXIT}
+    .data
+    .align 6
+samples:
+    .zero {SBYTES}
+)";
+
+uint64_t
+gsmToastReference(uint64_t seed)
+{
+    constexpr uint64_t total = gsmFrames * gsmFrameLen;
+    vector<int16_t> samples(total);
+    uint64_t x = seed;
+    for (auto &sample : samples) {
+        lcgNext(x);
+        sample = int16_t((int64_t(x >> 49) << 49) >> 49);
+    }
+    uint64_t sum = 0;
+    for (uint64_t f = 0; f < gsmFrames; ++f) {
+        const int16_t *frame = &samples[f * gsmFrameLen];
+        for (uint64_t lag = 0; lag < gsmLags; ++lag) {
+            int64_t acc = 0;
+            for (uint64_t i = 0; i + lag < gsmFrameLen; ++i)
+                acc += int64_t(frame[i]) * frame[i + lag];
+            acc >>= 10;
+            sum += uint64_t(acc);
+            sum = (((sum << 3) | (sum >> 61))) ^ uint64_t(acc);
+        }
+    }
+    return sum;
+}
+
+const char *gsmUntoastSource = R"(
+    la s0, input
+    la s1, output
+    li s9, {SEED}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li t0, {TOTAL}
+    mv t1, s0
+sgen:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t2, s9, 51
+    slli t2, t2, 51
+    srai t2, t2, 51
+    sh t2, 0(t1)
+    addi t1, t1, 2
+    addi t0, t0, -1
+    bnez t0, sgen
+
+    li s2, 0
+    li s3, 0
+    li s4, 0
+    li t0, 0
+    li s5, {TOTAL}
+    li s6, 1638
+    li s7, -819
+filter:
+    slli t1, t0, 1
+    add t1, t1, s0
+    lh t2, 0(t1)
+    mul t3, s2, s6
+    mul t4, s3, s7
+    add t3, t3, t4
+    srai t3, t3, 11
+    add t2, t2, t3
+    li t4, 32767
+    ble t2, t4, fc1
+    mv t2, t4
+fc1:
+    li t4, -32768
+    bge t2, t4, fc2
+    mv t2, t4
+fc2:
+    mv s3, s2
+    mv s2, t2
+    slli t1, t0, 1
+    add t1, t1, s1
+    sh t2, 0(t1)
+    add s4, s4, t2
+    slli t5, s4, 5
+    srli t6, s4, 59
+    or s4, t5, t6
+    addi t0, t0, 1
+    blt t0, s5, filter
+
+    mv a0, s4
+{EXIT}
+    .data
+    .align 6
+input:
+    .zero {SBYTES}
+    .align 6
+output:
+    .zero {SBYTES}
+)";
+
+uint64_t
+gsmUntoastReference(uint64_t seed)
+{
+    constexpr uint64_t total = gsmFrames * gsmFrameLen;
+    vector<int16_t> input(total);
+    uint64_t x = seed;
+    for (auto &sample : input) {
+        lcgNext(x);
+        sample = int16_t((int64_t(x >> 51) << 51) >> 51);
+    }
+    int64_t y1 = 0, y2 = 0;
+    uint64_t sum = 0;
+    for (uint64_t i = 0; i < total; ++i) {
+        int64_t y = input[i] + ((y1 * 1638 + y2 * -819) >> 11);
+        if (y > 32767)
+            y = 32767;
+        if (y < -32768)
+            y = -32768;
+        y2 = y1;
+        y1 = y;
+        sum += uint64_t(y);
+        sum = (sum << 5) | (sum >> 59);
+    }
+    return sum;
+}
+
+Workload
+makeGsm(bool toast)
+{
+    const uint64_t seed = toast ? 0x95b1 : 0x95b2;
+    std::string source = toast ? gsmToastSource : gsmUntoastSource;
+    source = substitute(source, "TOTAL", gsmFrames * gsmFrameLen);
+    source = substitute(source, "FRAMES", gsmFrames);
+    source = substitute(source, "FRAMELEN", gsmFrameLen);
+    source = substitute(source, "LAGS", gsmLags);
+    source = substitute(source, "SBYTES", gsmFrames * gsmFrameLen * 2);
+    source = withLcg(source, seed);
+    return {toast ? "gsm_toast" : "gsm_untoast", Suite::MiBench,
+            toast ? "LPC autocorrelation MACs over 16-bit frames"
+                  : "fixed-point IIR synthesis filter with clamping",
+            finish(source), [seed, toast] {
+                return toast ? gsmToastReference(seed)
+                             : gsmUntoastReference(seed);
+            }};
+}
+
+} // namespace
+
+std::vector<Workload>
+mibenchWorkloads()
+{
+    std::vector<Workload> workloads;
+    workloads.push_back(makeAdpcm());
+    workloads.push_back(makeBasicmath());
+    workloads.push_back(makeBitcount());
+    workloads.push_back(makeBlowfish());
+    workloads.push_back(makeCrc32());
+    workloads.push_back(makeDijkstra());
+    workloads.push_back(makeFft());
+    workloads.push_back(makeGsm(true));
+    workloads.push_back(makeGsm(false));
+    return workloads;
+}
+
+} // namespace workload_detail
+} // namespace helios

@@ -1,0 +1,1527 @@
+/**
+ * @file
+ * MiBench-like kernels, part 2: jpeg, patricia, qsort, rijndael,
+ * rsynth, sha, stringsearch, susan, typeset.
+ */
+
+#include "workloads/workloads.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace helios
+{
+namespace workload_detail
+{
+
+namespace
+{
+
+using std::vector;
+
+const std::string exitStub = R"(
+    li a7, 93
+    ecall
+)";
+
+std::string
+finish(std::string source)
+{
+    const size_t pos = source.find("{EXIT}");
+    source.replace(pos, 6, exitStub);
+    return source;
+}
+
+std::string
+withLcg(std::string source, uint64_t seed)
+{
+    source = substitute(source, "SEED", seed);
+    source = substitute(source, "LCGMUL", lcgMul);
+    source = substitute(source, "LCGADD", lcgAdd);
+    return source;
+}
+
+uint64_t
+rotl64(uint64_t value, unsigned amount)
+{
+    return (value << amount) | (value >> (64 - amount));
+}
+
+// ---------------------------------------------------------------------
+// jpeg: 8-point integer DCT-like transform with quantization divides.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t jpegBlocks = 2000;
+
+const char *jpegSource = R"(
+    la s0, inbuf
+    la s1, outbuf
+    li s9, {SEED}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li t0, {HALFS}
+    mv t1, s0
+jgen:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t2, s9, 52
+    slli t2, t2, 52
+    srai t2, t2, 52
+    sh t2, 0(t1)
+    addi t1, t1, 2
+    addi t0, t0, -1
+    bnez t0, jgen
+
+    li s2, 0
+    li s3, {BLOCKS}
+    mv s4, s0
+    mv s5, s1
+block:
+    lh a1, 0(s4)
+    lh a2, 2(s4)
+    lh a3, 4(s4)
+    lh a4, 6(s4)
+    lh a5, 8(s4)
+    lh a6, 10(s4)
+    lh a7, 12(s4)
+    lh t6, 14(s4)
+
+    add t0, a1, t6
+    add t1, a2, a7
+    add t2, a3, a6
+    add t3, a4, a5
+    sub t4, a1, t6
+    sub t5, a2, a7
+    sub a1, a3, a6
+    sub a2, a4, a5
+
+    add a3, t0, t3
+    add a4, t1, t2
+    add a5, a3, a4
+    sub a6, a3, a4
+    sub a3, t0, t3
+    sub a4, t1, t2
+    li t6, 1004
+    mul t0, a3, t6
+    li t6, 851
+    mul t1, a4, t6
+    add t0, t0, t1
+    srai t0, t0, 10
+    li t6, 851
+    mul t1, a3, t6
+    li t6, 1004
+    mul t2, a4, t6
+    sub t1, t1, t2
+    srai t1, t1, 10
+
+    li t6, 569
+    mul t2, t4, t6
+    li t6, 200
+    mul t3, t5, t6
+    add t2, t2, t3
+    li t6, 1337
+    mul t3, a1, t6
+    add t2, t2, t3
+    li t6, 749
+    mul t3, a2, t6
+    add t2, t2, t3
+    srai t2, t2, 10
+    li t6, 749
+    mul t3, t4, t6
+    li t6, 1337
+    mul a3, t5, t6
+    sub t3, t3, a3
+    li t6, 200
+    mul a3, a1, t6
+    add t3, t3, a3
+    li t6, 569
+    mul a3, a2, t6
+    sub t3, t3, a3
+    srai t3, t3, 10
+
+    li t6, 16
+    div a5, a5, t6
+    li t6, 11
+    div t0, t0, t6
+    li t6, 10
+    div t2, t2, t6
+    li t6, 24
+    div a6, a6, t6
+    li t6, 40
+    div t1, t1, t6
+    li t6, 51
+    div t3, t3, t6
+
+    sh a5, 0(s5)
+    sh t2, 2(s5)
+    sh t0, 4(s5)
+    sh t3, 6(s5)
+    sh a6, 8(s5)
+    sh t1, 10(s5)
+
+    add s2, s2, a5
+    xor s2, s2, t0
+    add s2, s2, t2
+    xor s2, s2, t3
+    add s2, s2, a6
+    xor s2, s2, t1
+    slli t6, s2, 1
+    srli a3, s2, 63
+    or s2, t6, a3
+
+    addi s4, s4, 16
+    addi s5, s5, 16
+    addi s3, s3, -1
+    bnez s3, block
+    mv a0, s2
+{EXIT}
+    .data
+    .align 6
+inbuf:
+    .zero {BYTES}
+    .align 6
+outbuf:
+    .zero {BYTES}
+)";
+
+uint64_t
+jpegReference(uint64_t seed)
+{
+    uint64_t x = seed;
+    vector<int16_t> input(jpegBlocks * 8);
+    for (auto &h : input) {
+        lcgNext(x);
+        h = int16_t((int64_t(x >> 52) << 52) >> 52);
+    }
+    uint64_t sum = 0;
+    for (uint64_t b = 0; b < jpegBlocks; ++b) {
+        const int16_t *p = &input[b * 8];
+        const int64_t s0 = p[0] + p[7], s1 = p[1] + p[6];
+        const int64_t s2 = p[2] + p[5], s3 = p[3] + p[4];
+        const int64_t d0 = p[0] - p[7], d1 = p[1] - p[6];
+        const int64_t d2 = p[2] - p[5], d3 = p[3] - p[4];
+
+        const int64_t e0 = s0 + s3, e1 = s1 + s2;
+        const int64_t o0 = e0 + e1;
+        const int64_t o4 = e0 - e1;
+        const int64_t f0 = s0 - s3, f1 = s1 - s2;
+        const int64_t o2 = (f0 * 1004 + f1 * 851) >> 10;
+        const int64_t o6 = (f0 * 851 - f1 * 1004) >> 10;
+        const int64_t o1 =
+            (d0 * 569 + d1 * 200 + d2 * 1337 + d3 * 749) >> 10;
+        const int64_t o3 =
+            (d0 * 749 - d1 * 1337 + d2 * 200 - d3 * 569) >> 10;
+
+        const int64_t q0 = o0 / 16, q1 = o2 / 11, q2 = o1 / 10;
+        const int64_t q3 = o3 / 51, q4 = o4 / 24, q5 = o6 / 40;
+
+        sum += uint64_t(q0);
+        sum ^= uint64_t(q1);
+        sum += uint64_t(q2);
+        sum ^= uint64_t(q3);
+        sum += uint64_t(q4);
+        sum ^= uint64_t(q5);
+        sum = rotl64(sum, 1);
+    }
+    return sum;
+}
+
+Workload
+makeJpeg()
+{
+    const uint64_t seed = 0x19e6;
+    std::string source = jpegSource;
+    source = substitute(source, "BLOCKS", jpegBlocks);
+    source = substitute(source, "HALFS", jpegBlocks * 8);
+    source = substitute(source, "BYTES", jpegBlocks * 16);
+    source = withLcg(source, seed);
+    return {"jpeg", Suite::MiBench,
+            "8-point integer DCT rows with quantization divides",
+            finish(source), [seed] { return jpegReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// patricia: binary trie over 16-bit keys.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t patriciaInserts = 1200;
+constexpr uint64_t patriciaLookups = 1200;
+constexpr uint64_t patriciaDepth = 16;
+
+const char *patriciaSource = R"(
+    la s0, arena
+    li s1, 1
+    li s9, {SEED}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+
+    li s2, {N}
+ins:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t0, s9, 30
+    li t1, 0xffff
+    and t0, t0, t1
+    mv t1, s0
+    li t2, 0
+ins_walk:
+    li t3, {DEPTH}
+    bge t2, t3, ins_leaf
+    srl t3, t0, t2
+    andi t3, t3, 1
+    slli t3, t3, 3
+    add t3, t3, t1
+    ld t4, 0(t3)
+    bnez t4, ins_down
+    li t5, 24
+    mul t4, s1, t5
+    add t4, t4, s0
+    addi s1, s1, 1
+    sd t4, 0(t3)
+ins_down:
+    mv t1, t4
+    addi t2, t2, 1
+    j ins_walk
+ins_leaf:
+    ld t3, 16(t1)
+    addi t3, t3, 1
+    sd t3, 16(t1)
+    addi s2, s2, -1
+    bnez s2, ins
+
+    li s3, {M}
+    li s4, 0
+look:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t0, s9, 30
+    li t1, 0xffff
+    and t0, t0, t1
+    mv t1, s0
+    li t2, 0
+look_walk:
+    li t3, {DEPTH}
+    bge t2, t3, look_leaf
+    srl t3, t0, t2
+    andi t3, t3, 1
+    slli t3, t3, 3
+    add t3, t3, t1
+    ld t4, 0(t3)
+    beqz t4, look_miss
+    mv t1, t4
+    addi t2, t2, 1
+    j look_walk
+look_leaf:
+    ld t3, 16(t1)
+    add s4, s4, t3
+    j look_next
+look_miss:
+    add s4, s4, t2
+look_next:
+    addi s3, s3, -1
+    bnez s3, look
+    add a0, s4, s1
+{EXIT}
+    .data
+    .align 6
+arena:
+    .zero {ARENABYTES}
+)";
+
+uint64_t
+patriciaReference(uint64_t seed)
+{
+    struct Node
+    {
+        uint64_t child[2] = {0, 0};
+        uint64_t count = 0;
+    };
+    vector<Node> nodes(1);
+    nodes.reserve(patriciaInserts * patriciaDepth + 2);
+    uint64_t x = seed;
+
+    for (uint64_t n = 0; n < patriciaInserts; ++n) {
+        lcgNext(x);
+        const uint64_t key = (x >> 30) & 0xffff;
+        uint64_t cur = 0;
+        for (uint64_t d = 0; d < patriciaDepth; ++d) {
+            const uint64_t dir = (key >> d) & 1;
+            if (nodes[cur].child[dir] == 0) {
+                nodes.push_back({});
+                nodes[cur].child[dir] = nodes.size() - 1;
+            }
+            cur = nodes[cur].child[dir];
+        }
+        ++nodes[cur].count;
+    }
+
+    uint64_t sum = 0;
+    for (uint64_t n = 0; n < patriciaLookups; ++n) {
+        lcgNext(x);
+        const uint64_t key = (x >> 30) & 0xffff;
+        uint64_t cur = 0;
+        uint64_t d = 0;
+        bool miss = false;
+        for (; d < patriciaDepth; ++d) {
+            const uint64_t dir = (key >> d) & 1;
+            if (nodes[cur].child[dir] == 0) {
+                miss = true;
+                break;
+            }
+            cur = nodes[cur].child[dir];
+        }
+        sum += miss ? d : nodes[cur].count;
+    }
+    return sum + nodes.size();
+}
+
+Workload
+makePatricia()
+{
+    const uint64_t seed = 0x9a77;
+    std::string source = patriciaSource;
+    source = substitute(source, "N", patriciaInserts);
+    source = substitute(source, "M", patriciaLookups);
+    source = substitute(source, "DEPTH", patriciaDepth);
+    source = substitute(source, "ARENABYTES",
+                        (patriciaInserts * patriciaDepth + 2) * 24);
+    source = withLcg(source, seed);
+    return {"patricia", Suite::MiBench,
+            "bitwise trie inserts/lookups over 24-byte nodes",
+            finish(source), [seed] { return patriciaReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// qsort: iterative Hoare quicksort with an explicit range stack.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t qsortElems = 3000;
+
+const char *qsortSource = R"(
+    la s0, arr
+    li s1, {N}
+    li s9, {SEED}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li t0, {N}
+    mv t1, s0
+agen:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t2, s9, 8
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, -1
+    bnez t0, agen
+
+    la s2, stk
+    li t0, 0
+    addi t1, s1, -1
+    sd t0, 0(s2)
+    sd t1, 8(s2)
+    addi s2, s2, 16
+qloop:
+    la t6, stk
+    bleu s2, t6, qdone
+    addi s2, s2, -16
+    ld s3, 0(s2)
+    ld s4, 8(s2)
+    bge s3, s4, qloop
+    add t0, s3, s4
+    srli t0, t0, 1
+    slli t0, t0, 3
+    add t0, t0, s0
+    ld s5, 0(t0)
+    addi t1, s3, -1
+    addi t2, s4, 1
+hoare:
+inc_i:
+    addi t1, t1, 1
+    slli t3, t1, 3
+    add t3, t3, s0
+    ld t4, 0(t3)
+    bltu t4, s5, inc_i
+dec_j:
+    addi t2, t2, -1
+    slli t5, t2, 3
+    add t5, t5, s0
+    ld t6, 0(t5)
+    bgtu t6, s5, dec_j
+    bge t1, t2, hoare_done
+    sd t6, 0(t3)
+    sd t4, 0(t5)
+    j hoare
+hoare_done:
+    sd s3, 0(s2)
+    sd t2, 8(s2)
+    addi s2, s2, 16
+    addi t2, t2, 1
+    sd t2, 0(s2)
+    sd s4, 8(s2)
+    addi s2, s2, 16
+    j qloop
+qdone:
+    li a0, 0
+    li t0, 0
+    li t1, 0
+vfold:
+    slli t2, t0, 3
+    add t2, t2, s0
+    ld t3, 0(t2)
+    bgeu t3, t1, inorder
+    li a0, 0xbadbad
+    j vdone
+inorder:
+    mv t1, t3
+    slli t4, a0, 1
+    srli t5, a0, 63
+    or a0, t4, t5
+    xor a0, a0, t3
+    addi t0, t0, 1
+    blt t0, s1, vfold
+vdone:
+{EXIT}
+    .data
+    .align 6
+arr:
+    .zero {ARRBYTES}
+    .align 6
+stk:
+    .zero {STKBYTES}
+)";
+
+uint64_t
+qsortReference(uint64_t seed)
+{
+    uint64_t x = seed;
+    vector<uint64_t> arr(qsortElems);
+    for (auto &value : arr) {
+        lcgNext(x);
+        value = x >> 8;
+    }
+    std::sort(arr.begin(), arr.end());
+    uint64_t sum = 0;
+    for (uint64_t value : arr)
+        sum = rotl64(sum, 1) ^ value;
+    return sum;
+}
+
+Workload
+makeQsort()
+{
+    const uint64_t seed = 0x9507;
+    std::string source = qsortSource;
+    source = substitute(source, "N", qsortElems);
+    source = substitute(source, "ARRBYTES", qsortElems * 8);
+    source = substitute(source, "STKBYTES", qsortElems * 32);
+    source = withLcg(source, seed);
+    return {"qsort", Suite::MiBench,
+            "iterative Hoare quicksort with explicit range stack",
+            finish(source), [seed] { return qsortReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// rijndael: AES-like SPN rounds with a generated byte S-box.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t rijndaelBlocks = 300;
+constexpr uint64_t rijndaelRounds = 8;
+
+const char *rijndaelSource = R"(
+    la s0, sbox
+    li t0, 0
+sgen:
+    li t1, 167
+    mul t1, t0, t1
+    addi t1, t1, 13
+    andi t1, t1, 0xff
+    add t2, s0, t0
+    sb t1, 0(t2)
+    addi t0, t0, 1
+    li t3, 256
+    blt t0, t3, sgen
+
+    li s4, 0
+    li s9, {SEED}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li s5, {BLOCKS}
+    la s2, trace
+    li s3, 0
+block:
+    mul s9, s9, s10
+    add s9, s9, s11
+    mv s6, s9
+    mul s9, s9, s10
+    add s9, s9, s11
+    mv s7, s9
+    li a6, {KEY0}
+    li a7, {KEY1}
+
+    li s8, 0
+round:
+    xor s6, s6, a6
+    xor s7, s7, a7
+    li t2, 0
+    li t3, 8
+sub_l:
+    andi t4, s6, 0xff
+    add t4, t4, s0
+    lbu t4, 0(t4)
+    slli t2, t2, 8
+    or t2, t2, t4
+    srli s6, s6, 8
+    addi t3, t3, -1
+    bnez t3, sub_l
+    li t5, 0
+    li t3, 8
+sub_h:
+    andi t4, s7, 0xff
+    add t4, t4, s0
+    lbu t4, 0(t4)
+    slli t5, t5, 8
+    or t5, t5, t4
+    srli s7, s7, 8
+    addi t3, t3, -1
+    bnez t3, sub_h
+    slli t0, t2, 8
+    srli t1, t2, 56
+    or t0, t0, t1
+    xor s6, t0, t5
+    slli t0, t5, 24
+    srli t1, t5, 40
+    or t0, t0, t1
+    xor s7, t0, t2
+    slli t0, a6, 7
+    srli t1, a6, 57
+    or a6, t0, t1
+    add a6, a6, s8
+    slli t0, a7, 13
+    srli t1, a7, 51
+    or a7, t0, t1
+    xor a7, a7, s8
+    andi t0, s3, 2047
+    slli t0, t0, 4
+    add t0, t0, s2
+    sd s6, 0(t0)
+    sd s7, 8(t0)
+    addi s3, s3, 1
+    addi s8, s8, 1
+    li t0, {ROUNDS}
+    blt s8, t0, round
+
+    add s4, s4, s6
+    slli t0, s4, 1
+    srli t1, s4, 63
+    or s4, t0, t1
+    xor s4, s4, s7
+    addi s5, s5, -1
+    bnez s5, block
+    add a0, s4, s3
+{EXIT}
+    .data
+    .align 6
+sbox:
+    .zero 256
+    .align 6
+trace:
+    .zero 32768
+)";
+
+uint64_t
+rijndaelReference(uint64_t seed, uint64_t key0, uint64_t key1)
+{
+    uint8_t sbox[256];
+    for (unsigned i = 0; i < 256; ++i)
+        sbox[i] = uint8_t(i * 167 + 13);
+
+    auto substitute_bytes = [&sbox](uint64_t value) {
+        uint64_t result = 0;
+        for (int b = 0; b < 8; ++b) {
+            result = (result << 8) | sbox[value & 0xff];
+            value >>= 8;
+        }
+        return result;
+    };
+
+    uint64_t x = seed, sum = 0;
+    for (uint64_t blk = 0; blk < rijndaelBlocks; ++blk) {
+        uint64_t low = lcgNext(x);
+        uint64_t high = lcgNext(x);
+        uint64_t k0 = key0, k1 = key1;
+        for (uint64_t r = 0; r < rijndaelRounds; ++r) {
+            low ^= k0;
+            high ^= k1;
+            const uint64_t sub_low = substitute_bytes(low);
+            const uint64_t sub_high = substitute_bytes(high);
+            low = rotl64(sub_low, 8) ^ sub_high;
+            high = rotl64(sub_high, 24) ^ sub_low;
+            k0 = rotl64(k0, 7) + r;
+            k1 = rotl64(k1, 13) ^ r;
+        }
+        sum += low;
+        sum = rotl64(sum, 1) ^ high;
+    }
+    return sum + rijndaelBlocks * rijndaelRounds;
+}
+
+Workload
+makeRijndael()
+{
+    const uint64_t seed = 0xae5;
+    const uint64_t key0 = 0x0f1e2d3c4b5a6978ULL;
+    const uint64_t key1 = 0x8796a5b4c3d2e1f0ULL;
+    std::string source = rijndaelSource;
+    source = substitute(source, "BLOCKS", rijndaelBlocks);
+    source = substitute(source, "ROUNDS", rijndaelRounds);
+    source = substitute(source, "KEY0", key0);
+    source = substitute(source, "KEY1", key1);
+    source = withLcg(source, seed);
+    return {"rijndael", Suite::MiBench,
+            "AES-like SPN rounds with byte S-box lookups",
+            finish(source), [seed, key0, key1] {
+                return rijndaelReference(seed, key0, key1);
+            }};
+}
+
+// ---------------------------------------------------------------------
+// rsynth: wavetable oscillator bank with clipping.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t rsynthSamples = 15000;
+
+const char *rsynthSource = R"(
+    la s0, wave
+    li t0, 0
+wgen:
+    li t1, 512
+    blt t0, t1, rising
+    li t2, 768
+    sub t2, t2, t0
+    j wstore
+rising:
+    addi t2, t0, -256
+wstore:
+    slli t3, t0, 1
+    add t3, t3, s0
+    sh t2, 0(t3)
+    addi t0, t0, 1
+    li t1, 1024
+    blt t0, t1, wgen
+
+    la s1, out
+    li s2, 0
+    li s3, 0
+    li s4, 0
+    li s5, 0
+    li s6, {N}
+    li s7, 0
+    li s8, 4095
+synth:
+    addi s2, s2, 511
+    addi s3, s3, 197
+    addi s4, s4, 89
+    srli t0, s2, 6
+    andi t0, t0, 1023
+    slli t0, t0, 1
+    add t0, t0, s0
+    lh t1, 0(t0)
+    srli t0, s3, 6
+    andi t0, t0, 1023
+    slli t0, t0, 1
+    add t0, t0, s0
+    lh t2, 0(t0)
+    srli t0, s4, 6
+    andi t0, t0, 1023
+    slli t0, t0, 1
+    add t0, t0, s0
+    lh t3, 0(t0)
+    add t1, t1, t2
+    sub t1, t1, t3
+    li t4, 700
+    ble t1, t4, clip_lo
+    mv t1, t4
+clip_lo:
+    li t4, -700
+    bge t1, t4, clip_done
+    mv t1, t4
+clip_done:
+    and t5, s7, s8
+    slli t5, t5, 1
+    add t5, t5, s1
+    sh t1, 0(t5)
+    add s5, s5, t1
+    slli t6, s5, 1
+    srli t0, s5, 63
+    or s5, t6, t0
+    addi s7, s7, 1
+    blt s7, s6, synth
+    mv a0, s5
+{EXIT}
+    .data
+    .align 6
+wave:
+    .zero 2048
+    .align 6
+out:
+    .zero 8192
+)";
+
+uint64_t
+rsynthReference()
+{
+    int16_t wave[1024];
+    for (int i = 0; i < 1024; ++i)
+        wave[i] = int16_t(i < 512 ? i - 256 : 768 - i);
+
+    uint64_t ph1 = 0, ph2 = 0, ph3 = 0, sum = 0;
+    for (uint64_t n = 0; n < rsynthSamples; ++n) {
+        ph1 += 511;
+        ph2 += 197;
+        ph3 += 89;
+        int64_t sample = wave[(ph1 >> 6) & 1023] +
+                         wave[(ph2 >> 6) & 1023] -
+                         wave[(ph3 >> 6) & 1023];
+        if (sample > 700)
+            sample = 700;
+        if (sample < -700)
+            sample = -700;
+        sum += uint64_t(sample);
+        sum = rotl64(sum, 1);
+    }
+    return sum;
+}
+
+Workload
+makeRsynth()
+{
+    std::string source = rsynthSource;
+    source = substitute(source, "N", rsynthSamples);
+    return {"rsynth", Suite::MiBench,
+            "wavetable oscillator bank with clipping and output stores",
+            finish(source), [] { return rsynthReference(); }};
+}
+
+// ---------------------------------------------------------------------
+// sha: SHA-1 compression over generated blocks.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t shaBlocks = 120;
+
+const char *shaSource = R"(
+    li s2, 0x67452301
+    li s3, 0xefcdab89
+    li s4, 0x98badcfe
+    li s5, 0x10325476
+    li s6, 0xc3d2e1f0
+    li s9, {SEED}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    la s0, wbuf
+    li s7, {BLOCKS}
+    li s8, 0xffffffff
+block:
+    li t0, 0
+wgen:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t1, s9, 32
+    slli t2, t0, 2
+    add t2, t2, s0
+    sw t1, 0(t2)
+    addi t0, t0, 1
+    li t3, 16
+    blt t0, t3, wgen
+wext:
+    slli t2, t0, 2
+    add t2, t2, s0
+    lwu t1, -12(t2)
+    lwu t3, -32(t2)
+    xor t1, t1, t3
+    lwu t3, -56(t2)
+    xor t1, t1, t3
+    lwu t3, -64(t2)
+    xor t1, t1, t3
+    slli t3, t1, 1
+    srli t1, t1, 31
+    or t1, t1, t3
+    and t1, t1, s8
+    sw t1, 0(t2)
+    addi t0, t0, 1
+    li t3, 80
+    blt t0, t3, wext
+
+    mv a1, s2
+    mv a2, s3
+    mv a3, s4
+    mv a4, s5
+    mv a5, s6
+    li t0, 0
+round:
+    li t3, 20
+    blt t0, t3, f1
+    li t3, 40
+    blt t0, t3, f2
+    li t3, 60
+    blt t0, t3, f3
+    xor t1, a2, a3
+    xor t1, t1, a4
+    li t2, 0xca62c1d6
+    j fdone
+f1:
+    and t1, a2, a3
+    not t2, a2
+    and t2, t2, a4
+    or t1, t1, t2
+    li t2, 0x5a827999
+    j fdone
+f2:
+    xor t1, a2, a3
+    xor t1, t1, a4
+    li t2, 0x6ed9eba1
+    j fdone
+f3:
+    and t1, a2, a3
+    and t3, a2, a4
+    or t1, t1, t3
+    and t3, a3, a4
+    or t1, t1, t3
+    li t2, 0x8f1bbcdc
+fdone:
+    slli t3, a1, 5
+    srli t4, a1, 27
+    or t3, t3, t4
+    and t3, t3, s8
+    add t3, t3, t1
+    add t3, t3, a5
+    add t3, t3, t2
+    slli t4, t0, 2
+    add t4, t4, s0
+    lwu t5, 0(t4)
+    add t3, t3, t5
+    and t3, t3, s8
+    mv a5, a4
+    mv a4, a3
+    slli t4, a2, 30
+    srli t5, a2, 2
+    or t4, t4, t5
+    and a3, t4, s8
+    mv a2, a1
+    mv a1, t3
+    addi t0, t0, 1
+    li t3, 80
+    blt t0, t3, round
+
+    add s2, s2, a1
+    and s2, s2, s8
+    add s3, s3, a2
+    and s3, s3, s8
+    add s4, s4, a3
+    and s4, s4, s8
+    add s5, s5, a4
+    and s5, s5, s8
+    add s6, s6, a5
+    and s6, s6, s8
+    addi s7, s7, -1
+    bnez s7, block
+
+    slli a0, s2, 32
+    or a0, a0, s3
+    xor a0, a0, s4
+    slli t0, s5, 16
+    add a0, a0, t0
+    xor a0, a0, s6
+{EXIT}
+    .data
+    .align 6
+wbuf:
+    .zero 320
+)";
+
+uint64_t
+shaReference(uint64_t seed)
+{
+    constexpr uint64_t m32 = 0xffffffffULL;
+    uint64_t h0 = 0x67452301, h1 = 0xefcdab89, h2 = 0x98badcfe;
+    uint64_t h3 = 0x10325476, h4 = 0xc3d2e1f0;
+    uint64_t x = seed;
+
+    for (uint64_t blk = 0; blk < shaBlocks; ++blk) {
+        uint64_t w[80];
+        for (int i = 0; i < 16; ++i) {
+            lcgNext(x);
+            w[i] = x >> 32;
+        }
+        for (int i = 16; i < 80; ++i) {
+            uint64_t v = w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16];
+            w[i] = ((v << 1) | (v >> 31)) & m32;
+        }
+        uint64_t a = h0, b = h1, c = h2, d = h3, e = h4;
+        for (int i = 0; i < 80; ++i) {
+            uint64_t f, k;
+            if (i < 20) {
+                f = (b & c) | (~b & d);
+                k = 0x5a827999;
+            } else if (i < 40) {
+                f = b ^ c ^ d;
+                k = 0x6ed9eba1;
+            } else if (i < 60) {
+                f = (b & c) | (b & d) | (c & d);
+                k = 0x8f1bbcdc;
+            } else {
+                f = b ^ c ^ d;
+                k = 0xca62c1d6;
+            }
+            const uint64_t temp =
+                ((((a << 5) | (a >> 27)) & m32) + f + e + k + w[i]) & m32;
+            e = d;
+            d = c;
+            c = ((b << 30) | (b >> 2)) & m32;
+            b = a;
+            a = temp;
+        }
+        h0 = (h0 + a) & m32;
+        h1 = (h1 + b) & m32;
+        h2 = (h2 + c) & m32;
+        h3 = (h3 + d) & m32;
+        h4 = (h4 + e) & m32;
+    }
+    uint64_t sum = (h0 << 32) | h1;
+    sum ^= h2;
+    sum += h3 << 16;
+    sum ^= h4;
+    return sum;
+}
+
+Workload
+makeSha()
+{
+    const uint64_t seed = 0x5a15a1;
+    std::string source = shaSource;
+    source = substitute(source, "BLOCKS", shaBlocks);
+    source = withLcg(source, seed);
+    return {"sha", Suite::MiBench,
+            "SHA-1 compression: schedule extension plus 80 rounds",
+            finish(source), [seed] { return shaReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// stringsearch: Horspool scanning with per-pattern skip tables.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t searchTextLen = 12000;
+constexpr uint64_t searchPatterns = 8;
+constexpr uint64_t searchPatLen = 6;
+
+const char *searchSource = R"(
+    la s0, text
+    li s9, {SEED}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li t0, {LEN}
+    mv t1, s0
+tgen:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t2, s9, 33
+    li t3, 26
+    remu t2, t2, t3
+    addi t2, t2, 97
+    sb t2, 0(t1)
+    addi t1, t1, 1
+    addi t0, t0, -1
+    bnez t0, tgen
+
+    la s1, skip
+    la s2, pat
+    li s4, 0
+    li s5, 0
+    li s7, 0
+pattern_loop:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t0, s9, 20
+    li t1, {MAXSTART}
+    remu t0, t0, t1
+    add t0, t0, s0
+    li t1, 0
+pcopy:
+    add t2, t0, t1
+    lbu t3, 0(t2)
+    add t4, s2, t1
+    sb t3, 0(t4)
+    addi t1, t1, 1
+    li t2, {PLEN}
+    blt t1, t2, pcopy
+
+    li t0, 0
+    li t1, {PLEN}
+sk_init:
+    add t2, s1, t0
+    sb t1, 0(t2)
+    addi t0, t0, 1
+    li t3, 256
+    blt t0, t3, sk_init
+    li t0, 0
+    li t4, {PLEN1}
+sk_fill:
+    add t2, s2, t0
+    lbu t3, 0(t2)
+    add t3, t3, s1
+    sub t5, t4, t0
+    sb t5, 0(t3)
+    addi t0, t0, 1
+    blt t0, t4, sk_fill
+
+    li t0, 0
+    li s6, {SCANLIMIT}
+scan:
+    bgt t0, s6, scan_done
+    li t1, {PLEN1}
+cmp:
+    add t2, t0, t1
+    add t2, t2, s0
+    lbu t3, 0(t2)
+    add t4, s2, t1
+    lbu t5, 0(t4)
+    bne t3, t5, mismatch
+    addi t1, t1, -1
+    bgez t1, cmp
+    add s4, s4, t0
+    addi s5, s5, 1
+    addi t0, t0, 1
+    j scan
+mismatch:
+    li t1, {PLEN1}
+    add t2, t0, t1
+    add t2, t2, s0
+    lbu t3, 0(t2)
+    add t3, t3, s1
+    lbu t4, 0(t3)
+    add t0, t0, t4
+    j scan
+scan_done:
+    addi s7, s7, 1
+    li t0, {NPAT}
+    blt s7, t0, pattern_loop
+    slli t0, s5, 20
+    add a0, s4, t0
+{EXIT}
+    .data
+    .align 6
+text:
+    .zero {LEN}
+skip:
+    .zero 256
+pat:
+    .zero 16
+)";
+
+uint64_t
+searchReference(uint64_t seed)
+{
+    uint64_t x = seed;
+    vector<uint8_t> text(searchTextLen);
+    for (auto &c : text) {
+        lcgNext(x);
+        c = uint8_t(97 + (x >> 33) % 26);
+    }
+
+    uint64_t pos_sum = 0, match_count = 0;
+    for (uint64_t p = 0; p < searchPatterns; ++p) {
+        lcgNext(x);
+        const uint64_t start =
+            (x >> 20) % (searchTextLen - searchPatLen - 2);
+        uint8_t pat[searchPatLen];
+        for (uint64_t i = 0; i < searchPatLen; ++i)
+            pat[i] = text[start + i];
+
+        uint8_t skip[256];
+        for (unsigned i = 0; i < 256; ++i)
+            skip[i] = searchPatLen;
+        for (uint64_t i = 0; i + 1 < searchPatLen; ++i)
+            skip[pat[i]] = uint8_t(searchPatLen - 1 - i);
+
+        int64_t i = 0;
+        const int64_t limit = int64_t(searchTextLen - searchPatLen);
+        while (i <= limit) {
+            int64_t j = searchPatLen - 1;
+            while (j >= 0 && text[i + j] == pat[j])
+                --j;
+            if (j < 0) {
+                pos_sum += uint64_t(i);
+                ++match_count;
+                ++i;
+            } else {
+                i += skip[text[i + searchPatLen - 1]];
+            }
+        }
+    }
+    return pos_sum + (match_count << 20);
+}
+
+Workload
+makeStringsearch()
+{
+    const uint64_t seed = 0x57a9;
+    std::string source = searchSource;
+    source = substitute(source, "LEN", searchTextLen);
+    source = substitute(source, "PLEN", searchPatLen);
+    source = substitute(source, "PLEN1", searchPatLen - 1);
+    source = substitute(source, "NPAT", searchPatterns);
+    source = substitute(source, "MAXSTART",
+                        searchTextLen - searchPatLen - 2);
+    source = substitute(source, "SCANLIMIT",
+                        searchTextLen - searchPatLen);
+    source = withLcg(source, seed);
+    return {"stringsearch", Suite::MiBench,
+            "Horspool text scanning with skip-table byte loads",
+            finish(source), [seed] { return searchReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// susan: USAN-style similarity counting over a smoothed byte image.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t susanWidth = 80;
+constexpr uint64_t susanHeight = 60;
+
+const char *susanSource = R"(
+    la s0, img
+    la s1, outimg
+    li s9, {SEED}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li t0, {PIXELS}
+    mv t1, s0
+    li t5, 128
+igen:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t2, s9, 40
+    andi t2, t2, 0xff
+    li t3, 3
+    mul t4, t5, t3
+    add t4, t4, t2
+    srli t4, t4, 2
+    mv t5, t4
+    sb t4, 0(t1)
+    addi t1, t1, 1
+    addi t0, t0, -1
+    bnez t0, igen
+
+    li s4, 0
+    li s5, 1
+yloop:
+    li s6, 1
+xloop:
+    li t0, {W}
+    mul t0, t0, s5
+    add t0, t0, s6
+    add t1, s0, t0
+    lbu t2, 0(t1)
+    li t3, 0
+    lbu t4, -{W1}(t1)
+    sub t5, t4, t2
+    srai t6, t5, 63
+    xor t5, t5, t6
+    sub t5, t5, t6
+    sltiu t5, t5, 21
+    add t3, t3, t5
+    lbu t4, -{W}(t1)
+    sub t5, t4, t2
+    srai t6, t5, 63
+    xor t5, t5, t6
+    sub t5, t5, t6
+    sltiu t5, t5, 21
+    add t3, t3, t5
+    lbu t4, -{Wm1}(t1)
+    sub t5, t4, t2
+    srai t6, t5, 63
+    xor t5, t5, t6
+    sub t5, t5, t6
+    sltiu t5, t5, 21
+    add t3, t3, t5
+    lbu t4, -1(t1)
+    sub t5, t4, t2
+    srai t6, t5, 63
+    xor t5, t5, t6
+    sub t5, t5, t6
+    sltiu t5, t5, 21
+    add t3, t3, t5
+    lbu t4, 1(t1)
+    sub t5, t4, t2
+    srai t6, t5, 63
+    xor t5, t5, t6
+    sub t5, t5, t6
+    sltiu t5, t5, 21
+    add t3, t3, t5
+    lbu t4, {Wm1}(t1)
+    sub t5, t4, t2
+    srai t6, t5, 63
+    xor t5, t5, t6
+    sub t5, t5, t6
+    sltiu t5, t5, 21
+    add t3, t3, t5
+    lbu t4, {W}(t1)
+    sub t5, t4, t2
+    srai t6, t5, 63
+    xor t5, t5, t6
+    sub t5, t5, t6
+    sltiu t5, t5, 21
+    add t3, t3, t5
+    lbu t4, {W1}(t1)
+    sub t5, t4, t2
+    srai t6, t5, 63
+    xor t5, t5, t6
+    sub t5, t5, t6
+    sltiu t5, t5, 21
+    add t3, t3, t5
+    add t4, s1, t0
+    sb t3, 0(t4)
+    add s4, s4, t3
+    sltiu t5, t3, 4
+    slli t5, t5, 6
+    add s4, s4, t5
+    addi s6, s6, 1
+    li t0, {Wlim}
+    blt s6, t0, xloop
+    addi s5, s5, 1
+    li t0, {Hlim}
+    blt s5, t0, yloop
+    mv a0, s4
+{EXIT}
+    .data
+    .align 6
+img:
+    .zero {PIXELS}
+    .align 6
+outimg:
+    .zero {PIXELS}
+)";
+
+uint64_t
+susanReference(uint64_t seed)
+{
+    constexpr uint64_t w = susanWidth, h = susanHeight;
+    vector<uint8_t> img(w * h);
+    uint64_t x = seed;
+    uint64_t prev = 128;
+    for (auto &pixel : img) {
+        lcgNext(x);
+        const uint64_t noise = (x >> 40) & 0xff;
+        prev = (prev * 3 + noise) >> 2;
+        pixel = uint8_t(prev);
+    }
+    uint64_t sum = 0;
+    for (uint64_t y = 1; y + 1 < h; ++y) {
+        for (uint64_t col = 1; col + 1 < w; ++col) {
+            const int64_t center = img[y * w + col];
+            const int64_t offsets[8] = {
+                -int64_t(w) - 1, -int64_t(w), -int64_t(w) + 1, -1,
+                1, int64_t(w) - 1, int64_t(w), int64_t(w) + 1};
+            uint64_t similar = 0;
+            for (int64_t off : offsets) {
+                int64_t diff = img[y * w + col + off] - center;
+                if (diff < 0)
+                    diff = -diff;
+                if (diff <= 20)
+                    ++similar;
+            }
+            sum += similar;
+            if (similar < 4)
+                sum += 64;
+        }
+    }
+    return sum;
+}
+
+Workload
+makeSusan()
+{
+    const uint64_t seed = 0x5a5a;
+    std::string source = susanSource;
+    source = substitute(source, "PIXELS", susanWidth * susanHeight);
+    source = substitute(source, "W", susanWidth);
+    source = substitute(source, "W1", susanWidth + 1);
+    source = substitute(source, "Wm1", susanWidth - 1);
+    source = substitute(source, "Wlim", susanWidth - 1);
+    source = substitute(source, "Hlim", susanHeight - 1);
+    source = withLcg(source, seed);
+    return {"susan", Suite::MiBench,
+            "USAN neighbor-similarity counting over a byte image",
+            finish(source), [seed] { return susanReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// typeset: greedy line breaking over a doubly linked box list.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t typesetBoxes = 3000;
+
+const char *typesetSource = R"(
+    la s0, boxes
+    li s9, {SEED}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li t0, 0
+    li t6, 0
+build:
+    li t1, 24
+    mul t1, t1, t0
+    add t1, t1, s0
+    addi t2, t0, 1
+    li t3, {N}
+    blt t2, t3, has_next
+    sd zero, 0(t1)
+    j set_prev
+has_next:
+    li t4, 24
+    mul t4, t4, t2
+    add t4, t4, s0
+    sd t4, 0(t1)
+set_prev:
+    sd t6, 8(t1)
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t5, s9, 45
+    andi t5, t5, 15
+    addi t5, t5, 1
+    sd t5, 16(t1)
+    mv t6, t1
+    addi t0, t0, 1
+    li t3, {N}
+    blt t0, t3, build
+
+    li s4, 0
+    li s5, 0
+    la s6, breaks
+width_loop:
+    la s6, breaks
+    slli t0, s5, 4
+    addi t0, t0, 60
+    mv t1, s0
+    li t2, 0
+    li t3, 0
+walk:
+    beqz t1, walk_done
+    ld t4, 16(t1)
+    add t2, t2, t4
+    ble t2, t0, advance
+    sub t5, t2, t4
+    sub t5, t0, t5
+    mul t5, t5, t5
+    add s4, s4, t5
+    sd t5, 0(s6)
+    sd t3, 8(s6)
+    sd t1, 16(s6)
+    sd t2, 24(s6)
+    addi s6, s6, 32
+    addi t3, t3, 1
+    mv t2, t4
+advance:
+    ld t1, 0(t1)
+    j walk
+walk_done:
+    slli t3, t3, 8
+    add s4, s4, t3
+    addi s5, s5, 1
+    li t0, 5
+    blt s5, t0, width_loop
+
+    li t0, 24
+    li t1, {NM1}
+    mul t0, t0, t1
+    add t0, t0, s0
+    li t2, 0
+rwalk:
+    beqz t0, rdone
+    ld t3, 16(t0)
+    xor t2, t2, t3
+    slli t4, t2, 3
+    srli t5, t2, 61
+    or t2, t4, t5
+    ld t0, 8(t0)
+    j rwalk
+rdone:
+    add a0, s4, t2
+{EXIT}
+    .data
+    .align 6
+boxes:
+    .zero {BOXBYTES}
+    .align 6
+breaks:
+    .zero {BREAKBYTES}
+)";
+
+uint64_t
+typesetReference(uint64_t seed)
+{
+    uint64_t x = seed;
+    vector<uint64_t> widths(typesetBoxes);
+    for (auto &width : widths) {
+        lcgNext(x);
+        width = ((x >> 45) & 15) + 1;
+    }
+
+    uint64_t sum = 0;
+    for (uint64_t wl = 0; wl < 5; ++wl) {
+        const uint64_t line_width = wl * 16 + 60;
+        uint64_t acc = 0, lines = 0;
+        for (uint64_t w : widths) {
+            acc += w;
+            if (int64_t(acc) > int64_t(line_width)) {
+                const int64_t slack =
+                    int64_t(line_width) - int64_t(acc - w);
+                sum += uint64_t(slack * slack);
+                ++lines;
+                acc = w;
+            }
+        }
+        sum += lines << 8;
+    }
+
+    uint64_t fold = 0;
+    for (uint64_t i = typesetBoxes; i-- > 0;) {
+        fold ^= widths[i];
+        fold = rotl64(fold, 3);
+    }
+    return sum + fold;
+}
+
+Workload
+makeTypeset()
+{
+    const uint64_t seed = 0x7e5e;
+    std::string source = typesetSource;
+    source = substitute(source, "N", typesetBoxes);
+    source = substitute(source, "NM1", typesetBoxes - 1);
+    source = substitute(source, "BOXBYTES", typesetBoxes * 24);
+    source = substitute(source, "BREAKBYTES", typesetBoxes * 32);
+    source = withLcg(source, seed);
+    return {"typeset", Suite::MiBench,
+            "greedy line breaking over a doubly linked box list",
+            finish(source), [seed] { return typesetReference(seed); }};
+}
+
+} // namespace
+
+std::vector<Workload>
+mibenchWorkloads2()
+{
+    std::vector<Workload> workloads;
+    workloads.push_back(makeJpeg());
+    workloads.push_back(makePatricia());
+    workloads.push_back(makeQsort());
+    workloads.push_back(makeRijndael());
+    workloads.push_back(makeRsynth());
+    workloads.push_back(makeSha());
+    workloads.push_back(makeStringsearch());
+    workloads.push_back(makeSusan());
+    workloads.push_back(makeTypeset());
+    return workloads;
+}
+
+} // namespace workload_detail
+} // namespace helios

@@ -1,0 +1,1381 @@
+/**
+ * @file
+ * SPEC CPU 2017-like kernels (see DESIGN.md §1 for the substitution
+ * rationale). Each kernel mimics the dominant instruction-level
+ * behaviour of the paper's application and self-checks via a checksum.
+ */
+
+#include "workloads/workloads.hh"
+
+#include <vector>
+
+namespace helios
+{
+namespace workload_detail
+{
+
+namespace
+{
+
+using std::vector;
+
+const std::string exitStub = R"(
+    li a7, 93
+    ecall
+)";
+
+// ---------------------------------------------------------------------
+// 600.perlbench_s: string tokenization and hashing over generated text.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t perlLen = 12000;
+constexpr uint64_t perlBuckets = 256;
+
+const char *perlSource = R"(
+    la s0, text
+    li s1, {LEN}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li s9, {SEED}
+    li t0, 0
+    li s5, 26
+gen:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t1, s9, 33
+    andi t1, t1, 63
+    remu t2, t1, s5
+    addi t2, t2, 97
+    sltiu t3, t1, 8
+    addi t4, t3, -1
+    and t2, t2, t4
+    li t5, 32
+    sub t6, zero, t3
+    and t5, t5, t6
+    or t2, t2, t5
+    add t6, s0, t0
+    sb t2, 0(t6)
+    addi t0, t0, 1
+    blt t0, s1, gen
+
+    li t0, 0
+    li t3, 0
+    la s2, buckets
+    la s6, toklog
+    li s3, {NB}
+    li s4, 31
+tok:
+    add t2, s0, t0
+    lbu t1, 0(t2)
+    li t4, 32
+    beq t1, t4, tok_sep
+    mul t3, t3, s4
+    add t3, t3, t1
+    j tok_next
+tok_sep:
+    beqz t3, tok_next
+    remu t5, t3, s3
+    slli t5, t5, 3
+    add t5, t5, s2
+    ld t6, 0(t5)
+    add t6, t6, t3
+    sd t6, 0(t5)
+    sd t3, 0(s6)
+    sd t0, 8(s6)
+    addi s6, s6, 16
+    li t3, 0
+tok_next:
+    addi t0, t0, 1
+    blt t0, s1, tok
+
+    li a0, 0
+    li t0, 0
+fold:
+    slli t1, t0, 3
+    add t1, t1, s2
+    ld t2, 0(t1)
+    slli t4, a0, 7
+    srli t5, a0, 57
+    or a0, t4, t5
+    xor a0, a0, t2
+    addi t0, t0, 1
+    blt t0, s3, fold
+    la t0, toklog
+    sub t1, s6, t0
+    add a0, a0, t1
+lfold:
+    bgeu t0, s6, lfold_done
+    ld t2, 0(t0)
+    ld t3, 8(t0)
+    add a0, a0, t2
+    xor a0, a0, t3
+    addi t0, t0, 16
+    j lfold
+lfold_done:
+{EXIT}
+    .data
+    .align 6
+text:
+    .zero {LEN}
+    .align 6
+buckets:
+    .zero {NBBYTES}
+    .align 6
+toklog:
+    .zero {LOGBYTES}
+)";
+
+uint64_t
+perlReference(uint64_t seed)
+{
+    vector<uint8_t> text(perlLen);
+    uint64_t x = seed;
+    for (uint64_t i = 0; i < perlLen; ++i) {
+        lcgNext(x);
+        const uint64_t v = (x >> 33) & 63;
+        text[i] = v < 8 ? 32 : uint8_t(97 + v % 26);
+    }
+    vector<uint64_t> buckets(perlBuckets, 0);
+    vector<std::pair<uint64_t, uint64_t>> toklog;
+    uint64_t hash = 0;
+    for (uint64_t i = 0; i < perlLen; ++i) {
+        if (text[i] == 32) {
+            if (hash != 0) {
+                buckets[hash % perlBuckets] += hash;
+                toklog.emplace_back(hash, i);
+                hash = 0;
+            }
+        } else {
+            hash = hash * 31 + text[i];
+        }
+    }
+    uint64_t sum = 0;
+    for (uint64_t i = 0; i < perlBuckets; ++i)
+        sum = ((sum << 7) | (sum >> 57)) ^ buckets[i];
+    sum += toklog.size() * 16;
+    for (const auto &[h, pos] : toklog) {
+        sum += h;
+        sum ^= pos;
+    }
+    return sum;
+}
+
+Workload
+makePerlbench(int variant, uint64_t seed)
+{
+    std::string source = perlSource;
+    source = substitute(source, "LEN", perlLen);
+    source = substitute(source, "NB", perlBuckets);
+    source = substitute(source, "NBBYTES", perlBuckets * 8);
+    source = substitute(source, "LOGBYTES", perlLen * 4);
+    source = substitute(source, "SEED", seed);
+    source = substitute(source, "LCGMUL", lcgMul);
+    source = substitute(source, "LCGADD", lcgAdd);
+    size_t pos = source.find("{EXIT}");
+    source.replace(pos, 6, exitStub);
+    return {"600.perlbench_s_" + std::to_string(variant), Suite::Spec,
+            "token scanning and hash-bucket updates over text",
+            source, [seed] { return perlReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// 602.gcc_s: bitset dataflow iteration over basic-block sets.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t gccBlocks = 64;
+constexpr uint64_t gccWordsPerBlock = 16;
+constexpr uint64_t gccWords = gccBlocks * gccWordsPerBlock;
+constexpr uint64_t gccPasses = 15;
+
+const char *gccSource = R"(
+    la s0, arena
+    li t0, {INITWORDS}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li s9, {SEED}
+    mv t1, s0
+igen:
+    mul s9, s9, s10
+    add s9, s9, s11
+    sd s9, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, -1
+    bnez t0, igen
+
+    la s1, arena
+    li t0, {ARRBYTES}
+    add s2, s1, t0
+    add s3, s2, t0
+    add s4, s3, t0
+    add s8, s4, t0
+    li s5, {PASSES}
+pass:
+    mv t2, s1
+    mv t3, s2
+    mv t4, s3
+    mv t5, s4
+    li s6, {HALFWORDS}
+inner:
+    ld a1, 0(t2)
+    ld a2, 8(t2)
+    ld a3, 0(t3)
+    ld a4, 8(t3)
+    ld a5, 0(t4)
+    ld a6, 8(t4)
+    not a3, a3
+    not a4, a4
+    and a5, a5, a3
+    and a6, a6, a4
+    or a5, a5, a1
+    or a6, a6, a2
+    sd a5, 0(t5)
+    sd a6, 8(t5)
+    addi t2, t2, 16
+    addi t3, t3, 16
+    addi t4, t4, 16
+    addi t5, t5, 16
+    addi s6, s6, -1
+    bnez s6, inner
+
+    li t0, 0
+    li s7, {NWBYTES}
+    li t6, {ARRBYTES}
+prop:
+    add t1, t0, s7
+    bltu t1, t6, nowrap
+    sub t1, t1, t6
+nowrap:
+    add t2, s4, t1
+    ld t3, 0(t2)
+    add t4, s3, t0
+    ld t5, 0(t4)
+    xor t3, t3, t5
+    add t4, s8, t0
+    sd t3, 0(t4)
+    addi t0, t0, 8
+    bltu t0, t6, prop
+    mv t0, s3
+    mv s3, s8
+    mv s8, t0
+    addi s5, s5, -1
+    bnez s5, pass
+
+    li a0, 0
+    mv t0, s3
+    li t1, {NWORDS}
+fold:
+    ld t2, 0(t0)
+    add a0, a0, t2
+    slli t3, a0, 1
+    srli t4, a0, 63
+    or a0, t3, t4
+    addi t0, t0, 8
+    addi t1, t1, -1
+    bnez t1, fold
+{EXIT}
+    .data
+    .align 6
+arena:
+    .zero {TOTALBYTES}
+)";
+
+uint64_t
+gccReference(uint64_t seed)
+{
+    vector<uint64_t> gen(gccWords), kill(gccWords);
+    vector<uint64_t> in(gccWords, 0), out(gccWords, 0);
+    uint64_t x = seed;
+    for (uint64_t i = 0; i < gccWords; ++i)
+        gen[i] = lcgNext(x);
+    for (uint64_t i = 0; i < gccWords; ++i)
+        kill[i] = lcgNext(x);
+    vector<uint64_t> scratch(gccWords, 0);
+    for (uint64_t pass = 0; pass < gccPasses; ++pass) {
+        for (uint64_t i = 0; i < gccWords; ++i)
+            out[i] = gen[i] | (in[i] & ~kill[i]);
+        for (uint64_t i = 0; i < gccWords; ++i)
+            scratch[i] = out[(i + gccWordsPerBlock) % gccWords] ^ in[i];
+        std::swap(in, scratch);
+    }
+    uint64_t sum = 0;
+    for (uint64_t i = 0; i < gccWords; ++i) {
+        sum += in[i];
+        sum = (sum << 1) | (sum >> 63);
+    }
+    return sum;
+}
+
+Workload
+makeGcc(int variant, uint64_t seed)
+{
+    std::string source = gccSource;
+    source = substitute(source, "INITWORDS", gccWords * 2);
+    source = substitute(source, "ARRBYTES", gccWords * 8);
+    source = substitute(source, "HALFWORDS", gccWords / 2);
+    source = substitute(source, "NWBYTES", gccWordsPerBlock * 8);
+    source = substitute(source, "NWORDS", gccWords);
+    source = substitute(source, "PASSES", gccPasses);
+    source = substitute(source, "TOTALBYTES", gccWords * 8 * 5);
+    source = substitute(source, "SEED", seed);
+    source = substitute(source, "LCGMUL", lcgMul);
+    source = substitute(source, "LCGADD", lcgAdd);
+    size_t pos = source.find("{EXIT}");
+    source.replace(pos, 6, exitStub);
+    return {"602.gcc_s_" + std::to_string(variant), Suite::Spec,
+            "bitset dataflow over basic-block gen/kill/in/out sets",
+            source, [seed] { return gccReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// 605.mcf_s: pointer chasing over a scattered linked list.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t mcfNodes = 4096;
+constexpr uint64_t mcfSteps = 60000;
+
+const char *mcfSource = R"(
+    la s0, heap
+    li s1, {N}
+    li t0, 0
+build:
+    slli t1, t0, 5
+    add t1, t1, s0
+    li t2, 17
+    mul t2, t0, t2
+    addi t2, t2, 1
+    remu t2, t2, s1
+    slli t2, t2, 5
+    add t2, t2, s0
+    sd t2, 0(t1)
+    li t3, 2654435761
+    mul t3, t0, t3
+    li t4, 0xffff
+    and t3, t3, t4
+    sd t3, 8(t1)
+    xori t5, t3, 0x55
+    sd t5, 16(t1)
+    addi t0, t0, 1
+    blt t0, s1, build
+
+    li s2, 0
+    mv t0, s0
+    li s3, {STEPS}
+traverse:
+    ld t1, 8(t0)
+    ld t2, 16(t0)
+    add s2, s2, t1
+    xor s2, s2, t2
+    ld t0, 0(t0)
+    addi s3, s3, -1
+    bnez s3, traverse
+    mv a0, s2
+{EXIT}
+    .data
+    .align 6
+heap:
+    .zero {HEAPBYTES}
+)";
+
+uint64_t
+mcfReference()
+{
+    vector<uint64_t> next(mcfNodes), val(mcfNodes), weight(mcfNodes);
+    for (uint64_t i = 0; i < mcfNodes; ++i) {
+        next[i] = (i * 17 + 1) % mcfNodes;
+        val[i] = (i * 2654435761ULL) & 0xffff;
+        weight[i] = val[i] ^ 0x55;
+    }
+    uint64_t sum = 0, cur = 0;
+    for (uint64_t s = 0; s < mcfSteps; ++s) {
+        sum += val[cur];
+        sum ^= weight[cur];
+        cur = next[cur];
+    }
+    return sum;
+}
+
+Workload
+makeMcf()
+{
+    std::string source = mcfSource;
+    source = substitute(source, "N", mcfNodes);
+    source = substitute(source, "STEPS", mcfSteps);
+    source = substitute(source, "HEAPBYTES", mcfNodes * 32);
+    size_t pos = source.find("{EXIT}");
+    source.replace(pos, 6, exitStub);
+    return {"605.mcf_s", Suite::Spec,
+            "pointer chasing over 32-byte list nodes with field pairs",
+            source, [] { return mcfReference(); }};
+}
+
+// ---------------------------------------------------------------------
+// 620.omnetpp_s: binary-heap event queue churn.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t omnetFill = 256;
+constexpr uint64_t omnetOps = 3000;
+
+const char *omnetSource = R"(
+    la s0, heap
+    li s1, 0
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li s9, {SEED}
+    li s2, {FILL}
+fill:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t0, s9, 16
+    call push
+    addi s2, s2, -1
+    bnez s2, fill
+
+    li s3, {OPS}
+    li s4, 0
+ops:
+    call pop
+    add s4, s4, t0
+    slli t1, t0, 13
+    xor t0, t0, t1
+    srli t1, t0, 7
+    xor t0, t0, t1
+    slli t1, t0, 17
+    xor t0, t0, t1
+    srli t0, t0, 8
+    call push
+    addi s3, s3, -1
+    bnez s3, ops
+    mv a0, s4
+{EXIT}
+
+push:
+    addi s1, s1, 1
+    mv t1, s1
+    slli t2, t1, 3
+    add t2, t2, s0
+    sd t0, 0(t2)
+push_loop:
+    li t3, 1
+    bleu t1, t3, push_done
+    srli t4, t1, 1
+    slli t5, t4, 3
+    add t5, t5, s0
+    ld t6, 0(t5)
+    slli t2, t1, 3
+    add t2, t2, s0
+    ld t3, 0(t2)
+    bgeu t3, t6, push_done
+    sd t6, 0(t2)
+    sd t3, 0(t5)
+    mv t1, t4
+    j push_loop
+push_done:
+    ret
+
+pop:
+    ld t0, 8(s0)
+    slli t1, s1, 3
+    add t1, t1, s0
+    ld t2, 0(t1)
+    sd t2, 8(s0)
+    addi s1, s1, -1
+    li t1, 1
+pop_loop:
+    slli t2, t1, 1
+    bgtu t2, s1, pop_done
+    slli t3, t2, 3
+    add t3, t3, s0
+    ld t4, 0(t3)
+    addi t5, t2, 1
+    bgtu t5, s1, no_right
+    ld t6, 8(t3)
+    bgeu t6, t4, no_right
+    mv t4, t6
+    mv t2, t5
+no_right:
+    slli t5, t1, 3
+    add t5, t5, s0
+    ld t6, 0(t5)
+    bleu t6, t4, pop_done
+    slli t3, t2, 3
+    add t3, t3, s0
+    sd t6, 0(t3)
+    sd t4, 0(t5)
+    mv t1, t2
+    j pop_loop
+pop_done:
+    ret
+    .data
+    .align 6
+heap:
+    .zero {HEAPBYTES}
+)";
+
+uint64_t
+omnetReference(uint64_t seed)
+{
+    vector<uint64_t> heap(omnetFill + omnetOps + 2, 0);
+    uint64_t size = 0;
+    auto push = [&](uint64_t key) {
+        heap[++size] = key;
+        uint64_t i = size;
+        while (i > 1) {
+            const uint64_t p = i / 2;
+            if (heap[i] >= heap[p])
+                break;
+            std::swap(heap[i], heap[p]);
+            i = p;
+        }
+    };
+    auto pop = [&] {
+        const uint64_t top = heap[1];
+        heap[1] = heap[size--];
+        uint64_t i = 1;
+        while (true) {
+            uint64_t c = 2 * i;
+            if (c > size)
+                break;
+            uint64_t child_val = heap[c];
+            if (c + 1 <= size && heap[c + 1] < child_val) {
+                child_val = heap[c + 1];
+                c = c + 1;
+            }
+            if (heap[i] <= child_val)
+                break;
+            std::swap(heap[i], heap[c]);
+            i = c;
+        }
+        return top;
+    };
+
+    uint64_t x = seed;
+    for (uint64_t i = 0; i < omnetFill; ++i) {
+        lcgNext(x);
+        push(x >> 16);
+    }
+    uint64_t sum = 0;
+    for (uint64_t i = 0; i < omnetOps; ++i) {
+        uint64_t key = pop();
+        sum += key;
+        key ^= key << 13;
+        key ^= key >> 7;
+        key ^= key << 17;
+        push(key >> 8);
+    }
+    return sum;
+}
+
+Workload
+makeOmnetpp()
+{
+    const uint64_t seed = 777;
+    std::string source = omnetSource;
+    source = substitute(source, "FILL", omnetFill);
+    source = substitute(source, "OPS", omnetOps);
+    source = substitute(source, "HEAPBYTES",
+                        (omnetFill + omnetOps + 2) * 8);
+    source = substitute(source, "SEED", seed);
+    source = substitute(source, "LCGMUL", lcgMul);
+    source = substitute(source, "LCGADD", lcgAdd);
+    size_t pos = source.find("{EXIT}");
+    source.replace(pos, 6, exitStub);
+    return {"620.omnetpp_s", Suite::Spec,
+            "binary-heap event queue with sift swaps (ld/sd pairs)",
+            source, [seed] { return omnetReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// 623.xalancbmk_s: binary search tree build and probe.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t xalanInserts = 2000;
+constexpr uint64_t xalanLookups = 2000;
+
+const char *xalanSource = R"(
+    la s0, arena
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li s9, {SEED}
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t0, s9, 40
+    sd zero, 0(s0)
+    sd zero, 8(s0)
+    sd t0, 16(s0)
+    li s1, 1
+    li s2, {N}
+ins:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t0, s9, 40
+    mv t1, s0
+ins_walk:
+    ld t2, 16(t1)
+    bltu t0, t2, go_left
+    ld t3, 8(t1)
+    beqz t3, attach_right
+    mv t1, t3
+    j ins_walk
+go_left:
+    ld t3, 0(t1)
+    beqz t3, attach_left
+    mv t1, t3
+    j ins_walk
+attach_right:
+    li t4, 24
+    mul t4, s1, t4
+    add t4, t4, s0
+    sd zero, 0(t4)
+    sd zero, 8(t4)
+    sd t0, 16(t4)
+    sd t4, 8(t1)
+    addi s1, s1, 1
+    j ins_next
+attach_left:
+    li t4, 24
+    mul t4, s1, t4
+    add t4, t4, s0
+    sd zero, 0(t4)
+    sd zero, 8(t4)
+    sd t0, 16(t4)
+    sd t4, 0(t1)
+    addi s1, s1, 1
+ins_next:
+    addi s2, s2, -1
+    bnez s2, ins
+
+    li s3, {M}
+    li s4, 0
+look:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t0, s9, 40
+    mv t1, s0
+    li t5, 0
+look_walk:
+    beqz t1, look_miss
+    ld t2, 16(t1)
+    beq t2, t0, look_hit
+    bltu t0, t2, look_left
+    ld t1, 8(t1)
+    addi t5, t5, 1
+    j look_walk
+look_left:
+    ld t1, 0(t1)
+    addi t5, t5, 1
+    j look_walk
+look_hit:
+    add s4, s4, t2
+look_miss:
+    add s4, s4, t5
+    addi s3, s3, -1
+    bnez s3, look
+    mv a0, s4
+{EXIT}
+    .data
+    .align 6
+arena:
+    .zero {ARENABYTES}
+)";
+
+uint64_t
+xalanReference(uint64_t seed)
+{
+    struct Node
+    {
+        uint64_t left = 0, right = 0, key = 0;
+    };
+    vector<Node> nodes;
+    nodes.reserve(xalanInserts + 1);
+    uint64_t x = seed;
+    lcgNext(x);
+    nodes.push_back({0, 0, x >> 40});
+
+    for (uint64_t i = 0; i < xalanInserts; ++i) {
+        lcgNext(x);
+        const uint64_t key = x >> 40;
+        uint64_t cur = 0;
+        while (true) {
+            if (key < nodes[cur].key) {
+                if (nodes[cur].left == 0) {
+                    nodes.push_back({0, 0, key});
+                    nodes[cur].left = nodes.size() - 1;
+                    break;
+                }
+                cur = nodes[cur].left;
+            } else {
+                if (nodes[cur].right == 0) {
+                    nodes.push_back({0, 0, key});
+                    nodes[cur].right = nodes.size() - 1;
+                    break;
+                }
+                cur = nodes[cur].right;
+            }
+        }
+    }
+
+    uint64_t sum = 0;
+    for (uint64_t i = 0; i < xalanLookups; ++i) {
+        lcgNext(x);
+        const uint64_t key = x >> 40;
+        uint64_t cur = 0;
+        uint64_t depth = 0;
+        bool present = true;
+        while (nodes[cur].key != key) {
+            const uint64_t next_index = key < nodes[cur].key
+                                            ? nodes[cur].left
+                                            : nodes[cur].right;
+            ++depth;
+            if (next_index == 0) {
+                present = false;
+                break;
+            }
+            cur = next_index;
+        }
+        if (present)
+            sum += nodes[cur].key;
+        sum += depth;
+    }
+    return sum;
+}
+
+Workload
+makeXalancbmk()
+{
+    const uint64_t seed = 4242;
+    std::string source = xalanSource;
+    source = substitute(source, "N", xalanInserts);
+    source = substitute(source, "M", xalanLookups);
+    source = substitute(source, "ARENABYTES", (xalanInserts + 2) * 24);
+    source = substitute(source, "SEED", seed);
+    source = substitute(source, "LCGMUL", lcgMul);
+    source = substitute(source, "LCGADD", lcgAdd);
+    size_t pos = source.find("{EXIT}");
+    source.replace(pos, 6, exitStub);
+    return {"623.xalancbmk_s", Suite::Spec,
+            "binary search tree walks over 24-byte nodes",
+            source, [seed] { return xalanReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// 631.deepsjeng_s: popcount tables + transposition-table probes.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t sjengIters = 6000;
+constexpr uint64_t sjengTtEntries = 1024;
+
+const char *sjengSource = R"(
+    la s0, table256
+    li t0, 0
+bt:
+    mv t1, t0
+    li t2, 0
+bt_in:
+    andi t3, t1, 1
+    add t2, t2, t3
+    srli t1, t1, 1
+    bnez t1, bt_in
+    add t4, s0, t0
+    sb t2, 0(t4)
+    addi t0, t0, 1
+    li t5, 256
+    blt t0, t5, bt
+
+    la s1, ttable
+    li s2, {ITERS}
+    li s4, 0
+    li s9, {SEED}
+loop:
+    slli t0, s9, 13
+    xor s9, s9, t0
+    srli t0, s9, 7
+    xor s9, s9, t0
+    slli t0, s9, 17
+    xor s9, s9, t0
+
+    mv t1, s9
+    li t2, 0
+    li t3, 8
+pc:
+    andi t4, t1, 0xff
+    add t4, t4, s0
+    lbu t5, 0(t4)
+    add t2, t2, t5
+    srli t1, t1, 8
+    addi t3, t3, -1
+    bnez t3, pc
+
+    srli a1, s9, 20
+    li a2, 0xffff
+    and a1, a1, a2
+    andi a3, a1, {TMASK}
+    slli a3, a3, 4
+    add a3, a3, s1
+    ld t4, 0(a3)
+    ld t5, 8(a3)
+    beq t4, a1, hit
+    sd a1, 0(a3)
+    sd t2, 8(a3)
+    add s4, s4, t2
+    j next
+hit:
+    add s4, s4, t5
+next:
+    addi s2, s2, -1
+    bnez s2, loop
+    mv a0, s4
+{EXIT}
+    .data
+    .align 6
+table256:
+    .zero 256
+    .align 6
+ttable:
+    .zero {TTBYTES}
+)";
+
+uint64_t
+sjengReference(uint64_t seed)
+{
+    uint8_t table[256];
+    for (unsigned i = 0; i < 256; ++i) {
+        unsigned v = i, c = 0;
+        do {
+            c += v & 1;
+            v >>= 1;
+        } while (v);
+        table[i] = uint8_t(c);
+    }
+    vector<uint64_t> tt(sjengTtEntries * 2, 0);
+    uint64_t x = seed, sum = 0;
+    for (uint64_t it = 0; it < sjengIters; ++it) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        uint64_t v = x, count = 0;
+        for (int i = 0; i < 8; ++i) {
+            count += table[v & 0xff];
+            v >>= 8;
+        }
+        const uint64_t pos = (x >> 20) & 0xffff;
+        const uint64_t index = pos & (sjengTtEntries - 1);
+        if (tt[index * 2] == pos) {
+            sum += tt[index * 2 + 1];
+        } else {
+            tt[index * 2] = pos;
+            tt[index * 2 + 1] = count;
+            sum += count;
+        }
+    }
+    return sum;
+}
+
+Workload
+makeDeepsjeng()
+{
+    const uint64_t seed = 0x123456789abcdefULL;
+    std::string source = sjengSource;
+    source = substitute(source, "ITERS", sjengIters);
+    source = substitute(source, "TMASK", sjengTtEntries - 1);
+    source = substitute(source, "TTBYTES", sjengTtEntries * 16);
+    source = substitute(source, "SEED", seed);
+    size_t pos = source.find("{EXIT}");
+    source.replace(pos, 6, exitStub);
+    return {"631.deepsjeng_s", Suite::Spec,
+            "byte-table popcounts and 16-byte transposition entries",
+            source, [seed] { return sjengReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// 641.leela_s: board-array playouts with neighbor inspection.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t leelaIters = 12000;
+
+const char *leelaSource = R"(
+    la s0, board
+    li s9, {SEED}
+    li s2, {ITERS}
+    li s4, 0
+    li s5, 21
+    li s6, 19
+loop:
+    slli t0, s9, 13
+    xor s9, s9, t0
+    srli t0, s9, 7
+    xor s9, s9, t0
+    slli t0, s9, 17
+    xor s9, s9, t0
+
+    srli t0, s9, 10
+    remu t0, t0, s6
+    addi t0, t0, 1
+    srli t1, s9, 30
+    remu t1, t1, s6
+    addi t1, t1, 1
+    mul t2, t0, s5
+    add t2, t2, t1
+    add t3, s0, t2
+    lbu t4, -1(t3)
+    lbu t5, 1(t3)
+    add t4, t4, t5
+    lbu t5, -21(t3)
+    add t4, t4, t5
+    lbu t5, 21(t3)
+    add t4, t4, t5
+    lbu t6, 0(t3)
+    bnez t6, occupied
+    li t5, 3
+    bge t4, t5, crowd
+    andi t6, s9, 1
+    addi t6, t6, 1
+    sb t6, 0(t3)
+    add s4, s4, t6
+    j next
+occupied:
+    li t5, 6
+    blt t4, t5, crowd
+    sb zero, 0(t3)
+    addi s4, s4, 1
+    j next
+crowd:
+    add s4, s4, t4
+next:
+    addi s2, s2, -1
+    bnez s2, loop
+
+    li t0, 0
+    li t1, 441
+    mv t2, s0
+fsum:
+    lbu t3, 0(t2)
+    add t0, t0, t3
+    addi t2, t2, 1
+    addi t1, t1, -1
+    bnez t1, fsum
+    slli t0, t0, 16
+    add a0, s4, t0
+{EXIT}
+    .data
+    .align 6
+board:
+    .zero 448
+)";
+
+uint64_t
+leelaReference(uint64_t seed)
+{
+    uint8_t board[448] = {};
+    uint64_t x = seed, sum = 0;
+    for (uint64_t it = 0; it < leelaIters; ++it) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const uint64_t row = (x >> 10) % 19 + 1;
+        const uint64_t col = (x >> 30) % 19 + 1;
+        const uint64_t index = row * 21 + col;
+        const uint64_t neighbors = board[index - 1] + board[index + 1] +
+                                   board[index - 21] + board[index + 21];
+        if (board[index] == 0) {
+            if (int64_t(neighbors) >= 3) {
+                sum += neighbors;
+            } else {
+                const uint8_t stone = uint8_t((x & 1) + 1);
+                board[index] = stone;
+                sum += stone;
+            }
+        } else if (int64_t(neighbors) >= 6) {
+            board[index] = 0;
+            sum += 1;
+        } else {
+            sum += neighbors;
+        }
+    }
+    uint64_t total = 0;
+    for (unsigned i = 0; i < 441; ++i)
+        total += board[i];
+    return sum + (total << 16);
+}
+
+Workload
+makeLeela()
+{
+    const uint64_t seed = 0xfeedface12345ULL;
+    std::string source = leelaSource;
+    source = substitute(source, "ITERS", leelaIters);
+    source = substitute(source, "SEED", seed);
+    size_t pos = source.find("{EXIT}");
+    source.replace(pos, 6, exitStub);
+    return {"641.leela_s", Suite::Spec,
+            "board playouts with 4-neighbor byte loads per move",
+            source, [seed] { return leelaReference(seed); }};
+}
+
+// ---------------------------------------------------------------------
+// 648.exchange2_s: recursive permutation generation (Heap's algorithm).
+// ---------------------------------------------------------------------
+
+constexpr uint64_t exchElems = 7;
+
+const char *exchSource = R"(
+    la s0, arr
+    li t0, 0
+init:
+    slli t1, t0, 3
+    add t1, t1, s0
+    addi t2, t0, 1
+    sd t2, 0(t1)
+    addi t0, t0, 1
+    li t3, {K}
+    blt t0, t3, init
+    li s4, 0
+    li a0, {K}
+    call permute
+    mv a0, s4
+{EXIT}
+
+permute:
+    addi sp, sp, -32
+    sd ra, 24(sp)
+    sd s1, 16(sp)
+    sd s2, 8(sp)
+    li t0, 1
+    bne a0, t0, recurse
+    li t1, 0
+    li t2, 0
+base:
+    slli t3, t1, 3
+    add t3, t3, s0
+    ld t4, 0(t3)
+    addi t5, t1, 1
+    mul t4, t4, t5
+    add t2, t2, t4
+    addi t1, t1, 1
+    li t6, {K}
+    blt t1, t6, base
+    xor s4, s4, t2
+    slli t2, t2, 1
+    add s4, s4, t2
+    j pdone
+recurse:
+    mv s1, a0
+    li s2, 0
+ploop:
+    addi a0, s1, -1
+    call permute
+    andi t0, s1, 1
+    beqz t0, even
+    li t1, 0
+    j doswap
+even:
+    mv t1, s2
+doswap:
+    slli t1, t1, 3
+    add t1, t1, s0
+    addi t2, s1, -1
+    slli t2, t2, 3
+    add t2, t2, s0
+    ld t3, 0(t1)
+    ld t4, 0(t2)
+    sd t4, 0(t1)
+    sd t3, 0(t2)
+    addi s2, s2, 1
+    addi t5, s1, -1
+    blt s2, t5, ploop
+    addi a0, s1, -1
+    call permute
+pdone:
+    ld ra, 24(sp)
+    ld s1, 16(sp)
+    ld s2, 8(sp)
+    addi sp, sp, 32
+    ret
+    .data
+    .align 6
+arr:
+    .zero 64
+)";
+
+uint64_t
+exchReference()
+{
+    uint64_t arr[exchElems];
+    for (uint64_t i = 0; i < exchElems; ++i)
+        arr[i] = i + 1;
+    uint64_t sum = 0;
+
+    // Mirrors the recursive Heap's algorithm in the kernel, including
+    // the checksum fold at each base case.
+    auto permute = [&](auto &&self, uint64_t k) -> void {
+        if (k == 1) {
+            uint64_t acc = 0;
+            for (uint64_t i = 0; i < exchElems; ++i)
+                acc += arr[i] * (i + 1);
+            sum = (sum ^ acc) + (acc << 1);
+            return;
+        }
+        for (uint64_t i = 0; i + 1 < k; ++i) {
+            self(self, k - 1);
+            if (k % 2 == 1)
+                std::swap(arr[0], arr[k - 1]);
+            else
+                std::swap(arr[i], arr[k - 1]);
+        }
+        self(self, k - 1);
+    };
+    permute(permute, exchElems);
+    return sum;
+}
+
+Workload
+makeExchange2()
+{
+    std::string source = exchSource;
+    source = substitute(source, "K", exchElems);
+    size_t pos = source.find("{EXIT}");
+    source.replace(pos, 6, exitStub);
+    return {"648.exchange2_s", Suite::Spec,
+            "recursive permutation search with stack save/restore pairs",
+            source, [] { return exchReference(); }};
+}
+
+// ---------------------------------------------------------------------
+// 657.xz_s: LZ-style match finding and copy with heavy store traffic.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t xzLen = 32768;
+constexpr uint64_t xzHashEntries = 4096;
+
+const char *xzSource = R"(
+    la s0, phrases
+    li s9, {SEED}
+    li s10, {LCGMUL}
+    li s11, {LCGADD}
+    li t0, 16
+    mv t1, s0
+gphr:
+    mul s9, s9, s10
+    add s9, s9, s11
+    sd s9, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, -1
+    bnez t0, gphr
+
+    la s1, input
+    li t0, {CHUNKS}
+    mv t1, s1
+ginp:
+    mul s9, s9, s10
+    add s9, s9, s11
+    srli t2, s9, 25
+    andi t2, t2, 15
+    slli t2, t2, 3
+    add t2, t2, s0
+    ld t3, 0(t2)
+    sd t3, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, -1
+    bnez t0, ginp
+
+    la s2, head
+    la s3, output
+    mv s4, s3
+    li s5, 0
+    li s6, {LIMIT}
+comp:
+    add t0, s1, s5
+    lwu t1, 0(t0)
+    li t2, 2654435761
+    mul t2, t1, t2
+    srli t2, t2, 20
+    li t3, 0xfff
+    and t2, t2, t3
+    slli t2, t2, 3
+    add t2, t2, s2
+    ld t3, 0(t2)
+    addi t4, s5, 1
+    sd t4, 0(t2)
+    beqz t3, literal
+    addi t3, t3, -1
+    add t4, s1, t3
+    lwu t5, 0(t4)
+    bne t5, t1, literal
+    ld a1, 0(t4)
+    ld a2, 0(t0)
+    li t6, 8
+    bne a1, a2, ext_done
+    ld a3, 8(t4)
+    ld a4, 8(t0)
+    li t6, 16
+    beq a3, a4, ext_done
+    li t6, 8
+ext_done:
+    sub a1, s5, t3
+    sd a1, 0(s4)
+    sd t6, 8(s4)
+    sd a2, 16(s4)
+    sd s5, 24(s4)
+    addi s4, s4, 32
+    add s5, s5, t6
+    j comp_next
+literal:
+    lbu a1, 0(t0)
+    sb a1, 0(s4)
+    addi s4, s4, 1
+    addi s5, s5, 1
+comp_next:
+    blt s5, s6, comp
+
+    la t0, output
+    sub t1, s4, t0
+    li a0, 0
+    srli t2, t1, 3
+fold:
+    beqz t2, fold_done
+    ld t3, 0(t0)
+    slli t4, a0, 5
+    srli t5, a0, 59
+    or a0, t4, t5
+    xor a0, a0, t3
+    addi t0, t0, 8
+    addi t2, t2, -1
+    j fold
+fold_done:
+    add a0, a0, t1
+{EXIT}
+    .data
+    .align 6
+phrases:
+    .zero 128
+    .align 6
+input:
+    .zero {INPUTBYTES}
+    .align 6
+head:
+    .zero {HEADBYTES}
+    .align 6
+output:
+    .zero {OUTPUTBYTES}
+)";
+
+uint64_t
+xzReference(uint64_t seed)
+{
+    uint64_t x = seed;
+    uint64_t phrases[16];
+    for (int i = 0; i < 16; ++i)
+        phrases[i] = lcgNext(x);
+
+    vector<uint8_t> input(xzLen + 64, 0);
+    for (uint64_t c = 0; c < xzLen / 8; ++c) {
+        lcgNext(x);
+        const uint64_t phrase = phrases[(x >> 25) & 15];
+        for (int b = 0; b < 8; ++b)
+            input[c * 8 + b] = uint8_t(phrase >> (8 * b));
+    }
+
+    vector<uint64_t> head(xzHashEntries, 0);
+    vector<uint8_t> output;
+    output.reserve(4 * xzLen);
+    auto emit64 = [&output](uint64_t value) {
+        for (int b = 0; b < 8; ++b)
+            output.push_back(uint8_t(value >> (8 * b)));
+    };
+
+    uint64_t pos = 0;
+    const uint64_t limit = xzLen - 24;
+    while (pos < limit) {
+        uint32_t four = 0;
+        for (int b = 0; b < 4; ++b)
+            four |= uint32_t(input[pos + b]) << (8 * b);
+        const uint64_t hash =
+            ((uint64_t(four) * 2654435761ULL) >> 20) & 0xfff;
+        const uint64_t cand_plus1 = head[hash];
+        head[hash] = pos + 1;
+        bool matched = false;
+        if (cand_plus1 != 0) {
+            const uint64_t cand = cand_plus1 - 1;
+            uint32_t cand_four = 0;
+            for (int b = 0; b < 4; ++b)
+                cand_four |= uint32_t(input[cand + b]) << (8 * b);
+            if (cand_four == four) {
+                auto word_at = [&input](uint64_t at) {
+                    uint64_t value = 0;
+                    for (int b = 0; b < 8; ++b)
+                        value |= uint64_t(input[at + b]) << (8 * b);
+                    return value;
+                };
+                const uint64_t cand_word = word_at(cand);
+                uint64_t len = 8;
+                if (cand_word == word_at(pos) &&
+                    word_at(cand + 8) == word_at(pos + 8))
+                    len = 16;
+                emit64(pos - cand);
+                emit64(len);
+                emit64(word_at(pos));
+                emit64(pos);
+                pos += len;
+                matched = true;
+            }
+        }
+        if (!matched) {
+            output.push_back(input[pos]);
+            ++pos;
+        }
+    }
+
+    uint64_t sum = 0;
+    const uint64_t out_len = output.size();
+    for (uint64_t i = 0; i + 8 <= out_len; i += 8) {
+        uint64_t word = 0;
+        for (int b = 0; b < 8; ++b)
+            word |= uint64_t(output[i + b]) << (8 * b);
+        sum = ((sum << 5) | (sum >> 59)) ^ word;
+    }
+    return sum + out_len;
+}
+
+Workload
+makeXz(int variant, uint64_t seed)
+{
+    std::string source = xzSource;
+    source = substitute(source, "CHUNKS", xzLen / 8);
+    source = substitute(source, "LIMIT", xzLen - 24);
+    source = substitute(source, "INPUTBYTES", xzLen + 64);
+    source = substitute(source, "HEADBYTES", xzHashEntries * 8);
+    source = substitute(source, "OUTPUTBYTES", 4 * xzLen);
+    source = substitute(source, "SEED", seed);
+    source = substitute(source, "LCGMUL", lcgMul);
+    source = substitute(source, "LCGADD", lcgAdd);
+    size_t pos = source.find("{EXIT}");
+    source.replace(pos, 6, exitStub);
+    return {"657.xz_s_" + std::to_string(variant), Suite::Spec,
+            "LZ match finding with (offset,len) store bursts",
+            source, [seed] { return xzReference(seed); }};
+}
+
+} // namespace
+
+std::vector<Workload>
+specWorkloads()
+{
+    std::vector<Workload> workloads;
+    workloads.push_back(makePerlbench(1, 11));
+    workloads.push_back(makePerlbench(2, 22));
+    workloads.push_back(makePerlbench(3, 33));
+    workloads.push_back(makeGcc(1, 101));
+    workloads.push_back(makeGcc(2, 202));
+    workloads.push_back(makeGcc(3, 303));
+    workloads.push_back(makeMcf());
+    workloads.push_back(makeOmnetpp());
+    workloads.push_back(makeXalancbmk());
+    workloads.push_back(makeDeepsjeng());
+    workloads.push_back(makeLeela());
+    workloads.push_back(makeExchange2());
+    workloads.push_back(makeXz(1, 900913));
+    workloads.push_back(makeXz(2, 424242));
+    return workloads;
+}
+
+} // namespace workload_detail
+} // namespace helios

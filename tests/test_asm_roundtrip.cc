@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Property test: the disassembler's output is valid assembler input
+ * and round-trips to the identical encoding, for every opcode with
+ * randomized operands.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "common/random.hh"
+#include "isa/disasm.hh"
+#include "isa/encoder.hh"
+
+using namespace helios;
+
+namespace
+{
+
+class DisasmRoundTrip : public ::testing::TestWithParam<unsigned>
+{};
+
+int64_t
+randomImmFor(Op op, Rng &rng)
+{
+    switch (op) {
+      case Op::Lui:
+      case Op::Auipc:
+        return rng.range(-(1 << 19), (1 << 19) - 1);
+      case Op::Jal:
+        return rng.range(-(1 << 19), (1 << 19) - 1) * 2;
+      case Op::Beq: case Op::Bne: case Op::Blt:
+      case Op::Bge: case Op::Bltu: case Op::Bgeu:
+        return rng.range(-(1 << 11), (1 << 11) - 1) * 2;
+      case Op::Slli: case Op::Srli: case Op::Srai:
+        return rng.range(0, 63);
+      case Op::Slliw: case Op::Srliw: case Op::Sraiw:
+        return rng.range(0, 31);
+      default:
+        return rng.range(-2048, 2047);
+    }
+}
+
+} // namespace
+
+TEST_P(DisasmRoundTrip, TextSurvivesReassembly)
+{
+    const Op op = static_cast<Op>(GetParam());
+    const OpInfo &info = opInfo(op);
+    Rng rng(GetParam() * 7919 + 11);
+
+    for (int trial = 0; trial < 100; ++trial) {
+        Instruction inst;
+        inst.op = op;
+        inst.rd = info.writesRd ? uint8_t(rng.below(32)) : 0;
+        inst.rs1 = info.readsRs1 || info.cls == OpClass::Load ||
+                           info.cls == OpClass::Store
+                       ? uint8_t(rng.below(32))
+                       : 0;
+        inst.rs2 = info.readsRs2 ? uint8_t(rng.below(32)) : 0;
+        const bool has_imm = !info.readsRs2 ||
+                             info.cls == OpClass::Store ||
+                             info.cls == OpClass::Branch;
+        inst.imm = has_imm && info.cls != OpClass::Serializing
+                       ? randomImmFor(op, rng)
+                       : 0;
+        if (op == Op::Jalr)
+            inst.rs2 = 0;
+
+        const uint32_t expected = encode(inst);
+        const std::string text = disassemble(inst);
+        const Program prog = assemble(text);
+        ASSERT_EQ(prog.code.size(), 1u) << text;
+        EXPECT_EQ(prog.code[0], expected) << text;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, DisasmRoundTrip,
+    ::testing::Range(1u, unsigned(Op::NumOps)),
+    [](const ::testing::TestParamInfo<unsigned> &info) {
+        std::string name = opName(static_cast<Op>(info.param));
+        for (char &c : name)
+            if (c == '.')
+                c = '_';
+        return name;
+    });

@@ -1,0 +1,241 @@
+/** @file Assembler tests: syntax, pseudo-ops, labels, data, errors. */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "isa/decoder.hh"
+#include "isa/disasm.hh"
+
+using namespace helios;
+
+namespace
+{
+
+Instruction
+instAt(const Program &prog, size_t index)
+{
+    return decode(prog.code.at(index));
+}
+
+} // namespace
+
+TEST(Assembler, BasicInstructions)
+{
+    Program prog = assemble(R"(
+        add a0, a1, a2
+        addi t0, t1, -16
+        ld s0, 24(sp)
+        sd s1, -8(sp)
+    )");
+    ASSERT_EQ(prog.code.size(), 4u);
+    EXPECT_EQ(disassemble(instAt(prog, 0)), "add a0, a1, a2");
+    EXPECT_EQ(disassemble(instAt(prog, 1)), "addi t0, t1, -16");
+    EXPECT_EQ(disassemble(instAt(prog, 2)), "ld s0, 24(sp)");
+    EXPECT_EQ(disassemble(instAt(prog, 3)), "sd s1, -8(sp)");
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program prog = assemble(R"(
+        # full-line comment
+        nop        // trailing comment
+        nop        ; alt comment
+    )");
+    EXPECT_EQ(prog.code.size(), 2u);
+}
+
+TEST(Assembler, ForwardAndBackwardBranches)
+{
+    Program prog = assemble(R"(
+    top:
+        addi a0, a0, 1
+        beq a0, a1, done
+        j top
+    done:
+        ret
+    )");
+    ASSERT_EQ(prog.code.size(), 4u);
+    // beq at index 1 jumps to index 3: offset +8.
+    EXPECT_EQ(instAt(prog, 1).imm, 8);
+    // j (jal) at index 2 jumps back to index 0: offset -8.
+    EXPECT_EQ(instAt(prog, 2).op, Op::Jal);
+    EXPECT_EQ(instAt(prog, 2).imm, -8);
+}
+
+TEST(Assembler, LiSmall)
+{
+    Program prog = assemble("li a0, 42");
+    ASSERT_EQ(prog.code.size(), 1u);
+    EXPECT_EQ(disassemble(instAt(prog, 0)), "addi a0, zero, 42");
+}
+
+TEST(Assembler, Li32Bit)
+{
+    Program prog = assemble("li a0, 0x12345678");
+    ASSERT_EQ(prog.code.size(), 2u);
+    EXPECT_EQ(instAt(prog, 0).op, Op::Lui);
+    EXPECT_EQ(instAt(prog, 1).op, Op::Addiw);
+}
+
+TEST(Assembler, Li64Bit)
+{
+    Program prog = assemble("li a0, 0x123456789abcdef0");
+    EXPECT_GT(prog.code.size(), 4u);
+    EXPECT_EQ(instAt(prog, 0).op, Op::Lui);
+}
+
+TEST(Assembler, LaResolvesDataLabel)
+{
+    Program prog = assemble(R"(
+        la a0, table
+        ret
+        .data
+        .align 3
+    table:
+        .dword 1, 2, 3
+    )");
+    const uint64_t addr = prog.symbol("table");
+    EXPECT_EQ(addr, prog.dataBase);
+    ASSERT_GE(prog.code.size(), 2u);
+    const Instruction hi = instAt(prog, 0);
+    const Instruction lo = instAt(prog, 1);
+    EXPECT_EQ(hi.op, Op::Lui);
+    EXPECT_EQ(lo.op, Op::Addiw);
+    const int64_t value =
+        (hi.imm << 12) + lo.imm;
+    EXPECT_EQ(uint64_t(value), addr);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    Program prog = assemble(R"(
+        .data
+    bytes:
+        .byte 1, 2, 0xff
+        .half 0x1234
+        .word -1
+        .dword 0x0102030405060708
+    tail:
+        .zero 4
+    )");
+    ASSERT_EQ(prog.data.size(), 3u + 2 + 4 + 8 + 4);
+    EXPECT_EQ(prog.data[0], 1);
+    EXPECT_EQ(prog.data[2], 0xff);
+    EXPECT_EQ(prog.data[3], 0x34); // little endian half
+    EXPECT_EQ(prog.data[4], 0x12);
+    EXPECT_EQ(prog.data[5], 0xff); // -1 word
+    EXPECT_EQ(prog.data[9], 0x08); // little endian dword
+    EXPECT_EQ(prog.symbol("tail"), prog.dataBase + 17);
+}
+
+TEST(Assembler, AlignPadsData)
+{
+    Program prog = assemble(R"(
+        .data
+        .byte 1
+        .align 3
+    aligned:
+        .dword 7
+    )");
+    EXPECT_EQ(prog.symbol("aligned") % 8, 0u);
+}
+
+TEST(Assembler, Asciz)
+{
+    Program prog = assemble(R"(
+        .data
+    msg:
+        .asciz "hi\n"
+    )");
+    ASSERT_EQ(prog.data.size(), 4u);
+    EXPECT_EQ(prog.data[0], 'h');
+    EXPECT_EQ(prog.data[1], 'i');
+    EXPECT_EQ(prog.data[2], '\n');
+    EXPECT_EQ(prog.data[3], 0);
+}
+
+TEST(Assembler, PseudoExpansions)
+{
+    Program prog = assemble(R"(
+        mv a0, a1
+        not a2, a3
+        neg a4, a5
+        seqz t0, t1
+        snez t2, t3
+        sext.w s2, s3
+        ret
+    )");
+    EXPECT_EQ(disassemble(instAt(prog, 0)), "addi a0, a1, 0");
+    EXPECT_EQ(disassemble(instAt(prog, 1)), "xori a2, a3, -1");
+    EXPECT_EQ(disassemble(instAt(prog, 2)), "sub a4, zero, a5");
+    EXPECT_EQ(disassemble(instAt(prog, 3)), "sltiu t0, t1, 1");
+    EXPECT_EQ(disassemble(instAt(prog, 4)), "sltu t2, zero, t3");
+    EXPECT_EQ(disassemble(instAt(prog, 5)), "addiw s2, s3, 0");
+    EXPECT_EQ(disassemble(instAt(prog, 6)), "jalr zero, 0(ra)");
+}
+
+TEST(Assembler, BranchPseudos)
+{
+    Program prog = assemble(R"(
+    l:
+        beqz a0, l
+        bnez a0, l
+        blez a0, l
+        bgez a0, l
+        bltz a0, l
+        bgtz a0, l
+        bgt a0, a1, l
+        ble a0, a1, l
+        bgtu a0, a1, l
+        bleu a0, a1, l
+    )");
+    EXPECT_EQ(instAt(prog, 0).op, Op::Beq);
+    EXPECT_EQ(instAt(prog, 1).op, Op::Bne);
+    EXPECT_EQ(instAt(prog, 2).op, Op::Bge);
+    EXPECT_EQ(instAt(prog, 2).rs1, RegZero);
+    EXPECT_EQ(instAt(prog, 3).op, Op::Bge);
+    EXPECT_EQ(instAt(prog, 4).op, Op::Blt);
+    EXPECT_EQ(instAt(prog, 5).op, Op::Blt);
+    // bgt a0,a1 -> blt a1,a0
+    EXPECT_EQ(instAt(prog, 6).op, Op::Blt);
+    EXPECT_EQ(instAt(prog, 6).rs1, RegA1);
+    EXPECT_EQ(instAt(prog, 6).rs2, RegA0);
+    EXPECT_EQ(instAt(prog, 9).op, Op::Bgeu);
+}
+
+TEST(Assembler, CallAndJr)
+{
+    Program prog = assemble(R"(
+        call func
+        jr t0
+    func:
+        ret
+    )");
+    EXPECT_EQ(instAt(prog, 0).op, Op::Jal);
+    EXPECT_EQ(instAt(prog, 0).rd, RegRa);
+    EXPECT_EQ(instAt(prog, 0).imm, 8);
+    EXPECT_EQ(instAt(prog, 1).op, Op::Jalr);
+    EXPECT_EQ(instAt(prog, 1).rs1, RegT0);
+}
+
+TEST(Assembler, Errors)
+{
+    EXPECT_THROW(assemble("bogus a0, a1"), FatalError);
+    EXPECT_THROW(assemble("add a0, a1"), FatalError);
+    EXPECT_THROW(assemble("add a0, a1, q9"), FatalError);
+    EXPECT_THROW(assemble("j nowhere"), FatalError);
+    EXPECT_THROW(assemble("l: nop\nl: nop"), FatalError);
+    EXPECT_THROW(assemble(".word 1"), FatalError); // outside .data
+    EXPECT_THROW(assemble("addi a0, a0, 100000"), FatalError);
+}
+
+TEST(Assembler, MultipleLabelsSameAddress)
+{
+    Program prog = assemble(R"(
+    a: b:
+        nop
+    )");
+    EXPECT_EQ(prog.symbol("a"), prog.symbol("b"));
+    EXPECT_EQ(prog.symbol("a"), prog.textBase);
+}

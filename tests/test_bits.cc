@@ -1,0 +1,67 @@
+/** @file Unit tests for common/bits.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+
+using namespace helios;
+
+TEST(Bits, ExtractRange)
+{
+    EXPECT_EQ(bits(0xdeadbeefULL, 15, 0), 0xbeefULL);
+    EXPECT_EQ(bits(0xdeadbeefULL, 31, 16), 0xdeadULL);
+    EXPECT_EQ(bits(0xffULL, 3, 0), 0xfULL);
+    EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+    EXPECT_EQ(bits(0x80000000'00000000ULL, 63, 63), 1ULL);
+}
+
+TEST(Bits, SingleBit)
+{
+    EXPECT_EQ(bit(0b1010, 1), 1ULL);
+    EXPECT_EQ(bit(0b1010, 0), 0ULL);
+    EXPECT_EQ(bit(1ULL << 63, 63), 1ULL);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(sextBits(0xfff, 12), -1);
+    EXPECT_EQ(sextBits(0x7ff, 12), 0x7ff);
+    EXPECT_EQ(sextBits(0x800, 12), -2048);
+    EXPECT_EQ(sextBits(0xff, 8), -1);
+    EXPECT_EQ(sextBits(0x0, 1), 0);
+    EXPECT_EQ(sextBits(0x1, 1), -1);
+}
+
+TEST(Bits, Mask)
+{
+    EXPECT_EQ(mask(3, 0), 0xfULL);
+    EXPECT_EQ(mask(7, 4), 0xf0ULL);
+    EXPECT_EQ(mask(63, 0), ~0ULL);
+}
+
+TEST(Bits, PowerOf2)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_TRUE(isPowerOf2(1ULL << 63));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(96));
+}
+
+TEST(Bits, Alignment)
+{
+    EXPECT_EQ(alignDown(0x1234, 64), 0x1200ULL);
+    EXPECT_EQ(alignUp(0x1234, 64), 0x1240ULL);
+    EXPECT_EQ(alignDown(0x1240, 64), 0x1240ULL);
+    EXPECT_EQ(alignUp(0x1240, 64), 0x1240ULL);
+}
+
+TEST(Bits, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+    EXPECT_EQ(floorLog2(1ULL << 40), 40u);
+}

@@ -1,0 +1,84 @@
+/** @file Cache and hierarchy timing tests. */
+
+#include <gtest/gtest.h>
+
+#include "uarch/cache.hh"
+
+using namespace helios;
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache(1024, 2, 64); // 8 sets, 2 ways
+    EXPECT_FALSE(cache.access(0x10));
+    EXPECT_TRUE(cache.access(0x10));
+    EXPECT_EQ(cache.misses, 1u);
+    EXPECT_EQ(cache.hits, 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache cache(1024, 2, 64); // 8 sets, 2 ways
+    // Three lines mapping to set 0 (line addrs multiples of 8).
+    cache.access(0x00);
+    cache.access(0x08);
+    cache.access(0x00); // touch: 0x08 is now LRU
+    cache.access(0x10); // evicts 0x08
+    EXPECT_TRUE(cache.probe(0x00));
+    EXPECT_FALSE(cache.probe(0x08));
+    EXPECT_TRUE(cache.probe(0x10));
+}
+
+TEST(Cache, ProbeDoesNotAllocate)
+{
+    Cache cache(1024, 2, 64);
+    EXPECT_FALSE(cache.probe(0x42));
+    EXPECT_FALSE(cache.probe(0x42));
+    EXPECT_EQ(cache.misses, 0u);
+}
+
+TEST(Cache, HitInLaterWayAfterInvalidEarlierWay)
+{
+    Cache cache(2048, 4, 64);
+    cache.access(0x100);
+    cache.access(0x100);
+    EXPECT_EQ(cache.hits, 1u);
+}
+
+TEST(Hierarchy, LatencyLadder)
+{
+    CoreParams params;
+    CacheHierarchy hierarchy(params);
+    // Cold: full memory latency; then L1 hit.
+    EXPECT_EQ(hierarchy.dataAccess(0x999), params.memLatency);
+    EXPECT_EQ(hierarchy.dataAccess(0x999), params.l1Latency);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    CoreParams params;
+    CacheHierarchy hierarchy(params);
+    hierarchy.dataAccess(0x1);
+    // Thrash L1 set of 0x1: lines mapping to the same L1 set are
+    // spaced by numSets = 48K/(12*64) = 64 lines.
+    for (unsigned i = 1; i <= params.l1dWays; ++i)
+        hierarchy.dataAccess(0x1 + i * 64);
+    // 0x1 evicted from L1 (13 lines in a 12-way set) but still in L2.
+    EXPECT_EQ(hierarchy.dataAccess(0x1), params.l2Latency);
+}
+
+TEST(Hierarchy, InstSideHitIsFree)
+{
+    CoreParams params;
+    CacheHierarchy hierarchy(params);
+    EXPECT_GT(hierarchy.instAccess(0x77), 0u);
+    EXPECT_EQ(hierarchy.instAccess(0x77), 0u);
+}
+
+TEST(Hierarchy, StoreDrainCosts)
+{
+    CoreParams params;
+    CacheHierarchy hierarchy(params);
+    const unsigned cold = hierarchy.storeDrain(0x2000);
+    EXPECT_GT(cold, 1u); // miss holds the SQ entry
+    EXPECT_EQ(hierarchy.storeDrain(0x2000), 1u); // hit drains fast
+}

@@ -1,0 +1,75 @@
+/** @file Unit tests for saturating counters. */
+
+#include <gtest/gtest.h>
+
+#include "common/counters.hh"
+
+using namespace helios;
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter<2> c;
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3);
+    EXPECT_TRUE(c.isSaturated());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter<2> c(3);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_FALSE(c.isSaturated());
+}
+
+TEST(SatCounter, HighThreshold)
+{
+    SatCounter<2> c;
+    EXPECT_FALSE(c.isHigh());
+    c.increment();
+    EXPECT_FALSE(c.isHigh());
+    c.increment();
+    EXPECT_TRUE(c.isHigh());
+}
+
+TEST(SatCounter, SetClamps)
+{
+    SatCounter<2> c;
+    c.set(200);
+    EXPECT_EQ(c.value(), 3);
+    c.set(1);
+    EXPECT_EQ(c.value(), 1);
+    c.reset();
+    EXPECT_EQ(c.value(), 0);
+}
+
+TEST(SignedSatCounter, Range)
+{
+    SignedSatCounter<3> c;
+    for (int i = 0; i < 10; ++i)
+        c.update(true);
+    EXPECT_EQ(c.value(), 3);
+    for (int i = 0; i < 20; ++i)
+        c.update(false);
+    EXPECT_EQ(c.value(), -4);
+}
+
+TEST(SignedSatCounter, WeakDetection)
+{
+    SignedSatCounter<3> c;
+    EXPECT_TRUE(c.isWeak()); // 0
+    c.update(false);
+    EXPECT_TRUE(c.isWeak()); // -1
+    c.update(false);
+    EXPECT_FALSE(c.isWeak()); // -2
+}
+
+TEST(SignedSatCounter, PredictionSign)
+{
+    SignedSatCounter<3> c;
+    EXPECT_TRUE(c.predictTaken()); // 0 predicts taken by convention
+    c.update(false);
+    EXPECT_FALSE(c.predictTaken());
+}

@@ -1,0 +1,72 @@
+/** @file Disassembler formatting tests. */
+
+#include <gtest/gtest.h>
+
+#include "isa/decoder.hh"
+#include "isa/disasm.hh"
+#include "isa/encoder.hh"
+
+using namespace helios;
+
+namespace
+{
+
+Instruction
+make(Op op, uint8_t rd, uint8_t rs1, uint8_t rs2, int64_t imm)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    inst.imm = imm;
+    return inst;
+}
+
+} // namespace
+
+TEST(Disasm, Alu)
+{
+    EXPECT_EQ(disassemble(make(Op::Add, 10, 11, 12, 0)),
+              "add a0, a1, a2");
+    EXPECT_EQ(disassemble(make(Op::Addi, 10, 10, 0, -8)),
+              "addi a0, a0, -8");
+    EXPECT_EQ(disassemble(make(Op::Slli, 5, 6, 0, 3)),
+              "slli t0, t1, 3");
+}
+
+TEST(Disasm, Memory)
+{
+    EXPECT_EQ(disassemble(make(Op::Ld, 4, 1, 0, 8)), "ld tp, 8(ra)");
+    EXPECT_EQ(disassemble(make(Op::Sw, 0, 2, 5, -4)), "sw t0, -4(sp)");
+}
+
+TEST(Disasm, Control)
+{
+    EXPECT_EQ(disassemble(make(Op::Beq, 0, 10, 11, 16)),
+              "beq a0, a1, 16");
+    EXPECT_EQ(disassemble(make(Op::Jal, 1, 0, 0, -32)), "jal ra, -32");
+    EXPECT_EQ(disassemble(make(Op::Jalr, 0, 1, 0, 0)),
+              "jalr zero, 0(ra)");
+}
+
+TEST(Disasm, UpperImmediate)
+{
+    EXPECT_EQ(disassemble(make(Op::Lui, 5, 0, 0, 0x12)), "lui t0, 18");
+}
+
+TEST(Disasm, System)
+{
+    EXPECT_EQ(disassemble(make(Op::Ecall, 0, 0, 0, 0)), "ecall");
+    EXPECT_EQ(disassemble(make(Op::Fence, 0, 0, 0, 0)), "fence");
+}
+
+TEST(Disasm, EveryOpcodeRendersNonEmpty)
+{
+    for (unsigned i = 1; i < unsigned(Op::NumOps); ++i) {
+        Instruction inst = make(static_cast<Op>(i), 1, 2, 3, 4);
+        const std::string text = disassemble(inst);
+        EXPECT_FALSE(text.empty());
+        EXPECT_EQ(text.find(opName(inst.op)), 0u) << text;
+    }
+}

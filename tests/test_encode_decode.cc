@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Encoder/decoder tests, including an exhaustive property-based
+ * round-trip sweep over every opcode with randomized operands.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "isa/decoder.hh"
+#include "isa/encoder.hh"
+
+using namespace helios;
+
+namespace
+{
+
+Instruction
+make(Op op, uint8_t rd, uint8_t rs1, uint8_t rs2, int64_t imm)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    inst.imm = imm;
+    return inst;
+}
+
+} // namespace
+
+TEST(Encode, KnownEncodings)
+{
+    // Cross-checked against riscv-tests / GNU as output.
+    EXPECT_EQ(encode(make(Op::Addi, 10, 10, 0, 1)), 0x00150513u);
+    EXPECT_EQ(encode(make(Op::Add, 1, 2, 3, 0)), 0x003100b3u);
+    EXPECT_EQ(encode(make(Op::Ld, 4, 1, 0, 8)), 0x0080b203u);
+    EXPECT_EQ(encode(make(Op::Sd, 0, 2, 5, 16)), 0x00513823u);
+    EXPECT_EQ(encode(make(Op::Lui, 5, 0, 0, 0x12345)), 0x123452b7u);
+    EXPECT_EQ(encode(make(Op::Jal, 1, 0, 0, 0)), 0x000000efu);
+    EXPECT_EQ(encode(make(Op::Ecall, 0, 0, 0, 0)), 0x00000073u);
+    EXPECT_EQ(encode(make(Op::Ebreak, 0, 0, 0, 0)), 0x00100073u);
+    EXPECT_EQ(encode(make(Op::Mul, 3, 4, 5, 0)), 0x025201b3u);
+    EXPECT_EQ(encode(make(Op::Srai, 6, 7, 0, 3)), 0x4033d313u);
+    EXPECT_EQ(encode(make(Op::Beq, 0, 1, 2, -4)), 0xfe208ee3u);
+}
+
+TEST(Decode, KnownWords)
+{
+    Instruction inst = decode(0x00150513); // addi a0, a0, 1
+    EXPECT_EQ(inst.op, Op::Addi);
+    EXPECT_EQ(inst.rd, 10);
+    EXPECT_EQ(inst.rs1, 10);
+    EXPECT_EQ(inst.imm, 1);
+
+    inst = decode(0x0080b203); // ld tp, 8(ra)
+    EXPECT_EQ(inst.op, Op::Ld);
+    EXPECT_EQ(inst.rd, 4);
+    EXPECT_EQ(inst.rs1, 1);
+    EXPECT_EQ(inst.imm, 8);
+
+    inst = decode(0xfe208ee3); // beq ra, sp, -4
+    EXPECT_EQ(inst.op, Op::Beq);
+    EXPECT_EQ(inst.rs1, 1);
+    EXPECT_EQ(inst.rs2, 2);
+    EXPECT_EQ(inst.imm, -4);
+}
+
+TEST(Decode, InvalidWords)
+{
+    EXPECT_EQ(decode(0x00000000).op, Op::Invalid);
+    EXPECT_EQ(decode(0xffffffff).op, Op::Invalid);
+    EXPECT_EQ(decode(0x0000007f).op, Op::Invalid);
+}
+
+TEST(Decode, NegativeImmediates)
+{
+    // addi a0, a0, -1
+    Instruction inst = decode(encode(make(Op::Addi, 10, 10, 0, -1)));
+    EXPECT_EQ(inst.imm, -1);
+    // sd with negative offset
+    inst = decode(encode(make(Op::Sd, 0, 2, 8, -32)));
+    EXPECT_EQ(inst.imm, -32);
+    // jal backwards
+    inst = decode(encode(make(Op::Jal, 0, 0, 0, -2048)));
+    EXPECT_EQ(inst.imm, -2048);
+}
+
+TEST(Encode, ImmediateRangeChecks)
+{
+    EXPECT_THROW(encode(make(Op::Addi, 1, 1, 0, 4096)), FatalError);
+    EXPECT_THROW(encode(make(Op::Addi, 1, 1, 0, -4097)), FatalError);
+    EXPECT_THROW(encode(make(Op::Beq, 0, 1, 2, 1)), FatalError);
+    EXPECT_THROW(encode(make(Op::Slli, 1, 1, 0, 64)), FatalError);
+    EXPECT_THROW(encode(make(Op::Slliw, 1, 1, 0, 32)), FatalError);
+}
+
+namespace
+{
+
+/**
+ * Property sweep: for every opcode, random legal operands must survive
+ * an encode→decode round trip unchanged.
+ */
+class RoundTrip : public ::testing::TestWithParam<unsigned>
+{};
+
+int64_t
+randomImmFor(Op op, Rng &rng)
+{
+    switch (op) {
+      case Op::Lui:
+      case Op::Auipc:
+        return rng.range(-(1 << 19), (1 << 19) - 1);
+      case Op::Jal:
+        return rng.range(-(1 << 19), (1 << 19) - 1) * 2;
+      case Op::Beq: case Op::Bne: case Op::Blt:
+      case Op::Bge: case Op::Bltu: case Op::Bgeu:
+        return rng.range(-(1 << 11), (1 << 11) - 1) * 2;
+      case Op::Slli: case Op::Srli: case Op::Srai:
+        return rng.range(0, 63);
+      case Op::Slliw: case Op::Srliw: case Op::Sraiw:
+        return rng.range(0, 31);
+      default:
+        return rng.range(-2048, 2047);
+    }
+}
+
+} // namespace
+
+TEST_P(RoundTrip, EncodeDecodeIdentity)
+{
+    const Op op = static_cast<Op>(GetParam());
+    const OpInfo &info = opInfo(op);
+    Rng rng(GetParam() * 977 + 3);
+
+    for (int trial = 0; trial < 200; ++trial) {
+        Instruction inst;
+        inst.op = op;
+        inst.rd = info.writesRd ? uint8_t(rng.below(32)) : 0;
+        inst.rs1 = info.readsRs1 || info.cls == OpClass::Load ||
+                           info.cls == OpClass::Store
+                       ? uint8_t(rng.below(32))
+                       : 0;
+        inst.rs2 = info.readsRs2 ? uint8_t(rng.below(32)) : 0;
+        const bool has_imm = !info.readsRs2 ||
+                             info.cls == OpClass::Store ||
+                             info.cls == OpClass::Branch;
+        inst.imm = has_imm && info.cls != OpClass::Serializing
+                       ? randomImmFor(op, rng)
+                       : 0;
+        if (op == Op::Jalr)
+            inst.rs2 = 0;
+
+        const uint32_t word = encode(inst);
+        const Instruction back = decode(word);
+        EXPECT_EQ(back.op, inst.op) << opName(op);
+        EXPECT_EQ(back.rd, inst.rd) << opName(op);
+        EXPECT_EQ(back.rs1, inst.rs1) << opName(op);
+        EXPECT_EQ(back.rs2, inst.rs2) << opName(op);
+        EXPECT_EQ(back.imm, inst.imm) << opName(op);
+        EXPECT_EQ(back.raw, word) << opName(op);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, RoundTrip,
+    ::testing::Range(1u, unsigned(Op::NumOps)),
+    [](const ::testing::TestParamInfo<unsigned> &info) {
+        std::string name = opName(static_cast<Op>(info.param));
+        for (char &c : name)
+            if (c == '.')
+                c = '_';
+        return name;
+    });

@@ -1,0 +1,77 @@
+/** @file Sparse memory tests. */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "sim/memory.hh"
+
+using namespace helios;
+
+TEST(Memory, UninitializedReadsZero)
+{
+    Memory mem;
+    EXPECT_EQ(mem.read(0x1000, 8), 0u);
+    EXPECT_EQ(mem.readByte(0xdeadbeef), 0u);
+    EXPECT_EQ(mem.numPages(), 0u);
+}
+
+TEST(Memory, ByteReadWrite)
+{
+    Memory mem;
+    mem.writeByte(0x42, 0xab);
+    EXPECT_EQ(mem.readByte(0x42), 0xab);
+    EXPECT_EQ(mem.readByte(0x43), 0);
+}
+
+TEST(Memory, LittleEndianMultiByte)
+{
+    Memory mem;
+    mem.write(0x100, 0x0102030405060708ULL, 8);
+    EXPECT_EQ(mem.readByte(0x100), 0x08);
+    EXPECT_EQ(mem.readByte(0x107), 0x01);
+    EXPECT_EQ(mem.read(0x100, 4), 0x05060708u);
+    EXPECT_EQ(mem.read(0x104, 4), 0x01020304u);
+    EXPECT_EQ(mem.read(0x100, 8), 0x0102030405060708ULL);
+}
+
+TEST(Memory, CrossPageAccess)
+{
+    Memory mem;
+    const uint64_t addr = Memory::pageSize - 4;
+    mem.write(addr, 0x1122334455667788ULL, 8);
+    EXPECT_EQ(mem.read(addr, 8), 0x1122334455667788ULL);
+    EXPECT_EQ(mem.numPages(), 2u);
+}
+
+TEST(Memory, BlockCopyRoundTrip)
+{
+    Memory mem;
+    std::vector<uint8_t> src(10000);
+    for (size_t i = 0; i < src.size(); ++i)
+        src[i] = uint8_t(i * 7);
+    mem.writeBlock(Memory::pageSize - 123, src.data(), src.size());
+    std::vector<uint8_t> dst(src.size());
+    mem.readBlock(Memory::pageSize - 123, dst.data(), dst.size());
+    EXPECT_EQ(src, dst);
+}
+
+TEST(Memory, LoadProgramPlacesTextAndData)
+{
+    Program prog = assemble(R"(
+        addi a0, zero, 7
+        .data
+        .word 0xcafebabe
+    )");
+    Memory mem;
+    mem.loadProgram(prog);
+    EXPECT_EQ(mem.read(prog.textBase, 4), prog.code[0]);
+    EXPECT_EQ(mem.read(prog.dataBase, 4), 0xcafebabeu);
+}
+
+TEST(Memory, OverwriteIsLastWriteWins)
+{
+    Memory mem;
+    mem.write(0x10, 0xffffffffffffffffULL, 8);
+    mem.write(0x12, 0x0, 2);
+    EXPECT_EQ(mem.read(0x10, 8), 0xffffffff0000ffffULL);
+}

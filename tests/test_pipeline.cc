@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Pipeline integration tests: every configuration must preserve
+ * architectural semantics (committing exactly the functional stream)
+ * while keeping its statistics self-consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "sim/hart.hh"
+#include "uarch/pipeline.hh"
+
+using namespace helios;
+
+namespace
+{
+
+constexpr uint64_t budget = 60'000;
+
+const std::string sweepWorkloads[] = {
+    "605.mcf_s",      "602.gcc_s_1", "657.xz_s_1", "620.omnetpp_s",
+    "qsort",          "sha",         "patricia",   "fft",
+    "crc32",          "typeset",     "blowfish",   "rsynth",
+    "648.exchange2_s", "631.deepsjeng_s",
+};
+
+const FusionMode allModes[] = {
+    FusionMode::None,    FusionMode::RiscvFusion,
+    FusionMode::CsfSbr,  FusionMode::RiscvFusionPP,
+    FusionMode::Helios,  FusionMode::Oracle,
+};
+
+class ModeSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+  protected:
+    const Workload &workload() { return findWorkload(std::get<0>(GetParam())); }
+    FusionMode mode() { return allModes[std::get<1>(GetParam())]; }
+};
+
+} // namespace
+
+TEST_P(ModeSweep, CommitsExactlyTheFunctionalStream)
+{
+    // Functional execution gives ground truth for the dynamic length.
+    Memory mem;
+    Hart hart(mem);
+    hart.reset(workload().program());
+    const uint64_t expected = hart.run(budget);
+
+    RunResult result = runOne(workload(), mode(), budget);
+    EXPECT_EQ(result.instructions, expected)
+        << "pipeline committed a different instruction count";
+    EXPECT_GT(result.cycles, 0u);
+}
+
+TEST_P(ModeSweep, StatisticsAreSelfConsistent)
+{
+    RunResult r = runOne(workload(), mode(), budget);
+
+    // Committed µ-ops + fused pairs == committed instructions.
+    const uint64_t pairs = r.stat("pairs.csf_mem") +
+                           r.stat("pairs.csf_other") +
+                           r.stat("pairs.ncsf");
+    EXPECT_EQ(r.uops + pairs, r.instructions);
+
+    // IPC in a sane band.
+    EXPECT_GT(r.ipc(), 0.05);
+    EXPECT_LT(r.ipc(), double(CoreParams().commitWidth));
+
+    switch (mode()) {
+      case FusionMode::None:
+        EXPECT_EQ(pairs, 0u);
+        break;
+      case FusionMode::RiscvFusion:
+        EXPECT_EQ(r.stat("pairs.csf_mem") + r.stat("pairs.ncsf"), 0u);
+        break;
+      case FusionMode::CsfSbr:
+        EXPECT_EQ(r.stat("pairs.csf_other") + r.stat("pairs.ncsf"), 0u);
+        break;
+      case FusionMode::RiscvFusionPP:
+        EXPECT_EQ(r.stat("pairs.ncsf"), 0u);
+        break;
+      case FusionMode::Helios:
+        // Validated fusions cannot exceed applied ones.
+        EXPECT_LE(r.stat("fusion.validated"),
+                  r.stat("fusion.fp_applied"));
+        EXPECT_LE(r.stat("pairs.fp_validated"),
+                  r.stat("fusion.fp_applied"));
+        break;
+      case FusionMode::Oracle:
+        EXPECT_EQ(r.stat("fusion.fp_applied"), 0u);
+        EXPECT_EQ(r.stat("fusion.mispredicts"), 0u);
+        break;
+    }
+
+    // Loads/stores executed at least once each (committed count is in
+    // instructions; replays can make executed > committed).
+    if (r.stat("commit.loads") > 0)
+        EXPECT_GT(r.stat("exec.loads"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ModeSweep,
+    ::testing::Combine(::testing::ValuesIn(sweepWorkloads),
+                       ::testing::Range(0, 6)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>>
+           &info) {
+        std::string name = std::get<0>(info.param) + "_" +
+                           fusionModeName(
+                               allModes[std::get<1>(info.param)]);
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(Pipeline, FusionModesNeverChangeResults)
+{
+    // Run a self-checking kernel to completion under every mode: the
+    // exit checksum must match the reference each time. (Timing-only
+    // machinery must never alter architectural behaviour.)
+    const Workload &w = findWorkload("648.exchange2_s");
+    const uint64_t expected = w.reference();
+    for (FusionMode mode : allModes) {
+        Memory mem;
+        Hart hart(mem);
+        hart.reset(w.program());
+        HartFeed feed(hart, UINT64_MAX);
+        CoreParams params = CoreParams::icelake(mode);
+        Pipeline pipeline(params, feed);
+        pipeline.run();
+        EXPECT_TRUE(hart.exited()) << fusionModeName(mode);
+        EXPECT_EQ(hart.exitCode(), expected) << fusionModeName(mode);
+    }
+}
+
+TEST(Pipeline, DeterministicAcrossRuns)
+{
+    const Workload &w = findWorkload("631.deepsjeng_s");
+    RunResult a = runOne(w, FusionMode::Helios, 40'000);
+    RunResult b = runOne(w, FusionMode::Helios, 40'000);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.stats.dump(), b.stats.dump());
+}
+
+TEST(Pipeline, MaxCyclesCapRespected)
+{
+    const Workload &w = findWorkload("605.mcf_s");
+    CoreParams params = CoreParams::icelake(FusionMode::None);
+    params.maxCycles = 1'000;
+    Memory mem;
+    Hart hart(mem);
+    hart.reset(w.program());
+    HartFeed feed(hart, UINT64_MAX);
+    Pipeline pipeline(params, feed);
+    PipelineResult result = pipeline.run();
+    EXPECT_LE(result.cycles, 1'000u);
+}
+
+TEST(Pipeline, FusionImprovesGeomeanOrdering)
+{
+    // Headline shape on a pressure-bound workload: fusing memory
+    // pairs must not lose to no fusion, and Helios must beat
+    // consecutive-only memory fusion (the paper's key claim).
+    const Workload &w = findWorkload("602.gcc_s_1");
+    const double none = runOne(w, FusionMode::None, budget).ipc();
+    const double csf = runOne(w, FusionMode::CsfSbr, budget).ipc();
+    const double helios = runOne(w, FusionMode::Helios, budget).ipc();
+    EXPECT_GT(csf, none);
+    EXPECT_GT(helios, csf);
+}

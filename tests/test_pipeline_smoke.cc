@@ -1,0 +1,21 @@
+/** @file Pipeline smoke test: run one workload under every mode. */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+
+using namespace helios;
+
+TEST(PipelineSmoke, McfAllModes)
+{
+    const Workload &w = findWorkload("605.mcf_s");
+    for (FusionMode mode :
+         {FusionMode::None, FusionMode::RiscvFusion, FusionMode::CsfSbr,
+          FusionMode::RiscvFusionPP, FusionMode::Helios,
+          FusionMode::Oracle}) {
+        RunResult r = runOne(w, mode, 50'000);
+        EXPECT_GT(r.instructions, 49'000u) << fusionModeName(mode);
+        EXPECT_GT(r.ipc(), 0.1) << fusionModeName(mode);
+        EXPECT_LT(r.ipc(), 8.0) << fusionModeName(mode);
+    }
+}

@@ -1,0 +1,58 @@
+/** @file Determinism and distribution sanity tests for the PRNG. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+using namespace helios;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RoughlyUniform)
+{
+    Rng rng(1234);
+    int buckets[8] = {};
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[rng.below(8)];
+    for (int count : buckets) {
+        EXPECT_GT(count, n / 8 - n / 50);
+        EXPECT_LT(count, n / 8 + n / 50);
+    }
+}

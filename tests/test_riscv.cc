@@ -1,0 +1,84 @@
+/** @file Unit tests for opcode metadata and register naming. */
+
+#include <gtest/gtest.h>
+
+#include "isa/riscv.hh"
+
+using namespace helios;
+
+TEST(OpInfo, LoadMetadata)
+{
+    EXPECT_EQ(opInfo(Op::Ld).cls, OpClass::Load);
+    EXPECT_EQ(opInfo(Op::Ld).memSize, 8);
+    EXPECT_TRUE(opInfo(Op::Ld).memSigned);
+    EXPECT_EQ(opInfo(Op::Lbu).memSize, 1);
+    EXPECT_FALSE(opInfo(Op::Lbu).memSigned);
+    EXPECT_TRUE(isLoadOp(Op::Lw));
+    EXPECT_FALSE(isStoreOp(Op::Lw));
+}
+
+TEST(OpInfo, StoreMetadata)
+{
+    EXPECT_EQ(opInfo(Op::Sw).cls, OpClass::Store);
+    EXPECT_EQ(opInfo(Op::Sw).memSize, 4);
+    EXPECT_FALSE(opInfo(Op::Sw).writesRd);
+    EXPECT_TRUE(opInfo(Op::Sw).readsRs2);
+    EXPECT_TRUE(isMemOp(Op::Sb));
+}
+
+TEST(OpInfo, ControlClassification)
+{
+    EXPECT_TRUE(isControlOp(Op::Jal));
+    EXPECT_TRUE(isControlOp(Op::Jalr));
+    EXPECT_TRUE(isControlOp(Op::Beq));
+    EXPECT_TRUE(isCondBranchOp(Op::Bgeu));
+    EXPECT_FALSE(isCondBranchOp(Op::Jal));
+    EXPECT_FALSE(isControlOp(Op::Add));
+}
+
+TEST(OpInfo, SerializingClassification)
+{
+    EXPECT_TRUE(isSerializingOp(Op::Fence));
+    EXPECT_TRUE(isSerializingOp(Op::Ecall));
+    EXPECT_TRUE(isSerializingOp(Op::Ebreak));
+    EXPECT_FALSE(isSerializingOp(Op::Ld));
+}
+
+TEST(OpInfo, EveryOpcodeHasMnemonic)
+{
+    for (unsigned i = 1; i < unsigned(Op::NumOps); ++i) {
+        const OpInfo &info = opInfo(static_cast<Op>(i));
+        ASSERT_NE(info.mnemonic, nullptr);
+        EXPECT_GT(std::string(info.mnemonic).size(), 0u);
+        EXPECT_NE(info.cls, OpClass::Invalid)
+            << "opcode " << i << " (" << info.mnemonic << ")";
+    }
+}
+
+TEST(Registers, AbiNames)
+{
+    EXPECT_EQ(regName(0), "zero");
+    EXPECT_EQ(regName(1), "ra");
+    EXPECT_EQ(regName(2), "sp");
+    EXPECT_EQ(regName(10), "a0");
+    EXPECT_EQ(regName(31), "t6");
+}
+
+TEST(Registers, ParseNames)
+{
+    EXPECT_EQ(parseRegName("zero"), 0);
+    EXPECT_EQ(parseRegName("x0"), 0);
+    EXPECT_EQ(parseRegName("x31"), 31);
+    EXPECT_EQ(parseRegName("t6"), 31);
+    EXPECT_EQ(parseRegName("fp"), 8);
+    EXPECT_EQ(parseRegName("s0"), 8);
+    EXPECT_EQ(parseRegName("a7"), 17);
+    EXPECT_EQ(parseRegName("bogus"), -1);
+    EXPECT_EQ(parseRegName("x32"), -1);
+}
+
+TEST(Registers, RoundTripAll)
+{
+    for (unsigned i = 0; i < numArchRegs; ++i)
+        EXPECT_EQ(parseRegName(regName(i)), int(i));
+}

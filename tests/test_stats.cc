@@ -1,0 +1,64 @@
+/** @file Unit tests for the statistics registry. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace helios;
+
+TEST(Stats, CounterOperations)
+{
+    StatGroup stats;
+    Stat &c = stats.counter("pipeline.cycles");
+    ++c;
+    c += 10;
+    c++;
+    EXPECT_EQ(stats.get("pipeline.cycles"), 12u);
+}
+
+TEST(Stats, MissingCounterReadsZero)
+{
+    StatGroup stats;
+    EXPECT_EQ(stats.get("never.created"), 0u);
+}
+
+TEST(Stats, SameNameSameCounter)
+{
+    StatGroup stats;
+    stats.counter("x") += 3;
+    stats.counter("x") += 4;
+    EXPECT_EQ(stats.get("x"), 7u);
+}
+
+TEST(Stats, DumpSortedByName)
+{
+    StatGroup stats;
+    stats.counter("b") += 2;
+    stats.counter("a") += 1;
+    stats.counter("c") += 3;
+    auto dump = stats.dump();
+    ASSERT_EQ(dump.size(), 3u);
+    EXPECT_EQ(dump[0].first, "a");
+    EXPECT_EQ(dump[1].first, "b");
+    EXPECT_EQ(dump[2].first, "c");
+    EXPECT_EQ(dump[2].second, 3u);
+}
+
+TEST(Stats, ResetAll)
+{
+    StatGroup stats;
+    stats.counter("x") += 5;
+    stats.counter("y") += 6;
+    stats.resetAll();
+    EXPECT_EQ(stats.get("x"), 0u);
+    EXPECT_EQ(stats.get("y"), 0u);
+}
+
+TEST(Stats, ToStringContainsEntries)
+{
+    StatGroup stats;
+    stats.counter("alpha") += 7;
+    const std::string text = stats.toString();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find('7'), std::string::npos);
+}

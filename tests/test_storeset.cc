@@ -1,0 +1,93 @@
+/** @file Store-set memory dependence predictor tests. */
+
+#include <gtest/gtest.h>
+
+#include "uarch/storeset.hh"
+
+using namespace helios;
+
+namespace
+{
+constexpr uint64_t loadPc = 0x1000;
+constexpr uint64_t storePc = 0x2000;
+} // namespace
+
+TEST(StoreSets, ColdLoadIsIndependent)
+{
+    StoreSets sets;
+    EXPECT_EQ(sets.loadDependence(loadPc), StoreSets::invalidSeq);
+}
+
+TEST(StoreSets, ViolationCreatesDependence)
+{
+    StoreSets sets;
+    sets.trainViolation(loadPc, storePc);
+    sets.storeRenamed(storePc, 42);
+    EXPECT_EQ(sets.loadDependence(loadPc), 42u);
+}
+
+TEST(StoreSets, StoreCompletionClearsLfst)
+{
+    StoreSets sets;
+    sets.trainViolation(loadPc, storePc);
+    sets.storeRenamed(storePc, 42);
+    sets.storeCompleted(storePc, 42);
+    EXPECT_EQ(sets.loadDependence(loadPc), StoreSets::invalidSeq);
+}
+
+TEST(StoreSets, CompletionOfOlderInstanceKeepsNewer)
+{
+    StoreSets sets;
+    sets.trainViolation(loadPc, storePc);
+    sets.storeRenamed(storePc, 42);
+    sets.storeRenamed(storePc, 50);
+    sets.storeCompleted(storePc, 42); // stale completion
+    EXPECT_EQ(sets.loadDependence(loadPc), 50u);
+}
+
+TEST(StoreSets, UntrainedStoreDoesNotTrack)
+{
+    StoreSets sets;
+    sets.storeRenamed(storePc, 42);
+    EXPECT_EQ(sets.loadDependence(loadPc), StoreSets::invalidSeq);
+}
+
+TEST(StoreSets, MergeTwoSets)
+{
+    StoreSets sets;
+    sets.trainViolation(loadPc, storePc);
+    sets.trainViolation(0x3000, 0x4000);
+    // Merge the two sets through a cross violation.
+    sets.trainViolation(loadPc, 0x4000);
+    sets.storeRenamed(0x4000, 77);
+    EXPECT_EQ(sets.loadDependence(loadPc), 77u);
+}
+
+TEST(StoreSets, SquashDropsYoungerStores)
+{
+    StoreSets sets;
+    sets.trainViolation(loadPc, storePc);
+    sets.storeRenamed(storePc, 90);
+    sets.squash(80);
+    EXPECT_EQ(sets.loadDependence(loadPc), StoreSets::invalidSeq);
+}
+
+TEST(StoreSets, SquashKeepsOlderStores)
+{
+    StoreSets sets;
+    sets.trainViolation(loadPc, storePc);
+    sets.storeRenamed(storePc, 70);
+    sets.squash(80);
+    EXPECT_EQ(sets.loadDependence(loadPc), 70u);
+}
+
+TEST(StoreSets, AgingForgetsSets)
+{
+    StoreSets sets;
+    sets.trainViolation(loadPc, storePc);
+    sets.storeRenamed(storePc, 42);
+    sets.age();
+    EXPECT_EQ(sets.loadDependence(loadPc), StoreSets::invalidSeq);
+    sets.storeRenamed(storePc, 43);
+    EXPECT_EQ(sets.loadDependence(loadPc), StoreSets::invalidSeq);
+}

@@ -1,0 +1,111 @@
+/** @file TAGE-organized fusion predictor tests. */
+
+#include <gtest/gtest.h>
+
+#include "fusion/tage_fp.hh"
+#include "harness/runner.hh"
+
+using namespace helios;
+
+namespace
+{
+constexpr uint64_t pc = 0x10440;
+} // namespace
+
+TEST(TageFp, ColdLookupInvalid)
+{
+    TageFusionPredictor fp;
+    EXPECT_FALSE(fp.lookup(pc, 0).valid);
+}
+
+TEST(TageFp, BaseComponentLearnsHistoryFreePattern)
+{
+    TageFusionPredictor fp;
+    for (int i = 0; i < 3; ++i)
+        fp.train(pc, uint16_t(i * 37), 9); // varying histories
+    FpPrediction pred = fp.lookup(pc, 0x1234);
+    EXPECT_TRUE(pred.valid);
+    EXPECT_EQ(pred.distance, 9u);
+}
+
+TEST(TageFp, TaggedComponentSeparatesHistories)
+{
+    TageFusionPredictor fp;
+    // Distance depends on the branch history: the base entry keeps
+    // flapping, the tagged components split the contexts.
+    for (int i = 0; i < 12; ++i) {
+        fp.train(pc, 0x0003, 5);
+        fp.train(pc, 0x000c, 20);
+    }
+    const FpPrediction a = fp.lookup(pc, 0x0003);
+    const FpPrediction b = fp.lookup(pc, 0x000c);
+    ASSERT_TRUE(a.valid);
+    ASSERT_TRUE(b.valid);
+    EXPECT_EQ(a.distance, 5u);
+    EXPECT_EQ(b.distance, 20u);
+    EXPECT_GE(a.provider, 0);
+}
+
+TEST(TageFp, MispredictPoisonsAndBacksOff)
+{
+    TageFusionPredictor fp;
+    for (int i = 0; i < 3; ++i)
+        fp.train(pc, 0, 7);
+    FpPrediction pred = fp.lookup(pc, 0);
+    ASSERT_TRUE(pred.valid);
+    fp.resolve(pred, false);
+    EXPECT_FALSE(fp.lookup(pc, 0).valid);
+    // Retraining must first count the poison down.
+    for (int i = 0; i < 3; ++i)
+        fp.train(pc, 0, 7);
+    EXPECT_FALSE(fp.lookup(pc, 0).valid);
+    for (int i = 0; i < 4; ++i)
+        fp.train(pc, 0, 7);
+    EXPECT_TRUE(fp.lookup(pc, 0).valid);
+}
+
+TEST(TageFp, StrikeSuppressionAfterSerialMispredicts)
+{
+    TageFusionPredictor fp;
+    for (unsigned round = 0; round < 8; ++round) {
+        for (int i = 0; i < 10; ++i)
+            fp.train(pc, 0, 7);
+        FpPrediction pred = fp.lookup(pc, 0);
+        if (!pred.valid)
+            break;
+        fp.resolve(pred, false);
+    }
+    // After the strike limit, the PC is suppressed regardless of
+    // training.
+    for (int i = 0; i < 20; ++i)
+        fp.train(pc, 0, 7);
+    EXPECT_FALSE(fp.lookup(pc, 0).valid);
+}
+
+TEST(TageFp, ZeroAndOverlongDistancesRejected)
+{
+    TageFusionPredictor fp;
+    for (int i = 0; i < 5; ++i)
+        fp.train(pc, 0, 0);
+    EXPECT_FALSE(fp.lookup(pc, 0).valid);
+    for (int i = 0; i < 5; ++i)
+        fp.train(pc, 0, 64);
+    EXPECT_FALSE(fp.lookup(pc, 0).valid);
+}
+
+TEST(TageFp, HeliosIntegration)
+{
+    // The full pipeline must fuse with the TAGE organization too, and
+    // commit exactly the functional stream.
+    const Workload &workload = findWorkload("602.gcc_s_1");
+    CoreParams params = CoreParams::icelake(FusionMode::Helios);
+    params.fpKind = FpKind::Tage;
+    RunResult tage = runOne(workload, params, 60'000);
+    RunResult tournament =
+        runOne(workload, FusionMode::Helios, 60'000);
+    EXPECT_EQ(tage.instructions, tournament.instructions);
+    EXPECT_GT(tage.stat("pairs.ncsf"), 500u);
+    // Both organizations should deliver comparable fusion volume.
+    EXPECT_GT(tage.stat("pairs.ncsf"),
+              tournament.stat("pairs.ncsf") / 4);
+}

@@ -1,0 +1,62 @@
+/** @file Pipeline event-trace tests. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "harness/runner.hh"
+#include "sim/hart.hh"
+#include "uarch/pipeline.hh"
+
+using namespace helios;
+
+TEST(PipelineTrace, CommitLinesAndFusionMarkers)
+{
+    const char *source = R"(
+        la s0, data
+        li s1, 500
+    loop:
+        ld t0, 0(s0)
+        add t2, t2, t0
+        ld t1, 16(s0)
+        add t2, t2, t1
+        addi s1, s1, -1
+        bnez s1, loop
+        mv a0, t2
+        li a7, 93
+        ecall
+        .data
+        .align 6
+    data:
+        .zero 64
+    )";
+    Memory mem;
+    Hart hart(mem);
+    hart.reset(assemble(source));
+    HartFeed feed(hart);
+    CoreParams params = CoreParams::icelake(FusionMode::Helios);
+    std::ostringstream trace;
+    params.traceOut = &trace;
+    Pipeline pipeline(params, feed);
+    const PipelineResult result = pipeline.run();
+
+    const std::string text = trace.str();
+    // One line per committed µ-op (plus event lines).
+    size_t lines = 0;
+    for (char c : text)
+        lines += c == '\n';
+    EXPECT_GE(lines, result.uops);
+    // Cycle stamps and disassembly are present.
+    EXPECT_NE(text.find("[F"), std::string::npos);
+    EXPECT_NE(text.find("ld t0, 0(s0)"), std::string::npos);
+    // NCSF fusion markers appear once the predictor warms up.
+    EXPECT_NE(text.find("<NCSF + ld t1, 16(s0)>"), std::string::npos);
+}
+
+TEST(PipelineTrace, DisabledByDefault)
+{
+    const Workload &workload = findWorkload("crc32");
+    RunResult result = runOne(workload, FusionMode::Helios, 5'000);
+    EXPECT_GT(result.instructions, 0u); // no crash without a sink
+}

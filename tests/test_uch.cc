@@ -1,0 +1,111 @@
+/** @file Unfused Committed History tests (Section IV-A1). */
+
+#include <gtest/gtest.h>
+
+#include "fusion/uch.hh"
+
+using namespace helios;
+
+TEST(Uch, MissThenHitReturnsDistance)
+{
+    UnfusedCommittedHistory uch;
+    EXPECT_FALSE(uch.accessLoad(0x1000, 10));
+    auto distance = uch.accessLoad(0x1000, 14);
+    ASSERT_TRUE(distance);
+    EXPECT_EQ(*distance, 4u);
+}
+
+TEST(Uch, MatchConsumesEntry)
+{
+    UnfusedCommittedHistory uch;
+    uch.accessLoad(0x1000, 0);
+    EXPECT_TRUE(uch.accessLoad(0x1000, 1));
+    // The matching entry was consumed and the matching access is NOT
+    // reinserted (a µ-op fuses with a single other µ-op): the next
+    // access misses and starts a fresh pair.
+    EXPECT_FALSE(uch.accessLoad(0x1000, 5));
+    auto distance = uch.accessLoad(0x1000, 9);
+    ASSERT_TRUE(distance);
+    EXPECT_EQ(*distance, 4u);
+}
+
+TEST(Uch, DistanceBeyondWindowIsMiss)
+{
+    UnfusedCommittedHistory uch;
+    uch.accessLoad(0x2000, 0);
+    // 65 µ-ops later: outside the 64-µ-op fusion window.
+    EXPECT_FALSE(uch.accessLoad(0x2000, 65));
+    // But the access re-inserted the line.
+    auto distance = uch.accessLoad(0x2000, 70);
+    ASSERT_TRUE(distance);
+    EXPECT_EQ(*distance, 5u);
+}
+
+TEST(Uch, MaxDistanceIsAccepted)
+{
+    UnfusedCommittedHistory uch;
+    uch.accessLoad(0x2000, 0);
+    auto distance = uch.accessLoad(0x2000, 64);
+    ASSERT_TRUE(distance);
+    EXPECT_EQ(*distance, 64u);
+}
+
+TEST(Uch, CommitNumberWraps)
+{
+    UnfusedCommittedHistory uch;
+    uch.accessLoad(0x3000, 120);
+    // CN wraps mod 128: distance = (10 - 120) & 0x7f = 18.
+    auto distance = uch.accessLoad(0x3000, 10);
+    ASSERT_TRUE(distance);
+    EXPECT_EQ(*distance, 18u);
+}
+
+TEST(Uch, LoadsAndStoresAreSeparate)
+{
+    UnfusedCommittedHistory uch;
+    uch.accessLoad(0x4000, 0);
+    EXPECT_FALSE(uch.accessStore(0x4000, 3));
+    EXPECT_TRUE(uch.accessLoad(0x4000, 5));
+}
+
+TEST(Uch, LoadCapacityIsSix)
+{
+    UnfusedCommittedHistory uch;
+    for (unsigned i = 0; i < 6; ++i)
+        uch.accessLoad(0x100 + i, i);
+    // All six still resident.
+    for (unsigned i = 0; i < 6; ++i)
+        EXPECT_TRUE(uch.accessLoad(0x100 + i, 10 + i)) << i;
+}
+
+TEST(Uch, LruEvictsOldestCommitNumber)
+{
+    UnfusedCommittedHistory uch;
+    for (unsigned i = 0; i < 6; ++i)
+        uch.accessLoad(0x200 + i, i);
+    // Inserting a seventh line evicts the oldest (CN 0).
+    uch.accessLoad(0x300, 6);
+    EXPECT_TRUE(uch.accessLoad(0x205, 7));    // young line survives
+    EXPECT_FALSE(uch.accessLoad(0x200, 8));   // the oldest was evicted
+}
+
+TEST(Uch, StoreHistoryIsSingleEntry)
+{
+    UnfusedCommittedHistory uch;
+    uch.accessStore(0x500, 0);
+    uch.accessStore(0x501, 1); // replaces the only entry
+    EXPECT_FALSE(uch.accessStore(0x500, 2)); // 0x500 was displaced
+    // ... and that miss displaced 0x501 in turn.
+    EXPECT_FALSE(uch.accessStore(0x501, 3));
+    EXPECT_TRUE(uch.accessStore(0x501, 4));
+}
+
+TEST(Uch, ClearDropsEverything)
+{
+    UnfusedCommittedHistory uch;
+    uch.accessLoad(0x600, 0);
+    uch.accessStore(0x601, 0);
+    uch.clear();
+    EXPECT_FALSE(uch.accessLoad(0x600, 1));
+    EXPECT_FALSE(uch.accessStore(0x601, 1));
+}
