@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_helios.dir/ablation_helios.cc.o"
+  "CMakeFiles/ablation_helios.dir/ablation_helios.cc.o.d"
+  "ablation_helios"
+  "ablation_helios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_helios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

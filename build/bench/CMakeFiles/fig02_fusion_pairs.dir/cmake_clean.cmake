@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_fusion_pairs.dir/fig02_fusion_pairs.cc.o"
+  "CMakeFiles/fig02_fusion_pairs.dir/fig02_fusion_pairs.cc.o.d"
+  "fig02_fusion_pairs"
+  "fig02_fusion_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_fusion_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

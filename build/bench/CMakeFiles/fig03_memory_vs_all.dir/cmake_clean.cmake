@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_memory_vs_all.dir/fig03_memory_vs_all.cc.o"
+  "CMakeFiles/fig03_memory_vs_all.dir/fig03_memory_vs_all.cc.o.d"
+  "fig03_memory_vs_all"
+  "fig03_memory_vs_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_memory_vs_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_csf_categories.dir/fig04_csf_categories.cc.o"
+  "CMakeFiles/fig04_csf_categories.dir/fig04_csf_categories.cc.o.d"
+  "fig04_csf_categories"
+  "fig04_csf_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_csf_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ncsf_potential.dir/fig05_ncsf_potential.cc.o"
+  "CMakeFiles/fig05_ncsf_potential.dir/fig05_ncsf_potential.cc.o.d"
+  "fig05_ncsf_potential"
+  "fig05_ncsf_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ncsf_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_pairs.dir/fig08_pairs.cc.o"
+  "CMakeFiles/fig08_pairs.dir/fig08_pairs.cc.o.d"
+  "fig08_pairs"
+  "fig08_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

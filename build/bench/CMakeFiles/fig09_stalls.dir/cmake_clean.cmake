@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_stalls.dir/fig09_stalls.cc.o"
+  "CMakeFiles/fig09_stalls.dir/fig09_stalls.cc.o.d"
+  "fig09_stalls"
+  "fig09_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_predictor.dir/table3_predictor.cc.o"
+  "CMakeFiles/table3_predictor.dir/table3_predictor.cc.o.d"
+  "table3_predictor"
+  "table3_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_run.dir/helios_run.cpp.o"
+  "CMakeFiles/helios_run.dir/helios_run.cpp.o.d"
+  "helios_run"
+  "helios_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

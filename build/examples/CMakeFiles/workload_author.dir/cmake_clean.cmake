@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_author.dir/workload_author.cpp.o"
+  "CMakeFiles/workload_author.dir/workload_author.cpp.o.d"
+  "workload_author"
+  "workload_author.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_author.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

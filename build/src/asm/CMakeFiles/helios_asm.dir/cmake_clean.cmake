@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_asm.dir/assembler.cc.o"
+  "CMakeFiles/helios_asm.dir/assembler.cc.o.d"
+  "CMakeFiles/helios_asm.dir/program.cc.o"
+  "CMakeFiles/helios_asm.dir/program.cc.o.d"
+  "libhelios_asm.a"
+  "libhelios_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_common.dir/logging.cc.o"
+  "CMakeFiles/helios_common.dir/logging.cc.o.d"
+  "CMakeFiles/helios_common.dir/stats.cc.o"
+  "CMakeFiles/helios_common.dir/stats.cc.o.d"
+  "libhelios_common.a"
+  "libhelios_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

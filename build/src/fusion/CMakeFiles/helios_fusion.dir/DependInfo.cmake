@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fusion/fusion_predictor.cc" "src/fusion/CMakeFiles/helios_fusion.dir/fusion_predictor.cc.o" "gcc" "src/fusion/CMakeFiles/helios_fusion.dir/fusion_predictor.cc.o.d"
+  "/root/repo/src/fusion/idiom.cc" "src/fusion/CMakeFiles/helios_fusion.dir/idiom.cc.o" "gcc" "src/fusion/CMakeFiles/helios_fusion.dir/idiom.cc.o.d"
+  "/root/repo/src/fusion/tage_fp.cc" "src/fusion/CMakeFiles/helios_fusion.dir/tage_fp.cc.o" "gcc" "src/fusion/CMakeFiles/helios_fusion.dir/tage_fp.cc.o.d"
+  "/root/repo/src/fusion/uch.cc" "src/fusion/CMakeFiles/helios_fusion.dir/uch.cc.o" "gcc" "src/fusion/CMakeFiles/helios_fusion.dir/uch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/helios_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/helios_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

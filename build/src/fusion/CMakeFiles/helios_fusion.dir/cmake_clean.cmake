@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_fusion.dir/fusion_predictor.cc.o"
+  "CMakeFiles/helios_fusion.dir/fusion_predictor.cc.o.d"
+  "CMakeFiles/helios_fusion.dir/idiom.cc.o"
+  "CMakeFiles/helios_fusion.dir/idiom.cc.o.d"
+  "CMakeFiles/helios_fusion.dir/tage_fp.cc.o"
+  "CMakeFiles/helios_fusion.dir/tage_fp.cc.o.d"
+  "CMakeFiles/helios_fusion.dir/uch.cc.o"
+  "CMakeFiles/helios_fusion.dir/uch.cc.o.d"
+  "libhelios_fusion.a"
+  "libhelios_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_harness.dir/analysis.cc.o"
+  "CMakeFiles/helios_harness.dir/analysis.cc.o.d"
+  "CMakeFiles/helios_harness.dir/report.cc.o"
+  "CMakeFiles/helios_harness.dir/report.cc.o.d"
+  "CMakeFiles/helios_harness.dir/runner.cc.o"
+  "CMakeFiles/helios_harness.dir/runner.cc.o.d"
+  "libhelios_harness.a"
+  "libhelios_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_isa.dir/decoder.cc.o"
+  "CMakeFiles/helios_isa.dir/decoder.cc.o.d"
+  "CMakeFiles/helios_isa.dir/disasm.cc.o"
+  "CMakeFiles/helios_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/helios_isa.dir/encoder.cc.o"
+  "CMakeFiles/helios_isa.dir/encoder.cc.o.d"
+  "CMakeFiles/helios_isa.dir/riscv.cc.o"
+  "CMakeFiles/helios_isa.dir/riscv.cc.o.d"
+  "libhelios_isa.a"
+  "libhelios_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_uarch.dir/branch_pred.cc.o"
+  "CMakeFiles/helios_uarch.dir/branch_pred.cc.o.d"
+  "CMakeFiles/helios_uarch.dir/cache.cc.o"
+  "CMakeFiles/helios_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/helios_uarch.dir/params.cc.o"
+  "CMakeFiles/helios_uarch.dir/params.cc.o.d"
+  "CMakeFiles/helios_uarch.dir/pipeline.cc.o"
+  "CMakeFiles/helios_uarch.dir/pipeline.cc.o.d"
+  "CMakeFiles/helios_uarch.dir/storeset.cc.o"
+  "CMakeFiles/helios_uarch.dir/storeset.cc.o.d"
+  "libhelios_uarch.a"
+  "libhelios_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

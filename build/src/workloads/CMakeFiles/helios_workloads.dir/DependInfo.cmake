@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/helios_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/helios_workloads.dir/workloads.cc.o.d"
+  "/root/repo/src/workloads/workloads_mibench.cc" "src/workloads/CMakeFiles/helios_workloads.dir/workloads_mibench.cc.o" "gcc" "src/workloads/CMakeFiles/helios_workloads.dir/workloads_mibench.cc.o.d"
+  "/root/repo/src/workloads/workloads_mibench2.cc" "src/workloads/CMakeFiles/helios_workloads.dir/workloads_mibench2.cc.o" "gcc" "src/workloads/CMakeFiles/helios_workloads.dir/workloads_mibench2.cc.o.d"
+  "/root/repo/src/workloads/workloads_spec.cc" "src/workloads/CMakeFiles/helios_workloads.dir/workloads_spec.cc.o" "gcc" "src/workloads/CMakeFiles/helios_workloads.dir/workloads_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/helios_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/helios_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/helios_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/helios_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_workloads.dir/workloads.cc.o"
+  "CMakeFiles/helios_workloads.dir/workloads.cc.o.d"
+  "CMakeFiles/helios_workloads.dir/workloads_mibench.cc.o"
+  "CMakeFiles/helios_workloads.dir/workloads_mibench.cc.o.d"
+  "CMakeFiles/helios_workloads.dir/workloads_mibench2.cc.o"
+  "CMakeFiles/helios_workloads.dir/workloads_mibench2.cc.o.d"
+  "CMakeFiles/helios_workloads.dir/workloads_spec.cc.o"
+  "CMakeFiles/helios_workloads.dir/workloads_spec.cc.o.d"
+  "libhelios_workloads.a"
+  "libhelios_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asm_roundtrip.dir/test_asm_roundtrip.cc.o"
+  "CMakeFiles/test_asm_roundtrip.dir/test_asm_roundtrip.cc.o.d"
+  "test_asm_roundtrip"
+  "test_asm_roundtrip.pdb"
+  "test_asm_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asm_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

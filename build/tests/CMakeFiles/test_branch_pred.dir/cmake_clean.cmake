@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_branch_pred.dir/test_branch_pred.cc.o"
+  "CMakeFiles/test_branch_pred.dir/test_branch_pred.cc.o.d"
+  "test_branch_pred"
+  "test_branch_pred.pdb"
+  "test_branch_pred[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_branch_pred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

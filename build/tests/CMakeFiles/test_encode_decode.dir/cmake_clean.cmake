@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_encode_decode.dir/test_encode_decode.cc.o"
+  "CMakeFiles/test_encode_decode.dir/test_encode_decode.cc.o.d"
+  "test_encode_decode"
+  "test_encode_decode.pdb"
+  "test_encode_decode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_encode_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fusion_predictor.dir/test_fusion_predictor.cc.o"
+  "CMakeFiles/test_fusion_predictor.dir/test_fusion_predictor.cc.o.d"
+  "test_fusion_predictor"
+  "test_fusion_predictor.pdb"
+  "test_fusion_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fusion_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hart.dir/test_hart.cc.o"
+  "CMakeFiles/test_hart.dir/test_hart.cc.o.d"
+  "test_hart"
+  "test_hart.pdb"
+  "test_hart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hart_fuzz.dir/test_hart_fuzz.cc.o"
+  "CMakeFiles/test_hart_fuzz.dir/test_hart_fuzz.cc.o.d"
+  "test_hart_fuzz"
+  "test_hart_fuzz.pdb"
+  "test_hart_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hart_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_helios.dir/test_helios.cc.o"
+  "CMakeFiles/test_helios.dir/test_helios.cc.o.d"
+  "test_helios"
+  "test_helios.pdb"
+  "test_helios[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_helios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idiom.dir/test_idiom.cc.o"
+  "CMakeFiles/test_idiom.dir/test_idiom.cc.o.d"
+  "test_idiom"
+  "test_idiom.pdb"
+  "test_idiom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idiom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storeset.dir/test_storeset.cc.o"
+  "CMakeFiles/test_storeset.dir/test_storeset.cc.o.d"
+  "test_storeset"
+  "test_storeset.pdb"
+  "test_storeset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storeset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

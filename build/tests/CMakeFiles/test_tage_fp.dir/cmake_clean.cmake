@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tage_fp.dir/test_tage_fp.cc.o"
+  "CMakeFiles/test_tage_fp.dir/test_tage_fp.cc.o.d"
+  "test_tage_fp"
+  "test_tage_fp.pdb"
+  "test_tage_fp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tage_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uch.dir/test_uch.cc.o"
+  "CMakeFiles/test_uch.dir/test_uch.cc.o.d"
+  "test_uch"
+  "test_uch.pdb"
+  "test_uch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bits[1]_include.cmake")
+include("/root/repo/build/tests/test_counters[1]_include.cmake")
+include("/root/repo/build/tests/test_random[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_riscv[1]_include.cmake")
+include("/root/repo/build/tests/test_encode_decode[1]_include.cmake")
+include("/root/repo/build/tests/test_disasm[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build/tests/test_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_hart[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_idiom[1]_include.cmake")
+include("/root/repo/build/tests/test_uch[1]_include.cmake")
+include("/root/repo/build/tests/test_fusion_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_branch_pred[1]_include.cmake")
+include("/root/repo/build/tests/test_storeset[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_helios[1]_include.cmake")
+include("/root/repo/build/tests/test_tage_fp[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_asm_roundtrip[1]_include.cmake")
+include("/root/repo/build/tests/test_hart_fuzz[1]_include.cmake")

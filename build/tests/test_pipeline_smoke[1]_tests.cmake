@@ -1,0 +1,3 @@
+add_test([=[PipelineSmoke.McfAllModes]=]  /root/repo/build/tests/test_pipeline_smoke [==[--gtest_filter=PipelineSmoke.McfAllModes]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[PipelineSmoke.McfAllModes]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_pipeline_smoke_TESTS PipelineSmoke.McfAllModes)
