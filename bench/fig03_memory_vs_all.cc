@@ -23,17 +23,27 @@ main()
         "CSF-SBR = memory pairing idioms only; RISCVFusion++ = all "
         "Table I idioms");
     const uint64_t budget = benchInstructionBudget();
+    const unsigned jobs = defaultJobCount();
+
+    const FusionMode modes[] = {FusionMode::None, FusionMode::CsfSbr,
+                                FusionMode::RiscvFusionPP};
+    std::vector<MatrixCell> cells;
+    for (const Workload &workload : allWorkloads())
+        for (FusionMode mode : modes)
+            cells.emplace_back(workload, mode, budget);
+
+    Stopwatch timer;
+    const std::vector<RunResult> results = runMatrix(cells, jobs);
+    const double elapsed = timer.seconds();
 
     Table table({"workload", "base IPC", "MemoryOnly", "AllIdioms"});
     std::vector<double> memory_ratios, all_ratios;
-    for (const Workload &workload : allWorkloads()) {
-        const double base =
-            runOne(workload, FusionMode::None, budget).ipc();
-        const double memory =
-            runOne(workload, FusionMode::CsfSbr, budget).ipc();
-        const double all =
-            runOne(workload, FusionMode::RiscvFusionPP, budget).ipc();
-        table.addRow({workload.name, Table::num(base, 3),
+    const auto &workloads = allWorkloads();
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const double base = results[w * 3].ipc();
+        const double memory = results[w * 3 + 1].ipc();
+        const double all = results[w * 3 + 2].ipc();
+        table.addRow({workloads[w].name, Table::num(base, 3),
                       Table::num(memory / base, 3),
                       Table::num(all / base, 3)});
         memory_ratios.push_back(memory / base);
@@ -45,5 +55,6 @@ main()
     table.print();
     std::printf("\nPaper: ~1 percentage point between the two on "
                 "average\n");
+    printMatrixTiming(cells.size(), jobs, elapsed);
     return 0;
 }

@@ -48,18 +48,29 @@ main()
         "pairs as % of dynamic memory instructions; avg fusion "
         "distance in µ-ops");
     const uint64_t budget = benchInstructionBudget();
+    const unsigned jobs = defaultJobCount();
+
+    std::vector<MatrixCell> cells;
+    for (const Workload &workload : allWorkloads()) {
+        cells.emplace_back(workload, FusionMode::Helios, budget);
+        cells.emplace_back(workload, FusionMode::Oracle, budget);
+    }
+
+    Stopwatch timer;
+    const std::vector<RunResult> results = runMatrix(cells, jobs);
+    const double elapsed = timer.seconds();
 
     Table table({"workload", "Helios CSF", "Helios NCSF", "Oracle CSF",
                  "Oracle NCSF", "Helios dist"});
     double sums[4] = {};
     double dist_sum = 0.0;
     unsigned count = 0;
-    for (const Workload &workload : allWorkloads()) {
-        const PairNumbers helios_numbers =
-            pairNumbers(runOne(workload, FusionMode::Helios, budget));
+    const auto &workloads = allWorkloads();
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const PairNumbers helios_numbers = pairNumbers(results[w * 2]);
         const PairNumbers oracle_numbers =
-            pairNumbers(runOne(workload, FusionMode::Oracle, budget));
-        table.addRow({workload.name, Table::pct(helios_numbers.csf),
+            pairNumbers(results[w * 2 + 1]);
+        table.addRow({workloads[w].name, Table::pct(helios_numbers.csf),
                       Table::pct(helios_numbers.ncsf),
                       Table::pct(oracle_numbers.csf),
                       Table::pct(oracle_numbers.ncsf),
@@ -79,5 +90,6 @@ main()
     table.print();
     std::printf("\nPaper (amean over memory insts): Helios 6.7%% CSF "
                 "+ 5.5%% NCSF; Oracle CSF 6.1%%; distance 10.5\n");
+    printMatrixTiming(cells.size(), jobs, elapsed);
     return 0;
 }

@@ -59,15 +59,26 @@ main()
         "baseline (no fusion) vs Helios vs OracleFusion; 'top' = "
         "dominant stalled resource in the baseline");
     const uint64_t budget = benchInstructionBudget();
+    const unsigned jobs = defaultJobCount();
+
+    const FusionMode modes[] = {FusionMode::None, FusionMode::Helios,
+                                FusionMode::Oracle};
+    std::vector<MatrixCell> cells;
+    for (const Workload &workload : allWorkloads())
+        for (FusionMode mode : modes)
+            cells.emplace_back(workload, mode, budget);
+
+    Stopwatch timer;
+    const std::vector<RunResult> results = runMatrix(cells, jobs);
+    const double elapsed = timer.seconds();
 
     Table table({"workload", "baseline", "Helios", "Oracle", "top"});
-    for (const Workload &workload : allWorkloads()) {
-        const RunResult base = runOne(workload, FusionMode::None, budget);
-        const RunResult helios_run =
-            runOne(workload, FusionMode::Helios, budget);
-        const RunResult oracle_run =
-            runOne(workload, FusionMode::Oracle, budget);
-        table.addRow({workload.name, Table::pct(stallPercent(base)),
+    const auto &workloads = allWorkloads();
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const RunResult &base = results[w * 3];
+        const RunResult &helios_run = results[w * 3 + 1];
+        const RunResult &oracle_run = results[w * 3 + 2];
+        table.addRow({workloads[w].name, Table::pct(stallPercent(base)),
                       Table::pct(stallPercent(helios_run)),
                       Table::pct(stallPercent(oracle_run)),
                       dominant(base)});
@@ -75,5 +86,6 @@ main()
     table.print();
     std::printf("\nPaper: stall-heavy baselines (xz_1 88%% SQ) gain "
                 "most from fusion\n");
+    printMatrixTiming(cells.size(), jobs, elapsed);
     return 0;
 }

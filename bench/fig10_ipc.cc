@@ -22,23 +22,37 @@ main()
         "Figure 10 — IPC by configuration (normalized to NoFusion)",
         "the paper's headline evaluation");
     const uint64_t budget = benchInstructionBudget();
+    const unsigned jobs = defaultJobCount();
 
-    const FusionMode modes[] = {FusionMode::RiscvFusion,
+    const FusionMode modes[] = {FusionMode::None,
+                                FusionMode::RiscvFusion,
                                 FusionMode::CsfSbr,
                                 FusionMode::RiscvFusionPP,
                                 FusionMode::Helios, FusionMode::Oracle};
+    constexpr int num_modes = 6;
+
+    // One matrix cell per (workload, mode); results come back in
+    // input order, so cell w * num_modes + m is workload w, mode m.
+    std::vector<MatrixCell> cells;
+    for (const Workload &workload : allWorkloads())
+        for (FusionMode mode : modes)
+            cells.emplace_back(workload, mode, budget);
+
+    Stopwatch timer;
+    const std::vector<RunResult> results = runMatrix(cells, jobs);
+    const double elapsed = timer.seconds();
 
     Table table({"workload", "base IPC", "RVF", "CSF-SBR", "RVF++",
                  "Helios", "Oracle"});
-    std::vector<double> ratios[5];
-    for (const Workload &workload : allWorkloads()) {
-        const double base =
-            runOne(workload, FusionMode::None, budget).ipc();
-        std::vector<std::string> row = {workload.name,
+    std::vector<double> ratios[num_modes - 1];
+    const auto &workloads = allWorkloads();
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const double base = results[w * num_modes].ipc();
+        std::vector<std::string> row = {workloads[w].name,
                                         Table::num(base, 3)};
-        for (int i = 0; i < 5; ++i) {
-            const double ipc = runOne(workload, modes[i], budget).ipc();
-            ratios[i].push_back(ipc / base);
+        for (int i = 1; i < num_modes; ++i) {
+            const double ipc = results[w * num_modes + i].ipc();
+            ratios[i - 1].push_back(ipc / base);
             row.push_back(Table::num(ipc / base, 3));
         }
         table.addRow(row);
@@ -53,12 +67,13 @@ main()
     const char *names[] = {"RISCVFusion", "CSF-SBR", "RISCVFusion++",
                            "Helios", "OracleFusion"};
     const double paper[] = {0.8, 6.0, 7.0, 14.2, 16.3};
-    for (int i = 0; i < 5; ++i)
+    for (int i = 0; i < num_modes - 1; ++i)
         std::printf("  %-14s measured %+5.1f%%   paper %+5.1f%%\n",
                     names[i], 100.0 * (geomean(ratios[i]) - 1.0),
                     paper[i]);
     std::printf("  Helios over CSF-SBR: measured %+.1f%% (paper "
                 "+8.2%%)\n",
                 100.0 * (geomean(ratios[3]) / geomean(ratios[1]) - 1.0));
+    printMatrixTiming(cells.size(), jobs, elapsed);
     return 0;
 }

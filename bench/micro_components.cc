@@ -14,6 +14,7 @@
 #include "harness/runner.hh"
 #include "isa/decoder.hh"
 #include "isa/encoder.hh"
+#include "sim/hart.hh"
 #include "uarch/branch_pred.hh"
 #include "uarch/cache.hh"
 
@@ -130,5 +131,64 @@ BM_PipelineSimulation(benchmark::State &state)
     state.SetItemsProcessed(int64_t(state.iterations()) * 20'000);
 }
 BENCHMARK(BM_PipelineSimulation)->Unit(benchmark::kMillisecond);
+
+/**
+ * Functional emulation speed with and without the pre-decoded
+ * program cache (range argument 1 / 0); the gap is the per-
+ * instruction decode overhead the cache removes.
+ */
+static void
+BM_FunctionalEmulation(benchmark::State &state)
+{
+    const Workload &workload = findWorkload("605.mcf_s");
+    const Program program = workload.program();
+    for (auto _ : state) {
+        Memory mem;
+        Hart hart(mem);
+        hart.setDecodeCacheEnabled(state.range(0) != 0);
+        hart.reset(program);
+        benchmark::DoNotOptimize(hart.run(100'000));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 100'000);
+}
+BENCHMARK(BM_FunctionalEmulation)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+/** Streaming dynamic-trace delivery (forEachDynInst). */
+static void
+BM_StreamingTrace(benchmark::State &state)
+{
+    const Workload &workload = findWorkload("605.mcf_s");
+    for (auto _ : state) {
+        uint64_t loads = 0;
+        forEachDynInst(workload, 100'000, [&](const DynInst &dyn) {
+            loads += dyn.isLoad();
+        });
+        benchmark::DoNotOptimize(loads);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 100'000);
+}
+BENCHMARK(BM_StreamingTrace)->Unit(benchmark::kMillisecond);
+
+/** A small experiment matrix through the parallel worker pool. */
+static void
+BM_RunMatrix(benchmark::State &state)
+{
+    const Workload &workload = findWorkload("605.mcf_s");
+    std::vector<MatrixCell> cells;
+    for (FusionMode mode :
+         {FusionMode::None, FusionMode::CsfSbr, FusionMode::Helios,
+          FusionMode::Oracle})
+        cells.emplace_back(workload, mode, 20'000);
+    for (auto _ : state) {
+        auto results = runMatrix(cells, unsigned(state.range(0)));
+        benchmark::DoNotOptimize(results.front().cycles);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(cells.size()) * 20'000);
+}
+BENCHMARK(BM_RunMatrix)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

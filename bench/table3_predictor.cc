@@ -12,6 +12,7 @@
  * the highest coverage (~100%).
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "harness/report.hh"
@@ -25,15 +26,25 @@ main()
     printBenchHeader("Table III — Helios fusion predictor quality",
                      "coverage vs oracle, accuracy, fusion MPKI");
     const uint64_t budget = benchInstructionBudget();
+    const unsigned jobs = defaultJobCount();
+
+    std::vector<MatrixCell> cells;
+    for (const Workload &workload : allWorkloads()) {
+        cells.emplace_back(workload, FusionMode::Helios, budget);
+        cells.emplace_back(workload, FusionMode::Oracle, budget);
+    }
+
+    Stopwatch timer;
+    const std::vector<RunResult> results = runMatrix(cells, jobs);
+    const double elapsed = timer.seconds();
 
     Table table({"workload", "Coverage", "Accuracy", "MPKI"});
     double cov_sum = 0.0, acc_sum = 0.0, mpki_sum = 0.0;
     unsigned count = 0;
-    for (const Workload &workload : allWorkloads()) {
-        const RunResult helios_run =
-            runOne(workload, FusionMode::Helios, budget);
-        const RunResult oracle_run =
-            runOne(workload, FusionMode::Oracle, budget);
+    const auto &workloads = allWorkloads();
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const RunResult &helios_run = results[w * 2];
+        const RunResult &oracle_run = results[w * 2 + 1];
 
         const double achieved =
             double(helios_run.stat("pairs.fp_validated"));
@@ -52,7 +63,7 @@ main()
         const double mpki =
             1000.0 * wrong / double(helios_run.instructions);
 
-        table.addRow({workload.name, Table::pct(coverage),
+        table.addRow({workloads[w].name, Table::pct(coverage),
                       Table::pct(accuracy), Table::num(mpki, 4)});
         cov_sum += coverage;
         acc_sum += accuracy;
@@ -65,5 +76,6 @@ main()
     table.print();
     std::printf("\nPaper (avg): coverage 68.2%%, accuracy 99.7%%, "
                 "MPKI 0.1416\n");
+    printMatrixTiming(cells.size(), jobs, elapsed);
     return 0;
 }

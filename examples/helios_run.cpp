@@ -9,6 +9,12 @@
  *       --trace                            pipeview commit trace
  *       --stats                            dump every counter
  *       --functional                       skip the timing model
+ *       --sweep                            run ALL configurations as a
+ *                                          parallel matrix and print a
+ *                                          comparison table
+ *       --jobs N                           worker threads for --sweep
+ *                                          (default HELIOS_JOBS or all
+ *                                          hardware threads)
  *
  * The program uses the same conventions as the workload suite: exit
  * through `li a7, 93; ecall` with the result in a0; `ecall` with
@@ -23,6 +29,8 @@
 
 #include "asm/assembler.hh"
 #include "common/logging.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
 #include "sim/hart.hh"
 #include "uarch/pipeline.hh"
 
@@ -37,7 +45,49 @@ usage()
     std::fprintf(stderr,
                  "usage: helios_run <file.s> [--config NAME] "
                  "[--max-insts N] [--trace] [--stats] "
-                 "[--functional]\n");
+                 "[--functional] [--sweep] [--jobs N]\n");
+}
+
+/** Run every fusion configuration over the file as a parallel matrix. */
+int
+runSweep(const std::string &path, const std::string &source,
+         uint64_t max_insts, unsigned jobs)
+{
+    // Wrap the assembled file as an ad-hoc workload so it can ride
+    // the same matrix machinery as the paper sweeps.
+    Workload workload;
+    workload.name = path;
+    workload.suite = Suite::MiBench;
+    workload.description = "user program";
+    workload.source = source;
+
+    const FusionMode modes[] = {FusionMode::None,
+                                FusionMode::RiscvFusion,
+                                FusionMode::CsfSbr,
+                                FusionMode::RiscvFusionPP,
+                                FusionMode::Helios, FusionMode::Oracle};
+    std::vector<MatrixCell> cells;
+    for (FusionMode mode : modes)
+        cells.emplace_back(workload, mode, max_insts);
+
+    if (jobs == 0)
+        jobs = defaultJobCount();
+    Stopwatch timer;
+    const std::vector<RunResult> results = runMatrix(cells, jobs);
+    const double elapsed = timer.seconds();
+
+    const double base = results[0].ipc();
+    Table table({"config", "cycles", "uops", "IPC", "vs NoFusion"});
+    for (const RunResult &result : results)
+        table.addRow({fusionModeName(result.mode),
+                      std::to_string(result.cycles),
+                      std::to_string(result.uops),
+                      Table::num(result.ipc(), 3),
+                      base > 0 ? Table::num(result.ipc() / base, 3)
+                               : "-"});
+    table.print();
+    printMatrixTiming(cells.size(), jobs, elapsed);
+    return 0;
 }
 
 } // namespace
@@ -53,7 +103,9 @@ main(int argc, char **argv)
     std::string path;
     FusionMode mode = FusionMode::Helios;
     uint64_t max_insts = UINT64_MAX;
+    unsigned jobs = 0;
     bool trace = false, dump_stats = false, functional_only = false;
+    bool sweep = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -61,12 +113,16 @@ main(int argc, char **argv)
             mode = fusionModeFromName(argv[++i]);
         } else if (arg == "--max-insts" && i + 1 < argc) {
             max_insts = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            jobs = unsigned(std::strtoul(argv[++i], nullptr, 0));
         } else if (arg == "--trace") {
             trace = true;
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--functional") {
             functional_only = true;
+        } else if (arg == "--sweep") {
+            sweep = true;
         } else if (arg[0] == '-') {
             usage();
             return 2;
@@ -93,12 +149,24 @@ main(int argc, char **argv)
         std::printf("assembled %zu instructions, %zu data bytes\n",
                     program.numInsts(), program.data.size());
 
+        if (sweep)
+            return runSweep(path, text.str(), max_insts, jobs);
+
         Memory memory;
         Hart hart(memory);
         hart.reset(program);
 
+        Stopwatch timer;
         if (functional_only) {
-            hart.run(max_insts);
+            const uint64_t executed = hart.run(max_insts);
+            const double elapsed = timer.seconds();
+            std::printf("functional: %llu instructions in %.3f s "
+                        "(%.1f M inst/s, pre-decoded %zu static "
+                        "insts)\n",
+                        (unsigned long long)executed, elapsed,
+                        elapsed > 0 ? double(executed) / elapsed / 1e6
+                                    : 0.0,
+                        hart.decodeCacheSize());
         } else {
             HartFeed feed(hart, max_insts);
             CoreParams params = CoreParams::icelake(mode);
@@ -106,12 +174,16 @@ main(int argc, char **argv)
                 params.traceOut = &std::cout;
             Pipeline pipeline(params, feed);
             const PipelineResult result = pipeline.run();
+            const double elapsed = timer.seconds();
             std::printf("%s: %llu instructions in %llu cycles "
-                        "(IPC %.3f)\n",
+                        "(IPC %.3f) [%.3f s wall, %.1f K cycles/s]\n",
                         fusionModeName(mode),
                         (unsigned long long)result.instructions,
                         (unsigned long long)result.cycles,
-                        result.ipc());
+                        result.ipc(), elapsed,
+                        elapsed > 0 ? double(result.cycles) / elapsed /
+                                          1e3
+                                    : 0.0);
             if (dump_stats)
                 std::fputs(pipeline.stats().toString().c_str(), stdout);
         }

@@ -1,6 +1,6 @@
 #include "harness/analysis.hh"
 
-#include <deque>
+#include <algorithm>
 
 #include "fusion/idiom.hh"
 
@@ -19,26 +19,34 @@ IdiomStats::othersFraction() const
     return totalUops ? double(otherPairUops) / double(totalUops) : 0.0;
 }
 
+void
+IdiomAccumulator::add(const DynInst &dyn)
+{
+    ++theStats.totalUops;
+    if (!havePending) {
+        pending = dyn;
+        havePending = true;
+        return;
+    }
+    const Idiom idiom = matchIdiom(pending.inst, dyn.inst);
+    if (idiom == Idiom::None) {
+        pending = dyn; // head advances by one
+        return;
+    }
+    if (isMemoryIdiom(idiom))
+        theStats.memoryPairUops += 2;
+    else
+        theStats.otherPairUops += 2;
+    havePending = false; // greedy non-overlapping pairing
+}
+
 IdiomStats
 analyzeIdioms(const std::vector<DynInst> &trace)
 {
-    IdiomStats stats;
-    stats.totalUops = trace.size();
-    size_t i = 0;
-    while (i + 1 < trace.size()) {
-        const Idiom idiom =
-            matchIdiom(trace[i].inst, trace[i + 1].inst);
-        if (idiom == Idiom::None) {
-            ++i;
-            continue;
-        }
-        if (isMemoryIdiom(idiom))
-            stats.memoryPairUops += 2;
-        else
-            stats.otherPairUops += 2;
-        i += 2; // greedy non-overlapping pairing
-    }
-    return stats;
+    IdiomAccumulator acc;
+    for (const DynInst &dyn : trace)
+        acc.add(dyn);
+    return acc.stats();
 }
 
 double
@@ -47,50 +55,58 @@ CsfCategoryStats::fraction(uint64_t pairs) const
     return totalUops ? 2.0 * double(pairs) / double(totalUops) : 0.0;
 }
 
-CsfCategoryStats
-analyzeCsfCategories(const std::vector<DynInst> &trace,
-                     unsigned line_bytes)
+void
+CsfCategoryAccumulator::add(const DynInst &dyn)
 {
-    CsfCategoryStats stats;
-    stats.totalUops = trace.size();
-    size_t i = 0;
-    while (i + 1 < trace.size()) {
-        const DynInst &a = trace[i];
-        const DynInst &b = trace[i + 1];
-        const bool same_kind = (a.isLoad() && b.isLoad()) ||
-                               (a.isStore() && b.isStore());
-        if (!same_kind) {
-            ++i;
-            continue;
-        }
-        // Dependent loads cannot pair (Section II-B).
-        if (a.isLoad() && a.inst.writesReg() &&
-            a.inst.rd == b.inst.baseReg()) {
-            ++i;
-            continue;
-        }
+    ++theStats.totalUops;
+    if (!havePending) {
+        pending = dyn;
+        havePending = true;
+        return;
+    }
+    const DynInst &a = pending;
+    const DynInst &b = dyn;
+    const bool same_kind = (a.isLoad() && b.isLoad()) ||
+                           (a.isStore() && b.isStore());
+    // Dependent loads cannot pair (Section II-B).
+    const bool dependent = a.isLoad() && a.inst.writesReg() &&
+                           a.inst.rd == b.inst.baseReg();
+    bool paired = false;
+    if (same_kind && !dependent) {
         const uint64_t a_begin = a.effAddr;
         const uint64_t a_end = a_begin + a.memSize();
         const uint64_t b_begin = b.effAddr;
         const uint64_t b_end = b_begin + b.memSize();
-        const uint64_t line_a = a_begin / line_bytes;
-        const uint64_t line_b = b_begin / line_bytes;
+        const uint64_t line_a = a_begin / lineBytes;
+        const uint64_t line_b = b_begin / lineBytes;
 
-        bool paired = true;
+        paired = true;
         if (a_end == b_begin || b_end == a_begin) {
-            ++stats.contiguous;
+            ++theStats.contiguous;
         } else if (a_begin < b_end && b_begin < a_end) {
-            ++stats.overlapping;
+            ++theStats.overlapping;
         } else if (line_a == line_b) {
-            ++stats.sameLine;
+            ++theStats.sameLine;
         } else if (line_a + 1 == line_b || line_b + 1 == line_a) {
-            ++stats.nextLine;
+            ++theStats.nextLine;
         } else {
             paired = false;
         }
-        i += paired ? 2 : 1;
     }
-    return stats;
+    if (paired)
+        havePending = false;
+    else
+        pending = dyn;
+}
+
+CsfCategoryStats
+analyzeCsfCategories(const std::vector<DynInst> &trace,
+                     unsigned line_bytes)
+{
+    CsfCategoryAccumulator acc(line_bytes);
+    for (const DynInst &dyn : trace)
+        acc.add(dyn);
+    return acc.stats();
 }
 
 double
@@ -100,67 +116,63 @@ NcsfPotentialStats::fraction(uint64_t pair_count) const
                      : 0.0;
 }
 
+void
+NcsfPotentialAccumulator::add(const DynInst &dyn)
+{
+    const uint64_t i = nextIndex++;
+    ++theStats.totalUops;
+
+    while (!recent.empty() && i - recent.front().index > window)
+        recent.pop_front();
+
+    if (!dyn.isMem())
+        return;
+
+    bool matched = false;
+    for (auto it = recent.rbegin(); it != recent.rend(); ++it) {
+        if (it->paired)
+            continue;
+        const DynInst &head = it->dyn;
+        const bool same_kind =
+            (head.isLoad() && dyn.isLoad()) ||
+            (head.isStore() && dyn.isStore());
+        if (!same_kind)
+            continue;
+        const uint64_t begin = std::min(head.effAddr, dyn.effAddr);
+        const uint64_t end = std::max(head.effAddr + head.memSize(),
+                                      dyn.effAddr + dyn.memSize());
+        if (end - begin > regionBytes)
+            continue;
+        if (head.inst.writesReg() &&
+            head.inst.rd == dyn.inst.baseReg())
+            continue; // directly dependent
+
+        const bool consecutive = it->index + 1 == i;
+        const bool same_base =
+            head.inst.baseReg() == dyn.inst.baseReg();
+        if (consecutive) {
+            ++(same_base ? theStats.csfSbr : theStats.csfDbr);
+        } else {
+            ++(same_base ? theStats.ncsfSbr : theStats.ncsfDbr);
+        }
+        if (head.memSize() != dyn.memSize())
+            ++theStats.asymmetric;
+        it->paired = true;
+        matched = true;
+        break;
+    }
+    if (!matched)
+        recent.push_back({dyn, i, false});
+}
+
 NcsfPotentialStats
 analyzeNcsfPotential(const std::vector<DynInst> &trace, unsigned window,
                      unsigned region_bytes)
 {
-    NcsfPotentialStats stats;
-    stats.totalUops = trace.size();
-
-    struct Candidate
-    {
-        size_t index;
-        bool paired;
-    };
-    std::deque<Candidate> recent; // unpaired memory µ-ops, newest last
-
-    for (size_t i = 0; i < trace.size(); ++i) {
-        while (!recent.empty() && i - recent.front().index > window)
-            recent.pop_front();
-
-        const DynInst &tail = trace[i];
-        if (!tail.isMem())
-            continue;
-
-        bool matched = false;
-        for (auto it = recent.rbegin(); it != recent.rend(); ++it) {
-            if (it->paired)
-                continue;
-            const DynInst &head = trace[it->index];
-            const bool same_kind =
-                (head.isLoad() && tail.isLoad()) ||
-                (head.isStore() && tail.isStore());
-            if (!same_kind)
-                continue;
-            const uint64_t begin =
-                std::min(head.effAddr, tail.effAddr);
-            const uint64_t end =
-                std::max(head.effAddr + head.memSize(),
-                         tail.effAddr + tail.memSize());
-            if (end - begin > region_bytes)
-                continue;
-            if (head.inst.writesReg() &&
-                head.inst.rd == tail.inst.baseReg())
-                continue; // directly dependent
-
-            const bool consecutive = it->index + 1 == i;
-            const bool same_base =
-                head.inst.baseReg() == tail.inst.baseReg();
-            if (consecutive) {
-                ++(same_base ? stats.csfSbr : stats.csfDbr);
-            } else {
-                ++(same_base ? stats.ncsfSbr : stats.ncsfDbr);
-            }
-            if (head.memSize() != tail.memSize())
-                ++stats.asymmetric;
-            it->paired = true;
-            matched = true;
-            break;
-        }
-        if (!matched)
-            recent.push_back({i, false});
-    }
-    return stats;
+    NcsfPotentialAccumulator acc(window, region_bytes);
+    for (const DynInst &dyn : trace)
+        acc.add(dyn);
+    return acc.stats();
 }
 
 } // namespace helios

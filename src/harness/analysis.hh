@@ -5,12 +5,19 @@
  * categories and non-consecutive fusion potential. These analyses run
  * over the functional instruction stream, independent of the timing
  * model, exactly as a trace study would.
+ *
+ * Each analysis is a streaming accumulator — feed it one DynInst at a
+ * time (e.g. from forEachDynInst()) and read the stats at the end —
+ * so characterizing a 500M-instruction region never materializes the
+ * dynamic stream. The vector-taking functions are thin wrappers kept
+ * for tests and small traces.
  */
 
 #ifndef HARNESS_ANALYSIS_HH
 #define HARNESS_ANALYSIS_HH
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "sim/trace.hh"
@@ -29,6 +36,19 @@ struct IdiomStats
     double othersFraction() const;
 };
 
+/** Streaming Figure 2 analysis: greedy non-overlapping idiom pairing. */
+class IdiomAccumulator
+{
+  public:
+    void add(const DynInst &dyn);
+    const IdiomStats &stats() const { return theStats; }
+
+  private:
+    IdiomStats theStats;
+    DynInst pending;
+    bool havePending = false;
+};
+
 IdiomStats analyzeIdioms(const std::vector<DynInst> &trace);
 
 /** Figure 4: consecutive memory pairs by address relationship. */
@@ -41,6 +61,24 @@ struct CsfCategoryStats
     uint64_t nextLine = 0;    ///< two contiguous cache lines
 
     double fraction(uint64_t pairs) const;
+};
+
+/** Streaming Figure 4 analysis. */
+class CsfCategoryAccumulator
+{
+  public:
+    explicit CsfCategoryAccumulator(unsigned line_bytes = 64)
+        : lineBytes(line_bytes)
+    {}
+
+    void add(const DynInst &dyn);
+    const CsfCategoryStats &stats() const { return theStats; }
+
+  private:
+    CsfCategoryStats theStats;
+    unsigned lineBytes;
+    DynInst pending;
+    bool havePending = false;
 };
 
 CsfCategoryStats analyzeCsfCategories(const std::vector<DynInst> &trace,
@@ -58,6 +96,36 @@ struct NcsfPotentialStats
 
     uint64_t pairs() const { return csfSbr + csfDbr + ncsfSbr + ncsfDbr; }
     double fraction(uint64_t pairs) const;
+};
+
+/**
+ * Streaming Figure 5 analysis. Keeps only the sliding window of
+ * unpaired memory µ-ops (bounded by @a window), not the trace.
+ */
+class NcsfPotentialAccumulator
+{
+  public:
+    explicit NcsfPotentialAccumulator(unsigned window = 64,
+                                      unsigned region_bytes = 64)
+        : window(window), regionBytes(region_bytes)
+    {}
+
+    void add(const DynInst &dyn);
+    const NcsfPotentialStats &stats() const { return theStats; }
+
+  private:
+    struct Candidate
+    {
+        DynInst dyn;
+        uint64_t index;
+        bool paired;
+    };
+
+    NcsfPotentialStats theStats;
+    unsigned window;
+    unsigned regionBytes;
+    uint64_t nextIndex = 0;
+    std::deque<Candidate> recent; ///< unpaired memory µ-ops, newest last
 };
 
 NcsfPotentialStats

@@ -77,4 +77,13 @@ printBenchHeader(const std::string &title,
     std::printf("==================================================\n");
 }
 
+void
+printMatrixTiming(size_t cells, unsigned jobs, double seconds)
+{
+    std::printf("\n[matrix] %zu cells on %u worker thread%s in %.2f s "
+                "(%.2f cells/s)\n",
+                cells, jobs, jobs == 1 ? "" : "s", seconds,
+                seconds > 0.0 ? double(cells) / seconds : 0.0);
+}
+
 } // namespace helios

@@ -8,6 +8,8 @@
 #ifndef HARNESS_REPORT_HH
 #define HARNESS_REPORT_HH
 
+#include <chrono>
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -39,6 +41,32 @@ class Table
 /** Print the standard bench banner (config summary). */
 void printBenchHeader(const std::string &title,
                       const std::string &description);
+
+/** Wall-clock stopwatch for reporting experiment throughput. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start(std::chrono::steady_clock::now()) {}
+
+    /** Seconds elapsed since construction. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
+/**
+ * Print the standard matrix-timing footer: how many cells ran, on how
+ * many worker threads, in how long. Bench binaries call this so the
+ * throughput of a sweep is always visible.
+ */
+void printMatrixTiming(size_t cells, unsigned jobs, double seconds);
 
 } // namespace helios
 

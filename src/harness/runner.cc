@@ -1,13 +1,46 @@
 #include "harness/runner.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
 
+#include "common/logging.hh"
 #include "sim/hart.hh"
 #include "uarch/pipeline.hh"
 
 namespace helios
 {
+
+namespace
+{
+
+/**
+ * Parse a strictly positive integer environment variable; fatal() on
+ * garbage, trailing junk, overflow or zero so misconfigured sweeps
+ * fail loudly instead of silently running nothing.
+ */
+uint64_t
+parsePositiveEnv(const char *name, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 0);
+    // strtoull silently wraps negative input to a huge value.
+    if (end == text || *end != '\0' || text[0] == '-')
+        fatal("%s='%s' is not a number", name, text);
+    if (errno == ERANGE)
+        fatal("%s='%s' is out of range", name, text);
+    if (value == 0)
+        fatal("%s must be a positive integer (got '%s')", name, text);
+    return value;
+}
+
+} // namespace
 
 RunResult
 runOne(const Workload &workload, const CoreParams &params,
@@ -37,6 +70,77 @@ runOne(const Workload &workload, FusionMode mode, uint64_t max_insts)
     return runOne(workload, CoreParams::icelake(mode), max_insts);
 }
 
+unsigned
+defaultJobCount()
+{
+    if (const char *env = std::getenv("HELIOS_JOBS")) {
+        const uint64_t jobs = parsePositiveEnv("HELIOS_JOBS", env);
+        if (jobs > 1024)
+            fatal("HELIOS_JOBS=%llu is absurdly large",
+                  static_cast<unsigned long long>(jobs));
+        return static_cast<unsigned>(jobs);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::vector<RunResult>
+runMatrix(const std::vector<MatrixCell> &cells, unsigned jobs)
+{
+    std::vector<RunResult> results(cells.size());
+    if (cells.empty())
+        return results;
+    for (const MatrixCell &cell : cells)
+        helios_assert(cell.workload, "matrix cell without a workload");
+
+    if (jobs == 0)
+        jobs = defaultJobCount();
+    jobs = std::min<size_t>(jobs, cells.size());
+
+    if (jobs <= 1) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            results[i] = runOne(*cells[i].workload, cells[i].params,
+                                cells[i].maxInsts);
+        return results;
+    }
+
+    // Each worker grabs the next unclaimed cell; every cell owns
+    // private Memory/Hart/Pipeline state, so the claim order cannot
+    // affect any result and output order is the input order.
+    std::atomic<size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+
+    auto worker = [&] {
+        for (;;) {
+            const size_t index = next.fetch_add(1);
+            if (index >= cells.size())
+                return;
+            try {
+                const MatrixCell &cell = cells[index];
+                results[index] = runOne(*cell.workload, cell.params,
+                                        cell.maxInsts);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i)
+        pool.emplace_back(worker);
+    for (std::thread &thread : pool)
+        thread.join();
+
+    if (error)
+        std::rethrow_exception(error);
+    return results;
+}
+
 std::vector<DynInst>
 functionalTrace(const Workload &workload, uint64_t max_insts)
 {
@@ -51,22 +155,42 @@ functionalTrace(const Workload &workload, uint64_t max_insts)
     return trace;
 }
 
+uint64_t
+forEachDynInst(const Workload &workload, uint64_t max_insts,
+               const std::function<void(const DynInst &)> &visit)
+{
+    Memory mem;
+    Hart hart(mem);
+    hart.reset(workload.program());
+
+    uint64_t executed = 0;
+    DynInst rec;
+    while (executed < max_insts && hart.step(rec)) {
+        visit(rec);
+        ++executed;
+    }
+    return executed;
+}
+
 double
 geomean(const std::vector<double> &values)
 {
-    if (values.empty())
-        return 0.0;
     double log_sum = 0.0;
-    for (double value : values)
+    size_t counted = 0;
+    for (double value : values) {
+        if (value <= 0.0)
+            continue; // no ratio information; keep -inf out of the mean
         log_sum += std::log(value);
-    return std::exp(log_sum / double(values.size()));
+        ++counted;
+    }
+    return counted ? std::exp(log_sum / double(counted)) : 0.0;
 }
 
 uint64_t
 benchInstructionBudget()
 {
     if (const char *env = std::getenv("HELIOS_MAX_INSTS"))
-        return std::strtoull(env, nullptr, 0);
+        return parsePositiveEnv("HELIOS_MAX_INSTS", env);
     return 200'000;
 }
 

@@ -2,12 +2,20 @@
  * @file
  * Experiment harness: run workload × configuration matrices and
  * collect results for the paper's tables and figures.
+ *
+ * Two throughput layers keep the big sweeps fast: a streaming trace
+ * API (forEachDynInst) so analyses never materialize multi-million
+ * entry vectors, and a parallel run matrix (runMatrix) that farms
+ * independent (workload, configuration) cells out to a worker pool —
+ * every cell owns a private Memory/Hart/Pipeline, so the sweep is
+ * embarrassingly parallel and results are deterministic.
  */
 
 #ifndef HARNESS_RUNNER_HH
 #define HARNESS_RUNNER_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -54,18 +62,84 @@ RunResult runOne(const Workload &workload, const CoreParams &params,
                  uint64_t max_insts = UINT64_MAX);
 
 /**
+ * One cell of an experiment matrix: a workload to run under a
+ * configuration with an instruction budget. The workload is held by
+ * pointer and must outlive the runMatrix() call (cells built from
+ * allWorkloads() / findWorkload() always satisfy this).
+ */
+struct MatrixCell
+{
+    const Workload *workload = nullptr;
+    CoreParams params;
+    uint64_t maxInsts = UINT64_MAX;
+
+    MatrixCell() = default;
+
+    MatrixCell(const Workload &w, const CoreParams &p,
+               uint64_t max_insts = UINT64_MAX)
+        : workload(&w), params(p), maxInsts(max_insts)
+    {}
+
+    MatrixCell(const Workload &w, FusionMode mode,
+               uint64_t max_insts = UINT64_MAX)
+        : workload(&w), params(CoreParams::icelake(mode)),
+          maxInsts(max_insts)
+    {}
+};
+
+/**
+ * Run every cell of an experiment matrix, possibly in parallel.
+ *
+ * Results come back in input order and are bit-identical to running
+ * the cells sequentially through runOne(): each worker owns private
+ * simulator state, so the schedule cannot influence any counter.
+ * A fatal() raised by any cell is rethrown on the calling thread.
+ *
+ * @param jobs worker-thread count; 0 means defaultJobCount()
+ */
+std::vector<RunResult> runMatrix(const std::vector<MatrixCell> &cells,
+                                 unsigned jobs = 0);
+
+/**
+ * Worker count used by runMatrix(jobs=0): the HELIOS_JOBS environment
+ * variable if set (fatal() on malformed or zero values), otherwise
+ * std::thread::hardware_concurrency().
+ */
+unsigned defaultJobCount();
+
+/**
  * Functional-only run: execute the workload and return the dynamic
  * instruction stream facts needed by the analysis figures (2, 4, 5).
+ *
+ * Prefer forEachDynInst() for large budgets — this variant
+ * materializes the whole stream in memory.
  */
 std::vector<DynInst> functionalTrace(const Workload &workload,
                                      uint64_t max_insts = UINT64_MAX);
 
-/** Geometric mean of a list of ratios. */
+/**
+ * Streaming functional run: execute the workload and hand each
+ * dynamic instruction to @a visit as it retires, without buffering
+ * the stream. Yields exactly the same records, in the same order, as
+ * functionalTrace().
+ *
+ * @return the number of instructions executed
+ */
+uint64_t forEachDynInst(const Workload &workload, uint64_t max_insts,
+                        const std::function<void(const DynInst &)> &visit);
+
+/**
+ * Geometric mean of a list of ratios. Non-positive values carry no
+ * usable ratio information (log is undefined) and are skipped; an
+ * input with no positive values yields 0.
+ */
 double geomean(const std::vector<double> &values);
 
 /**
  * The default per-workload instruction budget used by bench binaries;
  * overridable through the HELIOS_MAX_INSTS environment variable.
+ * Malformed or zero values are a fatal() error rather than a silent
+ * zero-instruction run.
  */
 uint64_t benchInstructionBudget();
 

@@ -11,141 +11,6 @@ namespace helios
 namespace
 {
 
-constexpr OpInfo
-alu(const char *name)
-{
-    return {name, OpClass::IntAlu, 0, false, true, true, true};
-}
-
-constexpr OpInfo
-aluImm(const char *name)
-{
-    return {name, OpClass::IntAlu, 0, false, true, true, false};
-}
-
-constexpr OpInfo
-mulOp(const char *name)
-{
-    return {name, OpClass::IntMul, 0, false, true, true, true};
-}
-
-constexpr OpInfo
-divOp(const char *name)
-{
-    return {name, OpClass::IntDiv, 0, false, true, true, true};
-}
-
-constexpr OpInfo
-load(const char *name, uint8_t size, bool sign)
-{
-    return {name, OpClass::Load, size, sign, true, true, false};
-}
-
-constexpr OpInfo
-store(const char *name, uint8_t size)
-{
-    return {name, OpClass::Store, size, false, false, true, true};
-}
-
-constexpr OpInfo
-branch(const char *name)
-{
-    return {name, OpClass::Branch, 0, false, false, true, true};
-}
-
-const std::array<OpInfo, static_cast<size_t>(Op::NumOps)> opTable = [] {
-    std::array<OpInfo, static_cast<size_t>(Op::NumOps)> t{};
-    auto set = [&t](Op op, OpInfo info) {
-        t[static_cast<size_t>(op)] = info;
-    };
-
-    set(Op::Invalid,
-        {"invalid", OpClass::Invalid, 0, false, false, false, false});
-
-    set(Op::Lui,
-        {"lui", OpClass::IntAlu, 0, false, true, false, false});
-    set(Op::Auipc,
-        {"auipc", OpClass::IntAlu, 0, false, true, false, false});
-    set(Op::Jal,
-        {"jal", OpClass::Branch, 0, false, true, false, false});
-    set(Op::Jalr,
-        {"jalr", OpClass::Branch, 0, false, true, true, false});
-
-    set(Op::Beq, branch("beq"));
-    set(Op::Bne, branch("bne"));
-    set(Op::Blt, branch("blt"));
-    set(Op::Bge, branch("bge"));
-    set(Op::Bltu, branch("bltu"));
-    set(Op::Bgeu, branch("bgeu"));
-
-    set(Op::Lb, load("lb", 1, true));
-    set(Op::Lh, load("lh", 2, true));
-    set(Op::Lw, load("lw", 4, true));
-    set(Op::Ld, load("ld", 8, true));
-    set(Op::Lbu, load("lbu", 1, false));
-    set(Op::Lhu, load("lhu", 2, false));
-    set(Op::Lwu, load("lwu", 4, false));
-
-    set(Op::Sb, store("sb", 1));
-    set(Op::Sh, store("sh", 2));
-    set(Op::Sw, store("sw", 4));
-    set(Op::Sd, store("sd", 8));
-
-    set(Op::Addi, aluImm("addi"));
-    set(Op::Slti, aluImm("slti"));
-    set(Op::Sltiu, aluImm("sltiu"));
-    set(Op::Xori, aluImm("xori"));
-    set(Op::Ori, aluImm("ori"));
-    set(Op::Andi, aluImm("andi"));
-    set(Op::Slli, aluImm("slli"));
-    set(Op::Srli, aluImm("srli"));
-    set(Op::Srai, aluImm("srai"));
-
-    set(Op::Add, alu("add"));
-    set(Op::Sub, alu("sub"));
-    set(Op::Sll, alu("sll"));
-    set(Op::Slt, alu("slt"));
-    set(Op::Sltu, alu("sltu"));
-    set(Op::Xor, alu("xor"));
-    set(Op::Srl, alu("srl"));
-    set(Op::Sra, alu("sra"));
-    set(Op::Or, alu("or"));
-    set(Op::And, alu("and"));
-
-    set(Op::Addiw, aluImm("addiw"));
-    set(Op::Slliw, aluImm("slliw"));
-    set(Op::Srliw, aluImm("srliw"));
-    set(Op::Sraiw, aluImm("sraiw"));
-    set(Op::Addw, alu("addw"));
-    set(Op::Subw, alu("subw"));
-    set(Op::Sllw, alu("sllw"));
-    set(Op::Srlw, alu("srlw"));
-    set(Op::Sraw, alu("sraw"));
-
-    set(Op::Mul, mulOp("mul"));
-    set(Op::Mulh, mulOp("mulh"));
-    set(Op::Mulhsu, mulOp("mulhsu"));
-    set(Op::Mulhu, mulOp("mulhu"));
-    set(Op::Div, divOp("div"));
-    set(Op::Divu, divOp("divu"));
-    set(Op::Rem, divOp("rem"));
-    set(Op::Remu, divOp("remu"));
-    set(Op::Mulw, mulOp("mulw"));
-    set(Op::Divw, divOp("divw"));
-    set(Op::Divuw, divOp("divuw"));
-    set(Op::Remw, divOp("remw"));
-    set(Op::Remuw, divOp("remuw"));
-
-    set(Op::Fence,
-        {"fence", OpClass::Serializing, 0, false, false, false, false});
-    set(Op::Ecall,
-        {"ecall", OpClass::Serializing, 0, false, false, false, false});
-    set(Op::Ebreak,
-        {"ebreak", OpClass::Serializing, 0, false, false, false, false});
-
-    return t;
-}();
-
 const char *const abiNames[numArchRegs] = {
     "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
     "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
@@ -154,13 +19,6 @@ const char *const abiNames[numArchRegs] = {
 };
 
 } // namespace
-
-const OpInfo &
-opInfo(Op op)
-{
-    helios_assert(op < Op::NumOps, "opcode out of range");
-    return opTable[static_cast<size_t>(op)];
-}
 
 std::string
 regName(unsigned reg)

@@ -1,5 +1,7 @@
 #include "sim/hart.hh"
 
+#include <algorithm>
+
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "isa/decoder.hh"
@@ -58,6 +60,47 @@ Hart::reset(const Program &prog)
     theExitCode = 0;
     theOutput.clear();
     mem.loadProgram(prog);
+
+    predecoded.clear();
+    textBase = prog.textBase;
+    textLimit = prog.textBase + 4 * prog.code.size();
+    if (cacheWanted) {
+        predecoded.reserve(prog.code.size());
+        for (uint32_t word : prog.code)
+            predecoded.push_back(decode(word));
+    }
+}
+
+void
+Hart::setDecodeCacheEnabled(bool enabled)
+{
+    cacheWanted = enabled;
+    if (!enabled)
+        predecoded.clear();
+}
+
+const Instruction &
+Hart::fetch(uint64_t pc, Instruction &scratch)
+{
+    const uint64_t offset = pc - textBase;
+    if (offset < predecoded.size() * 4 && (offset & 3) == 0)
+        return predecoded[offset >> 2];
+    scratch = decode(static_cast<uint32_t>(mem.read(pc, 4)));
+    return scratch;
+}
+
+void
+Hart::invalidateText(uint64_t addr, unsigned size)
+{
+    if (predecoded.empty() || addr >= textLimit ||
+        addr + size <= textBase)
+        return;
+    const uint64_t lo = std::max(addr, textBase);
+    const uint64_t hi = std::min(addr + size - 1, textLimit - 1);
+    for (uint64_t word = (lo - textBase) >> 2;
+         word <= (hi - textBase) >> 2; ++word)
+        predecoded[word] = decode(
+            static_cast<uint32_t>(mem.read(textBase + 4 * word, 4)));
 }
 
 void
@@ -74,10 +117,10 @@ Hart::step(DynInst &out)
     if (hasExited)
         return false;
 
-    const uint32_t word = static_cast<uint32_t>(mem.read(thePc, 4));
-    const Instruction inst = decode(word);
+    Instruction scratch;
+    const Instruction &inst = fetch(thePc, scratch);
     if (inst.op == Op::Invalid)
-        fatal("invalid instruction 0x%08x at pc 0x%llx", word,
+        fatal("invalid instruction 0x%08x at pc 0x%llx", inst.raw,
               static_cast<unsigned long long>(thePc));
 
     out = DynInst{};
@@ -85,7 +128,10 @@ Hart::step(DynInst &out)
     out.pc = thePc;
     out.inst = inst;
 
-    execute(inst, out);
+    // Execute from the copy in `out`: a store into the text segment
+    // re-decodes cache entries, which would invalidate `inst` if it
+    // referred into the cache.
+    execute(out.inst, out);
 
     out.nextPc = thePc;
     return true;
@@ -153,6 +199,7 @@ Hart::execute(const Instruction &inst, DynInst &rec)
         const uint64_t addr = a + static_cast<uint64_t>(imm);
         rec.effAddr = addr;
         mem.write(addr, b, inst.memSize());
+        invalidateText(addr, inst.memSize());
         break;
       }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "asm/program.hh"
 #include "sim/memory.hh"
@@ -52,7 +53,24 @@ class Hart
     uint64_t reg(unsigned index) const { return regs[index]; }
     void setReg(unsigned index, uint64_t value);
 
+    /**
+     * Enable/disable the pre-decoded program cache (enabled by
+     * default). Takes effect at the next reset(); exists so tests can
+     * compare cached and uncached execution bit-for-bit.
+     */
+    void setDecodeCacheEnabled(bool enabled);
+    bool decodeCacheEnabled() const { return cacheWanted; }
+
+    /** Static instructions currently held pre-decoded (0 if disabled). */
+    size_t decodeCacheSize() const { return predecoded.size(); }
+
   private:
+    /** Fetch + decode at @a pc, through the pre-decoded cache. */
+    const Instruction &fetch(uint64_t pc, Instruction &scratch);
+
+    /** Re-decode cached words touched by a store into [addr, addr+size). */
+    void invalidateText(uint64_t addr, unsigned size);
+
     void execute(const Instruction &inst, DynInst &rec);
     void doEcall();
 
@@ -63,6 +81,15 @@ class Hart
     bool hasExited = false;
     uint64_t theExitCode = 0;
     std::string theOutput;
+
+    // Pre-decoded program cache: each static instruction in
+    // [textBase, textLimit) is decoded exactly once at reset() and
+    // step() indexes it by (pc - textBase) / 4. Stores into the text
+    // segment re-decode the overwritten words (self-modifying code).
+    bool cacheWanted = true;
+    std::vector<Instruction> predecoded;
+    uint64_t textBase = 0;
+    uint64_t textLimit = 0;
 };
 
 /** Feed adapter running a hart with an instruction budget. */

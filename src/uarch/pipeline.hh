@@ -113,12 +113,29 @@ class Pipeline
     // ---- bookkeeping ----
     Uop *findInflight(uint64_t seq) const;
     bool sourceIsReady(uint64_t producer_seq) const;
-    Stat &counter(const char *name) { return statGroup.counter(name); }
+
+    /**
+     * Hot-path counter access. Every call site passes a string
+     * literal, so the character pointer itself identifies the counter;
+     * memoizing Stat addresses by pointer turns the per-event
+     * string-keyed map lookup (~28% of simulation time) into a flat
+     * hash hit. Stat references are stable: StatGroup stores counters
+     * in a node-based map.
+     */
+    Stat &
+    counter(const char *name)
+    {
+        auto [it, fresh] = statCache.try_emplace(name, nullptr);
+        if (fresh)
+            it->second = &statGroup.counter(name);
+        return *it->second;
+    }
 
     const CoreParams params;
     InstructionFeed &feed;
 
     StatGroup statGroup;
+    std::unordered_map<const char *, Stat *> statCache;
     CacheHierarchy caches;
     BranchPredictor bpred;
     StoreSets storeSets;
