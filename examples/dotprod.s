@@ -1,0 +1,53 @@
+# Fixed-point dot product over two in-memory vectors, unrolled x2.
+#
+# The inner loop is deliberately fusion-friendly: paired loads off the
+# same base, address increments feeding the next iteration, and a
+# running accumulation — the access pattern Helios' non-consecutive
+# store/load fusion targets. CI runs this under
+# `helios_run --sweep --audit` so every fusion configuration must
+# reproduce the same result while the invariant auditor watches.
+
+        # s0 = vector A, s1 = vector B, s2 = element count (pairs)
+        addi    s0, sp, -2048
+        addi    s1, s0, -2048
+        li      s2, 128
+
+        # ---- initialise A[i] = i + 3, B[i] = 2*i + 1 ----
+        mv      t0, s0
+        mv      t1, s1
+        li      t2, 0
+init:
+        addi    t3, t2, 3
+        sd      t3, 0(t0)
+        slli    t4, t2, 1
+        addi    t4, t4, 1
+        sd      t4, 0(t1)
+        addi    t0, t0, 8
+        addi    t1, t1, 8
+        addi    t2, t2, 1
+        slli    t5, s2, 1
+        blt     t2, t5, init
+
+        # ---- acc = sum A[i]*B[i], two elements per iteration ----
+        mv      t0, s0
+        mv      t1, s1
+        li      a0, 0
+        mv      t2, s2
+loop:
+        ld      t3, 0(t0)
+        ld      t4, 0(t1)
+        ld      t5, 8(t0)
+        ld      t6, 8(t1)
+        mul     t3, t3, t4
+        mul     t5, t5, t6
+        add     a0, a0, t3
+        add     a0, a0, t5
+        addi    t0, t0, 16
+        addi    t1, t1, 16
+        addi    t2, t2, -1
+        bnez    t2, loop
+
+        # exit with the low bits of the accumulator
+        andi    a0, a0, 255
+        li      a7, 93
+        ecall

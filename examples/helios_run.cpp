@@ -15,6 +15,13 @@
  *       --jobs N                           worker threads for --sweep
  *                                          (default HELIOS_JOBS or all
  *                                          hardware threads)
+ *       --audit                            attach the pipeline invariant
+ *                                          auditor (needs HELIOS_AUDIT);
+ *                                          with --sweep, runs the
+ *                                          differential harness and
+ *                                          prints its JSON report on
+ *                                          violation. Exit 1 when any
+ *                                          invariant fails.
  *
  * The program uses the same conventions as the workload suite: exit
  * through `li a7, 93; ecall` with the result in a0; `ecall` with
@@ -29,9 +36,11 @@
 
 #include "asm/assembler.hh"
 #include "common/logging.hh"
+#include "harness/differential.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "sim/hart.hh"
+#include "uarch/auditor.hh"
 #include "uarch/pipeline.hh"
 
 using namespace helios;
@@ -45,13 +54,17 @@ usage()
     std::fprintf(stderr,
                  "usage: helios_run <file.s> [--config NAME] "
                  "[--max-insts N] [--trace] [--stats] "
-                 "[--functional] [--sweep] [--jobs N]\n");
+                 "[--functional] [--sweep] [--jobs N] [--audit]\n");
 }
 
-/** Run every fusion configuration over the file as a parallel matrix. */
+/**
+ * Run every fusion configuration over the file as a parallel matrix.
+ * With @a audit, route the sweep through the differential harness so
+ * cross-configuration state and per-run invariants are checked too.
+ */
 int
 runSweep(const std::string &path, const std::string &source,
-         uint64_t max_insts, unsigned jobs)
+         uint64_t max_insts, unsigned jobs, bool audit)
 {
     // Wrap the assembled file as an ad-hoc workload so it can ride
     // the same matrix machinery as the paper sweeps.
@@ -66,14 +79,29 @@ runSweep(const std::string &path, const std::string &source,
                                 FusionMode::CsfSbr,
                                 FusionMode::RiscvFusionPP,
                                 FusionMode::Helios, FusionMode::Oracle};
-    std::vector<MatrixCell> cells;
-    for (FusionMode mode : modes)
-        cells.emplace_back(workload, mode, max_insts);
 
     if (jobs == 0)
         jobs = defaultJobCount();
+
+    std::vector<RunResult> results;
+    const DiffReport *diff = nullptr;
+    DiffReport report;
     Stopwatch timer;
-    const std::vector<RunResult> results = runMatrix(cells, jobs);
+    if (audit) {
+        DiffOptions opts;
+        opts.modes.assign(std::begin(modes), std::end(modes));
+        opts.maxInsts = max_insts;
+        opts.audit = true;
+        opts.jobs = jobs;
+        report = runDifferential({&workload}, opts);
+        results = report.results;
+        diff = &report;
+    } else {
+        std::vector<MatrixCell> cells;
+        for (FusionMode mode : modes)
+            cells.emplace_back(workload, mode, max_insts);
+        results = runMatrix(cells, jobs);
+    }
     const double elapsed = timer.seconds();
 
     const double base = results[0].ipc();
@@ -86,8 +114,35 @@ runSweep(const std::string &path, const std::string &source,
                       base > 0 ? Table::num(result.ipc() / base, 3)
                                : "-"});
     table.print();
-    printMatrixTiming(cells.size(), jobs, elapsed);
+    printMatrixTiming(results.size(), jobs, elapsed);
+
+    if (diff) {
+        if (diff->ok()) {
+            std::printf("differential audit: ok (%zu configs, "
+                        "0 violations)\n", results.size());
+        } else {
+            std::printf("differential audit: %zu violation(s)\n%s\n",
+                        diff->violations.size(),
+                        diff->toJson().c_str());
+            return 1;
+        }
+    }
     return 0;
+}
+
+/** Attach an auditor to one pipeline run; report and set exit status. */
+int
+auditEpilogue(const PipelineAuditor &auditor)
+{
+    if (auditor.ok()) {
+        std::printf("audit: ok (%llu checks over %llu uops)\n",
+                    (unsigned long long)auditor.checksPerformed(),
+                    (unsigned long long)auditor.uopsAudited());
+        return 0;
+    }
+    std::printf("audit: %zu violation(s)\n%s\n",
+                auditor.violations().size(), auditor.toJson().c_str());
+    return 1;
 }
 
 } // namespace
@@ -105,7 +160,7 @@ main(int argc, char **argv)
     uint64_t max_insts = UINT64_MAX;
     unsigned jobs = 0;
     bool trace = false, dump_stats = false, functional_only = false;
-    bool sweep = false;
+    bool sweep = false, audit = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -123,6 +178,8 @@ main(int argc, char **argv)
             functional_only = true;
         } else if (arg == "--sweep") {
             sweep = true;
+        } else if (arg == "--audit") {
+            audit = true;
         } else if (arg[0] == '-') {
             usage();
             return 2;
@@ -149,8 +206,15 @@ main(int argc, char **argv)
         std::printf("assembled %zu instructions, %zu data bytes\n",
                     program.numInsts(), program.data.size());
 
+        if (audit && !auditHooksCompiled())
+            fatal("--audit needs the pipeline audit hooks; rebuild "
+                  "with -DHELIOS_AUDIT=ON");
+        if (audit && functional_only)
+            fatal("--audit checks the timing pipeline; drop "
+                  "--functional");
+
         if (sweep)
-            return runSweep(path, text.str(), max_insts, jobs);
+            return runSweep(path, text.str(), max_insts, jobs, audit);
 
         Memory memory;
         Hart hart(memory);
@@ -173,6 +237,9 @@ main(int argc, char **argv)
             if (trace)
                 params.traceOut = &std::cout;
             Pipeline pipeline(params, feed);
+            PipelineAuditor auditor(params);
+            if (audit)
+                pipeline.attachAuditor(&auditor);
             const PipelineResult result = pipeline.run();
             const double elapsed = timer.seconds();
             std::printf("%s: %llu instructions in %llu cycles "
@@ -186,6 +253,11 @@ main(int argc, char **argv)
                                     : 0.0);
             if (dump_stats)
                 std::fputs(pipeline.stats().toString().c_str(), stdout);
+            if (audit) {
+                const int status = auditEpilogue(auditor);
+                if (status)
+                    return status;
+            }
         }
 
         if (!hart.output().empty())

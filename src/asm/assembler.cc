@@ -164,8 +164,12 @@ class Assembler
                 value = value * 10 + (text[pos] - '0');
             }
         }
-        const int64_t signed_value = static_cast<int64_t>(value);
-        return negative ? -signed_value : signed_value;
+        // Negate in the unsigned domain: INT64_MIN round-trips
+        // (-(unsigned INT64_MIN) == INT64_MIN) where negating the
+        // signed value would overflow.
+        if (negative)
+            value = 0 - value;
+        return static_cast<int64_t>(value);
     }
 
     int64_t

@@ -1,0 +1,194 @@
+#include "harness/differential.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "uarch/auditor.hh"
+
+namespace helios
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+DiffViolation::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"workload\":\"" << jsonEscape(workload) << "\""
+        << ",\"mode\":\"" << fusionModeName(mode) << "\""
+        << ",\"check\":\"" << jsonEscape(check) << "\""
+        << ",\"seq\":" << seq << ",\"cycle\":" << cycle
+        << ",\"detail\":\"" << jsonEscape(detail) << "\"}";
+    return out.str();
+}
+
+std::string
+DiffReport::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"ok\":" << (ok() ? "true" : "false")
+        << ",\"audited\":" << (audited ? "true" : "false")
+        << ",\"workloads\":" << workloads.size()
+        << ",\"modes\":[";
+    for (size_t m = 0; m < modes.size(); ++m)
+        out << (m ? "," : "") << "\"" << fusionModeName(modes[m]) << "\"";
+    out << "],\"violations\":[";
+    for (size_t v = 0; v < violations.size(); ++v)
+        out << (v ? "," : "") << violations[v].toJson();
+    out << "],\"results\":[";
+    for (size_t r = 0; r < results.size(); ++r) {
+        const RunResult &res = results[r];
+        out << (r ? "," : "")
+            << "{\"workload\":\"" << jsonEscape(res.workload) << "\""
+            << ",\"mode\":\"" << fusionModeName(res.mode) << "\""
+            << ",\"cycles\":" << res.cycles
+            << ",\"instructions\":" << res.instructions
+            << ",\"uops\":" << res.uops
+            << ",\"ipc\":" << res.ipc() << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+DiffReport
+runDifferential(const std::vector<const Workload *> &workloads,
+                const DiffOptions &opts)
+{
+    if (opts.modes.size() < 2)
+        fatal("differential run needs at least two fusion modes "
+              "(got %zu)", opts.modes.size());
+    if (opts.audit && !auditHooksCompiled())
+        fatal("differential audit requested but the pipeline audit "
+              "hooks were compiled out; rebuild with -DHELIOS_AUDIT=ON");
+
+    const size_t num_modes = opts.modes.size();
+
+    std::vector<MatrixCell> cells;
+    cells.reserve(workloads.size() * num_modes);
+    for (const Workload *workload : workloads) {
+        helios_assert(workload, "differential cell without a workload");
+        for (FusionMode mode : opts.modes) {
+            CoreParams params = CoreParams::icelake(mode);
+            params.audit = opts.audit;
+            cells.emplace_back(*workload, params, opts.maxInsts);
+        }
+    }
+
+    DiffReport report;
+    report.modes = opts.modes;
+    report.audited = opts.audit;
+    for (const Workload *workload : workloads)
+        report.workloads.push_back(workload->name);
+    report.results = runMatrix(cells, opts.jobs);
+
+    auto add = [&report](const RunResult &res, std::string check,
+                         std::string detail, uint64_t seq = 0,
+                         uint64_t cycle = 0) {
+        DiffViolation violation;
+        violation.workload = res.workload;
+        violation.mode = res.mode;
+        violation.check = std::move(check);
+        violation.detail = std::move(detail);
+        violation.seq = seq;
+        violation.cycle = cycle;
+        report.violations.push_back(std::move(violation));
+    };
+
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const RunResult &base = report.result(w, 0);
+        for (size_t m = 0; m < num_modes; ++m) {
+            const RunResult &res = report.result(w, m);
+            std::ostringstream detail;
+
+            // (a) identical final architectural state.
+            if (res.archChecksum != base.archChecksum ||
+                res.exited != base.exited ||
+                res.exitCode != base.exitCode) {
+                detail << "arch checksum 0x" << std::hex
+                       << res.archChecksum << " != baseline 0x"
+                       << base.archChecksum << std::dec << " (exited "
+                       << res.exited << "/" << base.exited << ")";
+                add(res, "arch_state", detail.str());
+            } else if (res.memChecksum != base.memChecksum) {
+                detail << "memory checksum 0x" << std::hex
+                       << res.memChecksum << " != baseline 0x"
+                       << base.memChecksum << std::dec;
+                add(res, "mem_state", detail.str());
+            }
+
+            // (b) committed counts: the pipeline must commit exactly
+            // the architectural instructions the hart executed, and
+            // every mode must agree.
+            if (res.instructions != res.hartInstructions) {
+                detail.str("");
+                detail << "committed " << res.instructions
+                       << " instructions, hart executed "
+                       << res.hartInstructions;
+                add(res, "commit_count", detail.str());
+            } else if (res.instructions != base.instructions) {
+                detail.str("");
+                detail << "committed " << res.instructions
+                       << " instructions, baseline committed "
+                       << base.instructions;
+                add(res, "commit_count", detail.str());
+            }
+
+            // (c) fused configurations must not run slower than the
+            // unfused baseline beyond the tolerance.
+            if (m > 0 &&
+                res.ipc() < base.ipc() * (1.0 - opts.ipcTolerance)) {
+                detail.str("");
+                detail << "ipc " << res.ipc() << " below baseline "
+                       << base.ipc() << " - " << opts.ipcTolerance * 100
+                       << "%";
+                add(res, "ipc_regression", detail.str());
+            }
+
+            // (d) per-run invariant audit.
+            for (const AuditViolation &av : res.auditViolations)
+                add(res, "audit." + av.invariant, av.detail, av.seq,
+                    av.cycle);
+        }
+    }
+
+    return report;
+}
+
+DiffReport
+runDifferentialAll(const DiffOptions &opts)
+{
+    std::vector<const Workload *> workloads;
+    for (const Workload &workload : allWorkloads())
+        workloads.push_back(&workload);
+    return runDifferential(workloads, opts);
+}
+
+} // namespace helios

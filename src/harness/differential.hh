@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Differential verification harness: run workloads through multiple
+ * fusion configurations and machine-check that fusion only changed
+ * the timing, never the computation.
+ *
+ * For every workload the harness asserts, against the no-fusion
+ * baseline, that each configuration
+ *
+ *  - reached an identical final architectural state (register file,
+ *    pc, exit status and output via Hart::archChecksum(); memory via
+ *    Memory::checksum());
+ *  - committed exactly the instructions the functional hart executed
+ *    (no µ-op lost or duplicated by fusion/unfuse/replay);
+ *  - did not regress IPC below the unfused baseline beyond a small
+ *    tolerance (fusion exists to go faster);
+ *  - with DiffOptions::audit set, produced zero PipelineAuditor
+ *    invariant violations.
+ *
+ * Violations carry the offending workload/mode plus seq and cycle
+ * where known, and the whole report renders to JSON for CI logs.
+ */
+
+#ifndef HARNESS_DIFFERENTIAL_HH
+#define HARNESS_DIFFERENTIAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace helios
+{
+
+/** Knobs for one differential sweep. */
+struct DiffOptions
+{
+    /** Configurations to compare; the first is the baseline. */
+    std::vector<FusionMode> modes = {FusionMode::None, FusionMode::CsfSbr,
+                                     FusionMode::Helios, FusionMode::Oracle};
+
+    /** Per-workload instruction budget. */
+    uint64_t maxInsts = UINT64_MAX;
+
+    /**
+     * Fused configurations must reach at least
+     * (1 - ipcTolerance) × baseline IPC. Fusion never removes work,
+     * so a real regression means the model spent cycles it should
+     * not have; the tolerance absorbs second-order scheduling noise.
+     */
+    double ipcTolerance = 0.02;
+
+    /** Attach a PipelineAuditor to every run (needs HELIOS_AUDIT). */
+    bool audit = false;
+
+    /** Worker threads for the underlying runMatrix (0 = default). */
+    unsigned jobs = 0;
+};
+
+/** One cross-configuration or audit failure. */
+struct DiffViolation
+{
+    std::string workload;
+    FusionMode mode = FusionMode::None;
+    std::string check;  ///< "arch_state", "mem_state", "commit_count",
+                        ///< "ipc_regression" or "audit.<invariant>"
+    std::string detail; ///< human-readable specifics
+    uint64_t seq = 0;   ///< offending sequence number (0 if n/a)
+    uint64_t cycle = 0; ///< offending cycle (0 if n/a)
+
+    std::string toJson() const;
+};
+
+/** Everything a differential sweep produced. */
+struct DiffReport
+{
+    std::vector<FusionMode> modes;
+    std::vector<std::string> workloads;
+    /** Row-major: results[w * modes.size() + m]. */
+    std::vector<RunResult> results;
+    std::vector<DiffViolation> violations;
+    bool audited = false;
+
+    bool ok() const { return violations.empty(); }
+
+    const RunResult &
+    result(size_t workload, size_t mode) const
+    {
+        return results[workload * modes.size() + mode];
+    }
+
+    /** Machine-readable report: {"ok":..., "violations":[...], ...}. */
+    std::string toJson() const;
+};
+
+/**
+ * Run @a workloads through every configuration in @a opts.modes and
+ * cross-check the results. Cells run through runMatrix(), so the
+ * sweep parallelizes across (workload, mode) and results are
+ * deterministic. fatal() if opts requests fewer than two modes or
+ * audit without HELIOS_AUDIT hooks compiled in.
+ */
+DiffReport runDifferential(const std::vector<const Workload *> &workloads,
+                           const DiffOptions &opts = {});
+
+/** Convenience: the full workload suite. */
+DiffReport runDifferentialAll(const DiffOptions &opts = {});
+
+} // namespace helios
+
+#endif // HARNESS_DIFFERENTIAL_HH

@@ -6,11 +6,13 @@
 #include <cmath>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
 #include "common/logging.hh"
 #include "sim/hart.hh"
+#include "uarch/auditor.hh"
 #include "uarch/pipeline.hh"
 
 namespace helios
@@ -52,6 +54,11 @@ runOne(const Workload &workload, const CoreParams &params,
     HartFeed feed(hart, max_insts);
 
     Pipeline pipeline(params, feed);
+    std::unique_ptr<PipelineAuditor> auditor;
+    if (params.audit) {
+        auditor = std::make_unique<PipelineAuditor>(params);
+        pipeline.attachAuditor(auditor.get());
+    }
     const PipelineResult pres = pipeline.run();
 
     RunResult result;
@@ -61,6 +68,16 @@ runOne(const Workload &workload, const CoreParams &params,
     result.instructions = pres.instructions;
     result.uops = pres.uops;
     result.stats = pipeline.stats();
+    result.archChecksum = hart.archChecksum();
+    result.memChecksum = mem.checksum();
+    result.hartInstructions = hart.instsExecuted();
+    result.exited = hart.exited();
+    result.exitCode = hart.exitCode();
+    if (auditor) {
+        result.audited = true;
+        result.auditChecks = auditor->checksPerformed();
+        result.auditViolations = auditor->violations();
+    }
     return result;
 }
 

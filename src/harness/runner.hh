@@ -22,6 +22,7 @@
 
 #include "common/stats.hh"
 #include "sim/trace.hh"
+#include "uarch/auditor.hh"
 #include "uarch/params.hh"
 #include "workloads/workloads.hh"
 
@@ -37,6 +38,21 @@ struct RunResult
     uint64_t instructions = 0;
     uint64_t uops = 0;
     StatGroup stats;
+
+    // Final architectural state of the functional hart that fed the
+    // run. The differential harness compares these across fusion
+    // configurations: the timing model must never change what the
+    // program computed.
+    uint64_t archChecksum = 0;     ///< Hart::archChecksum()
+    uint64_t memChecksum = 0;      ///< Memory::checksum()
+    uint64_t hartInstructions = 0; ///< instructions the hart executed
+    bool exited = false;           ///< program reached its exit ecall
+    uint64_t exitCode = 0;
+
+    // Audit outcome; filled when CoreParams::audit was set.
+    bool audited = false;
+    uint64_t auditChecks = 0;
+    std::vector<AuditViolation> auditViolations;
 
     double
     ipc() const

@@ -34,7 +34,11 @@ parseRegName(const std::string &name)
         std::map<std::string, int> t;
         for (unsigned i = 0; i < numArchRegs; ++i) {
             t[abiNames[i]] = static_cast<int>(i);
-            t["x" + std::to_string(i)] = static_cast<int>(i);
+            // Built with += rather than operator+ to dodge a GCC 12
+            // -Wrestrict false positive (PR 105651) under -Werror.
+            std::string xname = "x";
+            xname += std::to_string(i);
+            t[xname] = static_cast<int>(i);
         }
         t["fp"] = RegFp;
         return t;

@@ -103,6 +103,28 @@ Hart::invalidateText(uint64_t addr, unsigned size)
             static_cast<uint32_t>(mem.read(textBase + 4 * word, 4)));
 }
 
+uint64_t
+Hart::archChecksum() const
+{
+    uint64_t hash = 1469598103934665603ULL; // FNV offset basis
+    constexpr uint64_t prime = 1099511628211ULL;
+    auto mix = [&hash](uint64_t value) {
+        for (unsigned shift = 0; shift < 64; shift += 8) {
+            hash ^= (value >> shift) & 0xff;
+            hash *= prime;
+        }
+    };
+    for (uint64_t reg : regs)
+        mix(reg);
+    mix(thePc);
+    mix(hasExited ? theExitCode + 1 : 0);
+    for (char c : theOutput) {
+        hash ^= uint8_t(c);
+        hash *= prime;
+    }
+    return hash;
+}
+
 void
 Hart::setReg(unsigned index, uint64_t value)
 {

@@ -54,6 +54,15 @@ class Hart
     void setReg(unsigned index, uint64_t value);
 
     /**
+     * Checksum of the architectural register file, pc, exit status
+     * and collected output. Combined with Memory::checksum() this
+     * fingerprints the full architectural state, so the differential
+     * harness can assert that every fusion configuration consumed an
+     * identical functional execution.
+     */
+    uint64_t archChecksum() const;
+
+    /**
      * Enable/disable the pre-decoded program cache (enabled by
      * default). Takes effect at the next reset(); exists so tests can
      * compare cached and uncached execution bit-for-bit.

@@ -1,5 +1,6 @@
 #include "sim/memory.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -75,6 +76,33 @@ Memory::readBlock(uint64_t addr, void *dst, size_t len) const
             std::memset(bytes + done, 0, chunk);
         done += chunk;
     }
+}
+
+uint64_t
+Memory::checksum() const
+{
+    // Sort resident page indices so the hash does not depend on
+    // unordered_map iteration order.
+    std::vector<uint64_t> indices;
+    indices.reserve(pages.size());
+    for (const auto &[index, page] : pages)
+        indices.push_back(index);
+    std::sort(indices.begin(), indices.end());
+
+    uint64_t hash = 1469598103934665603ULL; // FNV offset basis
+    constexpr uint64_t prime = 1099511628211ULL;
+    for (uint64_t index : indices) {
+        for (unsigned shift = 0; shift < 64; shift += 8) {
+            hash ^= (index >> shift) & 0xff;
+            hash *= prime;
+        }
+        const Page &page = *pages.at(index);
+        for (uint8_t byte : page) {
+            hash ^= byte;
+            hash *= prime;
+        }
+    }
+    return hash;
 }
 
 void

@@ -58,6 +58,14 @@ class Memory
     /** Number of resident pages (for tests / footprint reporting). */
     size_t numPages() const { return pages.size(); }
 
+    /**
+     * Order-independent content checksum (FNV-1a over resident pages
+     * in ascending address order). Two memories that compare equal
+     * byte-for-byte over touched pages produce the same value, so the
+     * differential harness can compare final states across runs.
+     */
+    uint64_t checksum() const;
+
   private:
     using Page = std::array<uint8_t, pageSize>;
 

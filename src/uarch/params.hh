@@ -108,6 +108,11 @@ struct CoreParams
     uint64_t maxInstructions = UINT64_MAX;
     uint64_t maxCycles = UINT64_MAX;
 
+    /** Attach a PipelineAuditor to harness-level runs (runOne and the
+     *  differential harness honor this). Requires the HELIOS_AUDIT
+     *  build option; a fatal() error when the hooks are compiled out. */
+    bool audit = false;
+
     /** Optional pipeview-style event trace: one line per committed
      *  µ-op plus fusion/flush events (nullptr: disabled). */
     std::ostream *traceOut = nullptr;

@@ -8,6 +8,25 @@
 #include "common/logging.hh"
 #include "fusion/fusion_predictor.hh"
 #include "fusion/tage_fp.hh"
+#include "uarch/auditor.hh"
+
+/**
+ * Invariant-auditor hook. Compiles to nothing unless the HELIOS_AUDIT
+ * CMake option is on, so the hot loop carries zero audit cost in
+ * figure-scale builds; with the option on, an unattached auditor costs
+ * one predictable branch per event.
+ */
+#ifdef HELIOS_AUDIT
+#define AUDIT_HOOK(call)                                                \
+    do {                                                                \
+        if (auditor)                                                    \
+            auditor->call;                                              \
+    } while (0)
+#else
+#define AUDIT_HOOK(call)                                                \
+    do {                                                                \
+    } while (0)
+#endif
 
 namespace helios
 {
@@ -46,6 +65,18 @@ Pipeline::Pipeline(const CoreParams &p, InstructionFeed &f)
 }
 
 Pipeline::~Pipeline() = default;
+
+void
+Pipeline::attachAuditor(PipelineAuditor *a)
+{
+#ifdef HELIOS_AUDIT
+    auditor = a;
+#else
+    if (a)
+        fatal("pipeline audit hooks were compiled out; rebuild with "
+              "-DHELIOS_AUDIT=ON to attach an auditor");
+#endif
+}
 
 Uop *
 Pipeline::findInflight(uint64_t seq) const
@@ -104,7 +135,12 @@ Pipeline::fetchStage()
         helios_assert(inflight.emplace(dyn.seq, std::move(owned)).second,
                       "duplicate in-flight seq");
         group.push_back(uop);
+        AUDIT_HOOK(onFetch(*uop, cycle));
         counter("fetch.uops")++;
+        if (dyn.inst.isStore())
+            unresolvedStores.insert(dyn.seq);
+        else if (dyn.inst.isLoad())
+            unresolvedLoads.insert(dyn.seq);
 
         // Instruction cache: charge a stall when a new line misses.
         const uint64_t line = dyn.pc / params.lineBytes;
@@ -183,6 +219,8 @@ Pipeline::applyConsecutiveFusion(std::vector<Uop *> &group)
                 head->idiom = idiom;
                 head->hasTail = true;
                 head->tailDyn = tail->dyn;
+                AUDIT_HOOK(onFusePair(*head, tail->dyn, head->fusion,
+                                      /*absorbed=*/true, cycle));
                 inflight.erase(tail->seq);
                 out.push_back(head);
                 i += 2;
@@ -241,6 +279,8 @@ Pipeline::tryPredictedFusion(Uop *tail)
     tail->isTailMarker = true;
     tail->pairSeq = head->seq;
 
+    AUDIT_HOOK(onFusePair(*head, tail->dyn, FusionKind::NcsfMem,
+                          /*absorbed=*/false, cycle));
     ++pendingNcsf;
     counter("fusion.fp_applied")++;
     counter("fusion.fp_distance_sum") += pred.distance;
@@ -343,6 +383,34 @@ class TaintWalk
     std::vector<uint64_t> taintedSeqs;
 };
 
+/** Byte range and program position of one store nucleus. */
+struct StoreNucleus
+{
+    uint64_t seq = 0;
+    uint64_t begin = 0;
+    uint64_t end = 0;
+};
+
+/**
+ * Expand a store µ-op into its store nuclei (one, or two when a store
+ * pair fused). Memory-order logic must work per nucleus: the combined
+ * [memBegin, memEnd) of a non-consecutive pair covers catalyst bytes
+ * neither store writes, and the tail nucleus keeps its own (younger)
+ * program position.
+ */
+int
+storeNuclei(const Uop &uop, StoreNucleus out[2])
+{
+    int count = 0;
+    if (uop.dyn.inst.isStore())
+        out[count++] = {uop.seq, uop.dyn.effAddr,
+                        uop.dyn.effAddr + uop.dyn.memSize()};
+    if (uop.hasTail && uop.tailDyn.inst.isStore())
+        out[count++] = {uop.tailDyn.seq, uop.tailDyn.effAddr,
+                        uop.tailDyn.effAddr + uop.tailDyn.memSize()};
+    return count;
+}
+
 } // namespace
 
 bool
@@ -356,6 +424,33 @@ Pipeline::oracleDependent(const Uop *head, const Uop *tail) const
         walk.step(u);
     }
     return walk.tailDepends(tail->dyn.inst);
+}
+
+bool
+Pipeline::catalystWritesTailSource(const Uop *head,
+                                   const Uop *tail) const
+{
+    // An oracle pair renames at the head, before any catalyst µ-op,
+    // so a tail source written inside the catalyst would resolve to
+    // the older producer and the pair would issue too early. The
+    // predictive scheme handles these pairs through the tail marker's
+    // rename-time producer capture; the oracle must decline them.
+    const Instruction &t = tail->dyn.inst;
+    auto writes_source = [&t](const Instruction &inst) {
+        return inst.writesReg() &&
+               ((t.readsRs1() && inst.rd == t.rs1) ||
+                (t.isStore() && t.readsRs2() && inst.rd == t.rs2));
+    };
+    for (const Uop *u : aq) {
+        if (u->seq <= head->seq || u->seq >= tail->seq ||
+            u->isTailMarker)
+            continue;
+        if (writes_source(u->dyn.inst))
+            return true;
+        if (u->hasTail && writes_source(u->tailDyn.inst))
+            return true;
+    }
+    return false;
 }
 
 bool
@@ -460,6 +555,8 @@ Pipeline::tryOracleFusion(Uop *tail)
                 ok = false;
             if (ok && oracleDependent(cand, tail))
                 ok = false;
+            if (ok && catalystWritesTailSource(cand, tail))
+                ok = false;
             // Perfect knowledge: never hoist the tail over a catalyst
             // store that writes bytes the pair reads (the predictive
             // scheme learns this through ordering violations).
@@ -490,6 +587,9 @@ Pipeline::tryOracleFusion(Uop *tail)
                 cand->tailDyn = tail->dyn;
                 cand->fusion = FusionKind::NcsfMem;
                 cand->pairSeq = tail->seq;
+                AUDIT_HOOK(onFusePair(*cand, tail->dyn,
+                                      FusionKind::NcsfMem,
+                                      /*absorbed=*/true, cycle));
                 fused = true;
             }
         }
@@ -624,6 +724,7 @@ Pipeline::renameNormal(Uop *uop)
         Uop *marker = findInflight(uop->pairSeq);
         helios_assert(marker && marker->isTailMarker,
                       "nest-unfuse lost its marker");
+        AUDIT_HOOK(onUnfuse(*uop, uop->pairSeq, cycle));
         marker->isTailMarker = false;
         marker->pairSeq = 0;
         marker->fpPred.valid = false;
@@ -915,6 +1016,7 @@ Pipeline::dispatchStage()
                     return;
                 }
 
+                AUDIT_HOOK(onUnfuse(*head, uop->seq, cycle));
                 unfuseInPlace(head);
                 maybeReady(head);
                 if (head->fpPred.valid)
@@ -984,6 +1086,7 @@ Pipeline::dispatchStage()
             maybeReady(head);
             counter("fusion.validated")++;
             renamedQueue.pop_front();
+            AUDIT_HOOK(onTailAbsorbed(uop->seq, head->seq, cycle));
             inflight.erase(uop->seq);
             --slots;
             continue;
@@ -1040,24 +1143,40 @@ Pipeline::loadHalfLatency(uint64_t load_seq, uint64_t begin,
                           uint64_t end)
 {
     // Store-to-load forwarding for this half: youngest older
-    // overlapping store (SQ, then committed stores still draining).
-    const Uop *forwarder = nullptr;
+    // overlapping store nucleus (SQ, then committed stores still
+    // draining). Fused store pairs forward per nucleus — the bytes
+    // between a non-consecutive pair's two stores are never written,
+    // and its tail nucleus may be younger than the load.
+    StoreNucleus forwarder;
+    bool have_forwarder = false;
+    auto consider = [&](const Uop *store) {
+        StoreNucleus nuclei[2];
+        const int count = storeNuclei(*store, nuclei);
+        for (int n = 0; n < count; ++n) {
+            if (nuclei[n].seq >= load_seq)
+                continue;
+            if (!rangesOverlap(nuclei[n].begin, nuclei[n].end, begin,
+                               end))
+                continue;
+            if (!have_forwarder || nuclei[n].seq > forwarder.seq) {
+                forwarder = nuclei[n];
+                have_forwarder = true;
+            }
+        }
+    };
     for (const Uop *store : sqList) {
         if (store->seq >= load_seq)
             break;
-        if (store->addrKnown && store->overlaps(begin, end))
-            forwarder = store;
+        if (store->addrKnown)
+            consider(store);
     }
-    if (!forwarder) {
-        for (const auto &entry : drainQueue) {
-            const Uop *store = entry.uop.get();
-            if (store->overlaps(begin, end))
-                forwarder = store;
-        }
+    if (!have_forwarder) {
+        for (const auto &entry : drainQueue)
+            consider(entry.uop.get());
     }
-    if (forwarder) {
-        const bool full = forwarder->memBegin <= begin &&
-                          end <= forwarder->memEnd;
+    if (have_forwarder) {
+        const bool full =
+            forwarder.begin <= begin && end <= forwarder.end;
         if (full) {
             counter("stlf.forwards")++;
             return params.forwardLatency;
@@ -1082,29 +1201,41 @@ Pipeline::executeStore(Uop *uop)
 {
     uop->computeMemRange();
     uop->addrKnown = true;
+    unresolvedStores.erase(uop->seq);
+    if (uop->hasTail && uop->tailDyn.inst.isStore())
+        unresolvedStores.erase(uop->tailDyn.seq);
     counter("exec.stores")++;
 
     // Memory-order violation: a younger load already executed against
-    // stale data. Fused load pairs are checked per nucleus: the tail
-    // bytes carry the tail's (younger) program position even though
-    // the pair executed at the head's (Section IV-B4).
+    // stale data. Both sides are checked per nucleus (Section IV-B4):
+    // each nucleus carries its own byte range and program position. A
+    // catalyst load sitting between a non-consecutive store pair's
+    // two stores is older than the tail nucleus and reads bytes
+    // neither store writes — judging it against the pair's combined
+    // range and head position would flush it forever.
+    StoreNucleus stores[2];
+    const int num_stores = storeNuclei(*uop, stores);
     for (Uop *load : lqList) {
         if (!load->addrKnown || !load->issued)
             continue;
         bool violated = false;
         uint64_t violator_pc = load->dyn.pc;
-        if (load->seq > uop->seq && load->dyn.inst.isMem() &&
-            rangesOverlap(load->dyn.effAddr,
-                          load->dyn.effAddr + load->dyn.memSize(),
-                          uop->memBegin, uop->memEnd)) {
-            violated = true;
-        } else if (load->hasTail && load->tailDyn.seq > uop->seq &&
-                   rangesOverlap(
-                       load->tailDyn.effAddr,
-                       load->tailDyn.effAddr + load->tailDyn.memSize(),
-                       uop->memBegin, uop->memEnd)) {
-            violated = true;
-            violator_pc = load->tailDyn.pc;
+        for (int n = 0; n < num_stores && !violated; ++n) {
+            const StoreNucleus &store = stores[n];
+            if (load->seq > store.seq && load->dyn.inst.isMem() &&
+                rangesOverlap(load->dyn.effAddr,
+                              load->dyn.effAddr + load->dyn.memSize(),
+                              store.begin, store.end)) {
+                violated = true;
+            } else if (load->hasTail &&
+                       load->tailDyn.seq > store.seq &&
+                       rangesOverlap(load->tailDyn.effAddr,
+                                     load->tailDyn.effAddr +
+                                         load->tailDyn.memSize(),
+                                     store.begin, store.end)) {
+                violated = true;
+                violator_pc = load->tailDyn.pc;
+            }
         }
         if (violated) {
             storeSets.trainViolation(violator_pc, uop->dyn.pc);
@@ -1141,6 +1272,7 @@ Pipeline::scheduleCompletion(Uop *uop, unsigned latency)
         --iqCount;
     }
     events.push({uop->doneCycle, uop->seq, uop->uid, uint8_t(2)});
+    AUDIT_HOOK(onIssue(*uop, cycle));
 }
 
 void
@@ -1167,6 +1299,7 @@ Pipeline::scheduleSplitCompletion(Uop *uop, unsigned head_latency,
         events.push({tail_done, uop->seq, uop->uid, uint8_t(1)});
         events.push({head_done, uop->seq, uop->uid, uint8_t(2)});
     }
+    AUDIT_HOOK(onIssue(*uop, cycle));
 }
 
 void
@@ -1253,6 +1386,9 @@ Pipeline::issueStage()
             }
             uop->computeMemRange();
             uop->addrKnown = true;
+            unresolvedLoads.erase(uop->seq);
+            if (uop->hasTail && uop->tailDyn.inst.isLoad())
+                unresolvedLoads.erase(uop->tailDyn.seq);
             counter("exec.loads")++;
             // Each nucleus forwards / accesses the cache and delivers
             // its destination independently (Section II-B).
@@ -1458,6 +1594,26 @@ Pipeline::commitStage()
             return;
         }
 
+        // A non-consecutive fused pair commits at the head's ROB slot,
+        // hoisting its tail nucleus past the catalyst window. Hold it
+        // until every catalyst memory access of the opposite kind has
+        // resolved its address: an unresolved catalyst store could
+        // still alias the already-read tail load (the SQ→LQ snoop can
+        // only flush while the pair is pre-commit), and an unresolved
+        // catalyst load must read its bytes before the committed tail
+        // store's data can drain into the cache past it.
+        if (uop->hasTail && uop->isMem() &&
+            uop->tailDyn.seq > uop->seq + 1) {
+            const auto &pending =
+                uop->isLoad() ? unresolvedStores : unresolvedLoads;
+            auto it = pending.upper_bound(uop->seq);
+            if (it != pending.end() && *it < uop->tailDyn.seq) {
+                counter("commit.blocked.catalyst_unresolved")++;
+                return;
+            }
+        }
+
+        AUDIT_HOOK(onCommit(*uop, cycle));
         if (params.traceOut)
             traceCommit(uop);
         counter("commit.insts") += uop->archInsts();
@@ -1569,6 +1725,7 @@ Pipeline::squashFrom(uint64_t seq_min, const char *reason)
             continue;
         const Uop *uop = up.get();
         squashed.push_back(seq);
+        AUDIT_HOOK(onSquash(*uop, cycle));
         if (uop->isTailMarker) {
             // The head is older; if it survived we would have moved
             // the flush point above, so the head must be squashed and
@@ -1601,6 +1758,10 @@ Pipeline::squashFrom(uint64_t seq_min, const char *reason)
     std::erase_if(lqList, is_squashed);
     std::erase_if(sqList, is_squashed);
     std::erase_if(activeNcsHeads, is_squashed);
+    unresolvedLoads.erase(unresolvedLoads.lower_bound(seq_min),
+                          unresolvedLoads.end());
+    unresolvedStores.erase(unresolvedStores.lower_bound(seq_min),
+                           unresolvedStores.end());
     for (auto it = readySet.begin(); it != readySet.end();) {
         if (it->first >= seq_min)
             it = readySet.erase(it);
@@ -1608,13 +1769,17 @@ Pipeline::squashFrom(uint64_t seq_min, const char *reason)
             ++it;
     }
 
-    // Remove squashed seqs from survivors' wakeup lists.
+    // Remove squashed seqs from survivors' wakeup lists (both halves:
+    // a stale tail-half entry would corrupt the notReady count of a
+    // refetched µ-op that reuses the squashed sequence number).
     for (auto &[seq, up] : inflight) {
         if (seq >= seq_min)
             continue;
-        std::erase_if(up->dependents, [seq_min](uint64_t dep) {
+        const auto stale = [seq_min](uint64_t dep) {
             return dep >= seq_min;
-        });
+        };
+        std::erase_if(up->dependents, stale);
+        std::erase_if(up->dependentsTail, stale);
     }
 
     for (uint64_t seq : squashed)
@@ -1671,6 +1836,7 @@ Pipeline::run()
 {
     uint64_t last_commit_count = 0;
     uint64_t last_progress_cycle = 0;
+    bool drained = false;
 
     while (cycle < params.maxCycles) {
         commitStage();
@@ -1683,10 +1849,28 @@ Pipeline::run()
         fetchStage();
         ++cycle;
 
+#ifdef HELIOS_AUDIT
+        if (auditor) {
+            AuditView view;
+            view.cycle = cycle;
+            view.rob = &rob;
+            view.aq = &aq;
+            view.lq = &lqList;
+            view.sq = &sqList;
+            view.iqCount = iqCount;
+            view.drainCount = drainQueue.size();
+            view.inflightCount = inflight.size();
+            view.allocatedRegs = allocatedRegs;
+            auditor->onCycleEnd(view);
+        }
+#endif
+
         if (feedExhausted && replayQueue.empty() && inflight.empty() &&
             drainQueue.empty() && decodePipe.empty() &&
-            renamedQueue.empty() && aq.empty() && rob.empty())
+            renamedQueue.empty() && aq.empty() && rob.empty()) {
+            drained = true;
             break;
+        }
 
         const uint64_t committed = statGroup.get("commit.insts");
         if (committed != last_commit_count) {
@@ -1712,6 +1896,10 @@ Pipeline::run()
     if (feedExhausted && inflight.empty() && allocatedRegs != 0)
         warn("PRF leak: %u registers still allocated at drain",
              allocatedRegs);
+    AUDIT_HOOK(finalize(drained, cycle));
+#ifndef HELIOS_AUDIT
+    (void)drained;
+#endif
 
     counter("cycles") += cycle;
     PipelineResult result;

@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <queue>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +37,8 @@
 
 namespace helios
 {
+
+class PipelineAuditor;
 
 /** Result summary of a pipeline run. */
 struct PipelineResult
@@ -64,6 +67,14 @@ class Pipeline
     const StatGroup &stats() const { return statGroup; }
     StatGroup &stats() { return statGroup; }
 
+    /**
+     * Attach a per-cycle invariant auditor (non-owning; must outlive
+     * run()). Requires the HELIOS_AUDIT build option: when the hooks
+     * are compiled out, attaching a non-null auditor is a fatal()
+     * configuration error rather than a silently unaudited run.
+     */
+    void attachAuditor(PipelineAuditor *auditor);
+
   private:
     // ---- per-cycle stages (called in reverse pipeline order) ----
     void commitStage();
@@ -80,6 +91,8 @@ class Pipeline
     bool tryPredictedFusion(Uop *tail);
     bool tryOracleFusion(Uop *tail);
     bool oracleDependent(const Uop *head, const Uop *tail) const;
+    bool catalystWritesTailSource(const Uop *head,
+                                  const Uop *tail) const;
     void unfuseInPlace(Uop *head);
     void countFusedPair(const Uop *head);
     void traceCommit(const Uop *uop) const;
@@ -134,6 +147,8 @@ class Pipeline
     const CoreParams params;
     InstructionFeed &feed;
 
+    PipelineAuditor *auditor = nullptr; ///< optional, non-owning
+
     StatGroup statGroup;
     std::unordered_map<const char *, Stat *> statCache;
     CacheHierarchy caches;
@@ -171,6 +186,14 @@ class Pipeline
     // stores until they retire into the cache).
     std::deque<Uop *> lqList;
     std::deque<Uop *> sqList;
+
+    // Memory µ-ops whose effective address is still unknown, by seq.
+    // A fused pair commits at the head's ROB slot, hoisting its tail
+    // past the catalyst window — it must wait for every catalyst
+    // memory access to resolve first, or an alias could slip past the
+    // LQ/SQ snoops (which only cover pre-commit µ-ops).
+    std::set<uint64_t> unresolvedLoads;
+    std::set<uint64_t> unresolvedStores;
 
     // Issue bookkeeping.
     std::map<uint64_t, Uop *> readySet; // ordered by age

@@ -118,8 +118,9 @@ TEST(FusionPredictor, SelectorSteeringAfterDisagreement)
     // should eventually deliver the global prediction of 8.
     FpPrediction pred = fp.lookup(pc, 0x11);
     ASSERT_TRUE(pred.globalValid);
-    if (pred.valid)
+    if (pred.valid) {
         EXPECT_EQ(pred.distance, 8u);
+    }
 }
 
 TEST(FusionPredictor, ManyPcsCoexist)

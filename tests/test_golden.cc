@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Golden-number regression test: pins the headline metrics (IPC and
+ * fused-pair percentage, 4 decimal places) of two representative
+ * workloads under the Helios configuration against a checked-in
+ * golden file. Any change to the timing model, fusion legality rules
+ * or scheduler that moves these numbers — intentionally or not —
+ * shows up as a one-line diff here instead of silently shifting the
+ * paper's figures.
+ *
+ * To regenerate after an intentional model change:
+ *
+ *   HELIOS_UPDATE_GOLDEN=1 ./tests/test_golden
+ *
+ * then commit the updated tests/golden/headline.txt alongside the
+ * change that moved the numbers.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+
+using namespace helios;
+
+namespace
+{
+
+constexpr uint64_t goldenBudget = 50'000;
+const char *const goldenWorkloads[] = {"605.mcf_s", "qsort"};
+
+/** Format one workload's headline metrics as a golden-file line. */
+std::string
+headlineLine(const RunResult &result)
+{
+    const uint64_t pairs = result.stat("pairs.csf_mem") +
+                           result.stat("pairs.csf_other") +
+                           result.stat("pairs.ncsf");
+    const double fused_pct =
+        result.instructions
+            ? 200.0 * double(pairs) / double(result.instructions)
+            : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof(line), "%s Helios ipc=%.4f fused_pct=%.4f",
+                  result.workload.c_str(), result.ipc(), fused_pct);
+    return line;
+}
+
+std::string
+currentHeadlines()
+{
+    std::string text;
+    for (const char *name : goldenWorkloads) {
+        const RunResult result = runOne(
+            findWorkload(name), FusionMode::Helios, goldenBudget);
+        text += headlineLine(result) + "\n";
+    }
+    return text;
+}
+
+} // namespace
+
+TEST(Golden, HeadlineNumbersMatchGoldenFile)
+{
+    const std::string current = currentHeadlines();
+
+    if (std::getenv("HELIOS_UPDATE_GOLDEN")) {
+        std::ofstream out(GOLDEN_FILE);
+        ASSERT_TRUE(out) << "cannot write " << GOLDEN_FILE;
+        out << current;
+        GTEST_SKIP() << "golden file regenerated: " << GOLDEN_FILE;
+    }
+
+    std::ifstream in(GOLDEN_FILE);
+    ASSERT_TRUE(in) << "missing golden file " << GOLDEN_FILE
+                    << " (run with HELIOS_UPDATE_GOLDEN=1 to create)";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+
+    EXPECT_EQ(current, golden.str())
+        << "headline metrics moved; if intentional, regenerate with "
+           "HELIOS_UPDATE_GOLDEN=1 ./tests/test_golden and commit the "
+           "new golden file";
+}

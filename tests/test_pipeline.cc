@@ -97,8 +97,9 @@ TEST_P(ModeSweep, StatisticsAreSelfConsistent)
 
     // Loads/stores executed at least once each (committed count is in
     // instructions; replays can make executed > committed).
-    if (r.stat("commit.loads") > 0)
+    if (r.stat("commit.loads") > 0) {
         EXPECT_GT(r.stat("exec.loads"), 0u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(
