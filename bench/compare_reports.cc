@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Diff two RunReport JSON files and flag regressions.
+ *
+ *   $ compare_reports baseline.json current.json [options]
+ *       --ipc-tolerance PCT     max allowed IPC drop, percent
+ *                               (default 2)
+ *       --coverage-tolerance PCT max allowed fusion-coverage drop,
+ *                               percentage points (default 1)
+ *       --verbose               print every matched pair, not just
+ *                               regressions
+ *
+ * Runs are matched by (workload, mode). For every pair the tool
+ * checks that
+ *   - IPC did not drop more than the tolerance below the baseline;
+ *   - fusion coverage (fused-pair instructions / committed
+ *     instructions) did not drop more than the tolerance;
+ *   - the committed instruction count is identical when both runs
+ *     used the same instruction budget (the workload itself did not
+ *     silently change);
+ *   - the current file reports no differential-harness verdicts.
+ *
+ * Exit status: 0 clean, 1 regression or verdict found, 2 usage /
+ * file errors. CI keeps a committed baseline under bench/baselines/
+ * and fails the build when a change drifts past the tolerance; to
+ * accept an intentional change, regenerate the baseline (see
+ * OBSERVABILITY.md).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "harness/run_report.hh"
+
+using namespace helios;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: compare_reports <baseline.json> "
+                 "<current.json> [--ipc-tolerance PCT] "
+                 "[--coverage-tolerance PCT] [--verbose]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baseline_path, current_path;
+    double ipc_tolerance = 0.02;
+    double coverage_tolerance = 0.01;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--ipc-tolerance" && i + 1 < argc) {
+            ipc_tolerance = std::strtod(argv[++i], nullptr) / 100.0;
+        } else if (arg == "--coverage-tolerance" && i + 1 < argc) {
+            coverage_tolerance =
+                std::strtod(argv[++i], nullptr) / 100.0;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (arg[0] == '-') {
+            usage();
+            return 2;
+        } else if (baseline_path.empty()) {
+            baseline_path = arg;
+        } else if (current_path.empty()) {
+            current_path = arg;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (baseline_path.empty() || current_path.empty()) {
+        usage();
+        return 2;
+    }
+
+    try {
+        const RunReportFile baseline =
+            RunReportFile::load(baseline_path);
+        const RunReportFile current = RunReportFile::load(current_path);
+
+        unsigned regressions = 0, matched = 0;
+
+        for (const ReportVerdict &verdict : current.verdicts) {
+            std::printf("VERDICT  %s/%s %s: %s\n",
+                        verdict.workload.c_str(), verdict.mode.c_str(),
+                        verdict.check.c_str(), verdict.detail.c_str());
+            ++regressions;
+        }
+
+        for (const RunReport &base : baseline.runs) {
+            const RunReport *cur =
+                current.find(base.workload, base.mode);
+            if (!cur) {
+                std::printf("MISSING  %s/%s present in baseline only\n",
+                            base.workload.c_str(), base.mode.c_str());
+                ++regressions;
+                continue;
+            }
+            ++matched;
+
+            const double ipc_ratio =
+                base.ipc > 0 ? cur->ipc / base.ipc : 1.0;
+            const double coverage_delta =
+                cur->fusionCoverage() - base.fusionCoverage();
+
+            bool bad = false;
+            if (ipc_ratio < 1.0 - ipc_tolerance) {
+                std::printf("IPC      %s/%s %.4f -> %.4f "
+                            "(%.2f%%, tolerance -%.2f%%)\n",
+                            base.workload.c_str(), base.mode.c_str(),
+                            base.ipc, cur->ipc,
+                            100.0 * (ipc_ratio - 1.0),
+                            100.0 * ipc_tolerance);
+                bad = true;
+            }
+            if (coverage_delta < -coverage_tolerance) {
+                std::printf("COVERAGE %s/%s %.4f -> %.4f "
+                            "(tolerance -%.2f pp)\n",
+                            base.workload.c_str(), base.mode.c_str(),
+                            base.fusionCoverage(),
+                            cur->fusionCoverage(),
+                            100.0 * coverage_tolerance);
+                bad = true;
+            }
+            if (base.maxInsts == cur->maxInsts &&
+                base.instructions != cur->instructions) {
+                std::printf("INSTS    %s/%s committed %llu -> %llu "
+                            "under the same budget\n",
+                            base.workload.c_str(), base.mode.c_str(),
+                            (unsigned long long)base.instructions,
+                            (unsigned long long)cur->instructions);
+                bad = true;
+            }
+            if (bad) {
+                ++regressions;
+            } else if (verbose) {
+                std::printf("ok       %s/%s IPC %.4f -> %.4f "
+                            "(%+.2f%%), coverage %.4f -> %.4f\n",
+                            base.workload.c_str(), base.mode.c_str(),
+                            base.ipc, cur->ipc,
+                            100.0 * (ipc_ratio - 1.0),
+                            base.fusionCoverage(),
+                            cur->fusionCoverage());
+            }
+        }
+
+        std::printf("compare_reports: %u run(s) matched, "
+                    "%u regression(s)\n", matched, regressions);
+        return regressions ? 1 : 0;
+    } catch (const FatalError &error) {
+        std::fprintf(stderr, "compare_reports: %s\n", error.what());
+        return 2;
+    }
+}

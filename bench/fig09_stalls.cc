@@ -4,6 +4,13 @@
  * total execution cycles, for the no-fusion baseline, Helios and
  * OracleFusion.
  *
+ * The stall table is built from CpiStack cycle accounting in two
+ * forms: the paper's ad-hoc stack over the historical rename/dispatch
+ * stall counters (which may overlap; the residual absorbs the rest),
+ * and the pipeline's exact per-cycle `cpi.*` attribution where every
+ * cycle is claimed exactly once (the `exact top` column shows its
+ * dominant category for the baseline).
+ *
  * Paper reference: applications with large baseline dispatch stalls
  * (657.xz_1: 88% waiting for an SQ entry) see the largest IPC gains;
  * Helios removes a significant share of those stalls.
@@ -11,6 +18,7 @@
 
 #include <cstdio>
 
+#include "common/stats.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 
@@ -19,34 +27,33 @@ using namespace helios;
 namespace
 {
 
+/** The paper's stall categories as an ad-hoc CPI stack. */
+CpiStack
+stallStack(const RunResult &result)
+{
+    CpiStack stack(result.cycles);
+    stack.addCategory("prf", result.stat("rename.stall.prf"));
+    stack.addCategory("rob", result.stat("dispatch.stall.rob"));
+    stack.addCategory("iq", result.stat("dispatch.stall.iq"));
+    stack.addCategory("lq", result.stat("dispatch.stall.lq"));
+    stack.addCategory("sq", result.stat("dispatch.stall.sq"));
+    return stack;
+}
+
 double
 stallPercent(const RunResult &result)
 {
-    const double cycles = double(result.cycles);
-    const uint64_t stalls = result.stat("rename.stall.prf") +
-                            result.stat("dispatch.stall.rob") +
-                            result.stat("dispatch.stall.iq") +
-                            result.stat("dispatch.stall.lq") +
-                            result.stat("dispatch.stall.sq");
-    return cycles ? double(stalls) / cycles : 0.0;
+    return stallStack(result).fractionWithPrefix("");
 }
 
 std::string
 dominant(const RunResult &result)
 {
-    const char *names[] = {"rename.stall.prf", "dispatch.stall.rob",
-                           "dispatch.stall.iq", "dispatch.stall.lq",
-                           "dispatch.stall.sq"};
-    const char *labels[] = {"prf", "rob", "iq", "lq", "sq"};
+    const CpiStack stack = stallStack(result);
     uint64_t best = 0;
-    const char *label = "-";
-    for (int i = 0; i < 5; ++i) {
-        if (result.stat(names[i]) > best) {
-            best = result.stat(names[i]);
-            label = labels[i];
-        }
-    }
-    return best ? label : "-";
+    for (size_t i = 0; i < stack.size(); ++i)
+        best = std::max(best, stack.cycles(i));
+    return best ? stack.dominant() : "-";
 }
 
 } // namespace
@@ -57,7 +64,8 @@ main()
     printBenchHeader(
         "Figure 9 — rename/dispatch structural stalls (% of cycles)",
         "baseline (no fusion) vs Helios vs OracleFusion; 'top' = "
-        "dominant stalled resource in the baseline");
+        "dominant stalled resource in the baseline, 'exact top' = "
+        "dominant category of the exact per-cycle CPI stack");
     const uint64_t budget = benchInstructionBudget();
     const unsigned jobs = defaultJobCount();
 
@@ -72,16 +80,23 @@ main()
     const std::vector<RunResult> results = runMatrix(cells, jobs);
     const double elapsed = timer.seconds();
 
-    Table table({"workload", "baseline", "Helios", "Oracle", "top"});
+    Table table({"workload", "baseline", "Helios", "Oracle", "top",
+                 "exact top"});
     const auto &workloads = allWorkloads();
     for (size_t w = 0; w < workloads.size(); ++w) {
         const RunResult &base = results[w * 3];
         const RunResult &helios_run = results[w * 3 + 1];
         const RunResult &oracle_run = results[w * 3 + 2];
+        const CpiStack exact =
+            base.stats.cpiStack(base.cycles);
         table.addRow({workloads[w].name, Table::pct(stallPercent(base)),
                       Table::pct(stallPercent(helios_run)),
                       Table::pct(stallPercent(oracle_run)),
-                      dominant(base)});
+                      dominant(base), exact.dominant()});
+        if (!exact.exact())
+            std::printf("warning: %s baseline CPI stack residual %lld\n",
+                        workloads[w].name.c_str(),
+                        (long long)exact.residual());
     }
     table.print();
     std::printf("\nPaper: stall-heavy baselines (xz_1 88%% SQ) gain "

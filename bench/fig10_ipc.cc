@@ -6,11 +6,17 @@
  * Paper reference (geomean IPC uplift over no fusion):
  *   RISCVFusion +0.8%, CSF-SBR +6%, RISCVFusion++ +7%,
  *   Helios +14.2% (8.2% over CSF-SBR), OracleFusion +16.3%.
+ *
+ * Set HELIOS_REPORT=<path> to additionally write the whole matrix as
+ * a RunReport JSON file (see OBSERVABILITY.md) for archival or
+ * bench/compare_reports diffing against a previous run.
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "harness/report.hh"
+#include "harness/run_report.hh"
 #include "harness/runner.hh"
 
 using namespace helios;
@@ -75,5 +81,15 @@ main()
                 "+8.2%%)\n",
                 100.0 * (geomean(ratios[3]) / geomean(ratios[1]) - 1.0));
     printMatrixTiming(cells.size(), jobs, elapsed);
+
+    if (const char *report_path = std::getenv("HELIOS_REPORT")) {
+        RunReportFile file;
+        file.generator = "fig10_ipc";
+        for (const RunResult &result : results)
+            file.add(result, budget);
+        file.save(report_path);
+        std::printf("report: %zu runs -> %s\n", file.runs.size(),
+                    report_path);
+    }
     return 0;
 }

@@ -6,8 +6,19 @@
  *       --config <NoFusion|RISCVFusion|CSF-SBR|RISCVFusion++|
  *                 Helios|OracleFusion>     (default Helios)
  *       --max-insts N                      instruction budget
- *       --trace                            pipeview commit trace
- *       --stats                            dump every counter
+ *       --trace FILE                       µop lifecycle trace: Chrome
+ *                                          trace_event JSON to FILE
+ *                                          (load in Perfetto / chrome:
+ *                                          //tracing) plus a Konata
+ *                                          pipeline view to FILE.kanata
+ *       --pipeview                         legacy commit trace on stdout
+ *       --stats                            dump every counter (per
+ *                                          config with --sweep)
+ *       --cpi-stack                        print the exact top-down
+ *                                          cycle-accounting stack
+ *       --report FILE                      write a machine-readable
+ *                                          RunReport JSON file (single
+ *                                          run or the whole --sweep)
  *       --functional                       skip the timing model
  *       --sweep                            run ALL configurations as a
  *                                          parallel matrix and print a
@@ -22,6 +33,10 @@
  *                                          prints its JSON report on
  *                                          violation. Exit 1 when any
  *                                          invariant fails.
+ *
+ * Unknown options and options missing their argument exit with status
+ * 2 after printing usage. See OBSERVABILITY.md for the trace and
+ * report formats.
  *
  * The program uses the same conventions as the workload suite: exit
  * through `li a7, 93; ecall` with the result in a0; `ecall` with
@@ -38,8 +53,10 @@
 #include "common/logging.hh"
 #include "harness/differential.hh"
 #include "harness/report.hh"
+#include "harness/run_report.hh"
 #include "harness/runner.hh"
 #include "sim/hart.hh"
+#include "telemetry/lifecycle.hh"
 #include "uarch/auditor.hh"
 #include "uarch/pipeline.hh"
 
@@ -53,8 +70,33 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: helios_run <file.s> [--config NAME] "
-                 "[--max-insts N] [--trace] [--stats] "
+                 "[--max-insts N] [--trace FILE] [--pipeview] "
+                 "[--stats] [--cpi-stack] [--report FILE] "
                  "[--functional] [--sweep] [--jobs N] [--audit]\n");
+}
+
+/** Write the lifecycle trace pair: Chrome JSON plus Konata text. */
+void
+writeTraces(const LifecycleTracer &tracer, const std::string &path)
+{
+    {
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot open trace file '%s'", path.c_str());
+        tracer.writeChromeTrace(out);
+    }
+    const std::string konata_path = path + ".kanata";
+    {
+        std::ofstream out(konata_path);
+        if (!out)
+            fatal("cannot open trace file '%s'", konata_path.c_str());
+        tracer.writeKonata(out);
+    }
+    std::printf("trace: %zu uop records (%zu committed, %zu squashed) "
+                "-> %s (Chrome/Perfetto), %s (Konata)\n",
+                tracer.numRecords(), tracer.numCommitted(),
+                tracer.numSquashed(), path.c_str(),
+                konata_path.c_str());
 }
 
 /**
@@ -64,7 +106,8 @@ usage()
  */
 int
 runSweep(const std::string &path, const std::string &source,
-         uint64_t max_insts, unsigned jobs, bool audit)
+         uint64_t max_insts, unsigned jobs, bool audit, bool dump_stats,
+         bool cpi_stack, const std::string &report_path)
 {
     // Wrap the assembled file as an ad-hoc workload so it can ride
     // the same matrix machinery as the paper sweeps.
@@ -98,8 +141,13 @@ runSweep(const std::string &path, const std::string &source,
         diff = &report;
     } else {
         std::vector<MatrixCell> cells;
-        for (FusionMode mode : modes)
-            cells.emplace_back(workload, mode, max_insts);
+        for (FusionMode mode : modes) {
+            CoreParams params = CoreParams::icelake(mode);
+            // Reports carry occupancy histograms; sampling is
+            // observer-effect-free (tested) and cheap at this scale.
+            params.sampleHistograms = !report_path.empty();
+            cells.emplace_back(workload, params, max_insts);
+        }
         results = runMatrix(cells, jobs);
     }
     const double elapsed = timer.seconds();
@@ -115,6 +163,34 @@ runSweep(const std::string &path, const std::string &source,
                                : "-"});
     table.print();
     printMatrixTiming(results.size(), jobs, elapsed);
+
+    for (const RunResult &result : results) {
+        if (dump_stats) {
+            std::printf("--- %s counters ---\n",
+                        fusionModeName(result.mode));
+            std::fputs(result.stats.toString().c_str(), stdout);
+        }
+        if (cpi_stack) {
+            std::printf("--- %s CPI stack ---\n%s",
+                        fusionModeName(result.mode),
+                        result.stats.cpiStack(result.cycles)
+                            .toString().c_str());
+        }
+    }
+
+    if (!report_path.empty()) {
+        RunReportFile file;
+        file.generator = "helios_run --sweep";
+        if (diff)
+            file.addDifferential(*diff, max_insts);
+        else
+            for (const RunResult &result : results)
+                file.add(result, max_insts);
+        file.save(report_path);
+        std::printf("report: %zu runs, %zu verdicts -> %s\n",
+                    file.runs.size(), file.verdicts.size(),
+                    report_path.c_str());
+    }
 
     if (diff) {
         if (diff->ok()) {
@@ -156,24 +232,46 @@ main(int argc, char **argv)
     }
 
     std::string path;
+    std::string trace_path;
+    std::string report_path;
     FusionMode mode = FusionMode::Helios;
     uint64_t max_insts = UINT64_MAX;
     unsigned jobs = 0;
-    bool trace = false, dump_stats = false, functional_only = false;
-    bool sweep = false, audit = false;
+    bool pipeview = false, dump_stats = false, functional_only = false;
+    bool cpi_stack = false, sweep = false, audit = false;
+
+    // Options taking a value; missing values are a usage error (exit
+    // 2), same as unknown options.
+    const auto value_of = [&](int &i, const char *name) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "helios_run: %s needs an argument\n",
+                         name);
+            usage();
+            std::exit(2);
+        }
+        return argv[++i];
+    };
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--config" && i + 1 < argc) {
-            mode = fusionModeFromName(argv[++i]);
-        } else if (arg == "--max-insts" && i + 1 < argc) {
-            max_insts = std::strtoull(argv[++i], nullptr, 0);
-        } else if (arg == "--jobs" && i + 1 < argc) {
-            jobs = unsigned(std::strtoul(argv[++i], nullptr, 0));
+        if (arg == "--config") {
+            mode = fusionModeFromName(value_of(i, "--config"));
+        } else if (arg == "--max-insts") {
+            max_insts =
+                std::strtoull(value_of(i, "--max-insts"), nullptr, 0);
+        } else if (arg == "--jobs") {
+            jobs = unsigned(
+                std::strtoul(value_of(i, "--jobs"), nullptr, 0));
         } else if (arg == "--trace") {
-            trace = true;
+            trace_path = value_of(i, "--trace");
+        } else if (arg == "--report") {
+            report_path = value_of(i, "--report");
+        } else if (arg == "--pipeview") {
+            pipeview = true;
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--cpi-stack") {
+            cpi_stack = true;
         } else if (arg == "--functional") {
             functional_only = true;
         } else if (arg == "--sweep") {
@@ -181,6 +279,8 @@ main(int argc, char **argv)
         } else if (arg == "--audit") {
             audit = true;
         } else if (arg[0] == '-') {
+            std::fprintf(stderr, "helios_run: unknown option '%s'\n",
+                         arg.c_str());
             usage();
             return 2;
         } else {
@@ -212,9 +312,17 @@ main(int argc, char **argv)
         if (audit && functional_only)
             fatal("--audit checks the timing pipeline; drop "
                   "--functional");
+        if (functional_only &&
+            (!trace_path.empty() || cpi_stack || pipeview))
+            fatal("--trace/--cpi-stack/--pipeview need the timing "
+                  "model; drop --functional");
+        if (sweep && !trace_path.empty())
+            fatal("--trace records one run; pick a --config instead "
+                  "of --sweep");
 
         if (sweep)
-            return runSweep(path, text.str(), max_insts, jobs, audit);
+            return runSweep(path, text.str(), max_insts, jobs, audit,
+                            dump_stats, cpi_stack, report_path);
 
         Memory memory;
         Hart hart(memory);
@@ -234,8 +342,13 @@ main(int argc, char **argv)
         } else {
             HartFeed feed(hart, max_insts);
             CoreParams params = CoreParams::icelake(mode);
-            if (trace)
+            LifecycleTracer tracer;
+            if (pipeview)
                 params.traceOut = &std::cout;
+            if (!trace_path.empty())
+                params.tracer = &tracer;
+            params.sampleHistograms = !trace_path.empty() ||
+                                      !report_path.empty() || cpi_stack;
             Pipeline pipeline(params, feed);
             PipelineAuditor auditor(params);
             if (audit)
@@ -253,6 +366,39 @@ main(int argc, char **argv)
                                     : 0.0);
             if (dump_stats)
                 std::fputs(pipeline.stats().toString().c_str(), stdout);
+            if (cpi_stack)
+                std::fputs(pipeline.stats()
+                               .cpiStack(result.cycles)
+                               .toString().c_str(),
+                           stdout);
+            if (!trace_path.empty())
+                writeTraces(tracer, trace_path);
+            if (!report_path.empty()) {
+                RunResult run;
+                run.workload = path;
+                run.mode = mode;
+                run.cycles = result.cycles;
+                run.instructions = result.instructions;
+                run.uops = result.uops;
+                run.stats = pipeline.stats();
+                run.archChecksum = hart.archChecksum();
+                run.memChecksum = memory.checksum();
+                run.hartInstructions = hart.instsExecuted();
+                run.exited = hart.exited();
+                run.exitCode = hart.exitCode();
+                if (audit) {
+                    run.audited = true;
+                    run.auditChecks = auditor.checksPerformed();
+                    run.auditViolations = auditor.violations();
+                }
+                RunReportFile report_file;
+                report_file.generator = "helios_run";
+                report_file.add(run, max_insts == UINT64_MAX
+                                         ? 0 : max_insts);
+                report_file.save(report_path);
+                std::printf("report: 1 run -> %s\n",
+                            report_path.c_str());
+            }
             if (audit) {
                 const int status = auditEpilogue(auditor);
                 if (status)

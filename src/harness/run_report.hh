@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Machine-readable run reports.
+ *
+ * A RunReport serializes everything one (workload, configuration)
+ * timing run produced — configuration, headline numbers, the full
+ * counter table, telemetry histograms, the exact CPI stack, and the
+ * audit verdict — into a stable JSON schema. A RunReportFile bundles
+ * the reports of a whole experiment matrix plus the differential
+ * verdicts that compared them.
+ *
+ * The schema is the contract between the simulator and downstream
+ * tooling (bench/compare_reports, CI baselines, plotting scripts):
+ * reports round-trip through JSON losslessly (save → parse → equal),
+ * so a committed baseline file can be diffed against a fresh run
+ * without re-simulating. See OBSERVABILITY.md for the field-by-field
+ * description.
+ */
+
+#ifndef HARNESS_RUN_REPORT_HH
+#define HARNESS_RUN_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+#include "harness/runner.hh"
+
+namespace helios
+{
+
+struct DiffReport;
+
+/** Schema version stamped into every report file. Bump on any change
+ *  that is not purely additive. */
+constexpr unsigned kRunReportVersion = 1;
+
+/** One (workload, configuration) run, ready for serialization. */
+struct RunReport
+{
+    // Identity.
+    std::string workload;
+    std::string mode;        ///< fusionModeName() spelling
+    uint64_t maxInsts = 0;   ///< instruction budget (0: unbounded)
+
+    // Headline numbers.
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t uops = 0;
+    double ipc = 0.0;
+
+    // Architectural verdict (differential-harness inputs).
+    uint64_t archChecksum = 0;
+    uint64_t memChecksum = 0;
+    uint64_t hartInstructions = 0;
+    bool exited = false;
+    uint64_t exitCode = 0;
+
+    // Audit outcome (meaningful when audited is true).
+    bool audited = false;
+    uint64_t auditChecks = 0;
+    uint64_t auditViolations = 0;
+
+    // Full counter table and telemetry histograms.
+    StatGroup stats;
+
+    /** Exact CPI stack rebuilt from the cpi.* counters. */
+    CpiStack cpiStack() const { return stats.cpiStack(cycles); }
+
+    /** Derived: fraction of committed instructions covered by fused
+     *  pairs (2 × fused pairs / committed instructions). */
+    double fusionCoverage() const;
+
+    JsonValue toJson() const;
+    static RunReport fromJson(const JsonValue &value);
+
+    bool operator==(const RunReport &other) const;
+};
+
+/** Build a report from a finished run. */
+RunReport makeRunReport(const RunResult &result, uint64_t max_insts = 0);
+
+/** One differential-harness verdict attached to a report file. */
+struct ReportVerdict
+{
+    std::string workload;
+    std::string mode;
+    std::string check;  ///< e.g. "arch_state", "ipc_regression"
+    std::string detail;
+
+    JsonValue toJson() const;
+    static ReportVerdict fromJson(const JsonValue &value);
+
+    bool operator==(const ReportVerdict &other) const = default;
+};
+
+/**
+ * A set of run reports (one experiment matrix) plus the differential
+ * verdicts that compared them. This is the on-disk artifact CI
+ * uploads and compare_reports diffs.
+ */
+struct RunReportFile
+{
+    unsigned version = kRunReportVersion;
+    std::string generator; ///< tool that wrote the file (free-form)
+    std::vector<RunReport> runs;
+    std::vector<ReportVerdict> verdicts;
+
+    void add(const RunResult &result, uint64_t max_insts = 0);
+
+    /** Fold a differential report in: every cell result plus every
+     *  violation as a verdict. */
+    void addDifferential(const DiffReport &report, uint64_t max_insts);
+
+    /** Find a run by (workload, mode); nullptr when absent. */
+    const RunReport *find(const std::string &workload,
+                          const std::string &mode) const;
+
+    JsonValue toJson() const;
+    static RunReportFile fromJson(const JsonValue &value);
+
+    /** Serialize to pretty-printed JSON text. */
+    std::string toJsonText() const;
+
+    /** Parse back from JSON text; fatal() on malformed input or an
+     *  unsupported schema version. */
+    static RunReportFile fromJsonText(const std::string &text);
+
+    /** Write to @a path (fatal() on I/O failure). */
+    void save(const std::string &path) const;
+
+    /** Load from @a path (fatal() on I/O failure or bad schema). */
+    static RunReportFile load(const std::string &path);
+
+    bool operator==(const RunReportFile &other) const;
+};
+
+} // namespace helios
+
+#endif // HARNESS_RUN_REPORT_HH

@@ -13,6 +13,8 @@
 namespace helios
 {
 
+class LifecycleTracer;
+
 /**
  * The five evaluated configurations (Section V-A) plus the baseline.
  */
@@ -116,6 +118,19 @@ struct CoreParams
     /** Optional pipeview-style event trace: one line per committed
      *  µ-op plus fusion/flush events (nullptr: disabled). */
     std::ostream *traceOut = nullptr;
+
+    /** Optional µ-op lifecycle tracer (src/telemetry): records every
+     *  committed/squashed µ-op's stage timestamps plus fusion
+     *  annotations for Konata / Chrome-trace export. Non-owning;
+     *  nullptr disables tracing (the hot path then pays one
+     *  predictable branch per commit/squash). */
+    LifecycleTracer *tracer = nullptr;
+
+    /** Sample telemetry histograms into stats(): per-cycle ROB/IQ/
+     *  LQ/SQ occupancy, fusion-pair distance at commit, and predictor
+     *  component agreement at fuse decisions. Off by default so
+     *  figure-scale sweeps pay nothing. */
+    bool sampleHistograms = false;
 
     /** The paper's configuration with a given fusion mode. */
     static CoreParams

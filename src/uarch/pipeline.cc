@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "fusion/fusion_predictor.hh"
 #include "fusion/tage_fp.hh"
+#include "telemetry/lifecycle.hh"
 #include "uarch/auditor.hh"
 
 /**
@@ -53,7 +54,7 @@ sameMemKind(const Uop *a, const Uop *b)
 } // namespace
 
 Pipeline::Pipeline(const CoreParams &p, InstructionFeed &f)
-    : params(p), feed(f), caches(params)
+    : params(p), feed(f), tracer(p.tracer), caches(params)
 {
     if (params.fpKind == FpKind::Tage)
         fusionPred = std::make_unique<TageFusionPredictor>();
@@ -62,6 +63,26 @@ Pipeline::Pipeline(const CoreParams &p, InstructionFeed &f)
     rat.resize(numArchRegs);
     for (RatEntry &entry : rat)
         entry.producerSeq = invalidSeq;
+
+    if (params.sampleHistograms) {
+        // Occupancy in 32 linear buckets per structure; distance and
+        // agreement with layouts matched to their ranges. References
+        // into statGroup stay valid for the pipeline's lifetime.
+        auto occupancy = [this](const char *name, unsigned size) {
+            return &statGroup.histogram(
+                name,
+                Histogram::linear(size, std::max(1u, size / 32)));
+        };
+        histRob = occupancy("occupancy.rob", params.robSize);
+        histIq = occupancy("occupancy.iq", params.iqSize);
+        histLq = occupancy("occupancy.lq", params.lqSize);
+        histSq = occupancy("occupancy.sq", params.sqSize);
+        histPairDistance = &statGroup.histogram(
+            "fusion.pair_distance",
+            Histogram::linear(params.maxFusionDistance, 1));
+        histFpAgreement = &statGroup.histogram(
+            "fusion.fp_agreement", Histogram::linear(2, 1));
+    }
 }
 
 Pipeline::~Pipeline() = default;
@@ -284,6 +305,16 @@ Pipeline::tryPredictedFusion(Uop *tail)
     ++pendingNcsf;
     counter("fusion.fp_applied")++;
     counter("fusion.fp_distance_sum") += pred.distance;
+    if (histFpAgreement) {
+        // Component agreement at the fuse decision: how many of the
+        // tournament components backed the distance we acted on.
+        unsigned agreeing = 0;
+        if (pred.localValid && pred.localDistance == pred.distance)
+            ++agreeing;
+        if (pred.globalValid && pred.globalDistance == pred.distance)
+            ++agreeing;
+        histFpAgreement->addSample(agreeing);
+    }
     return true;
 }
 
@@ -626,6 +657,7 @@ Pipeline::aqInsertStage()
             }
 
             uop->inAq = true;
+            uop->aqCycle = cycle;
             aq.push_back(uop);
 
             if (params.fusion == FusionMode::Helios && uop->fpPred.valid)
@@ -1057,6 +1089,7 @@ Pipeline::dispatchStage()
                 rob.push_back(uop);
                 ++iqCount;
                 uop->inIq = true;
+                uop->dispatchCycle = cycle;
                 if (uop->dyn.isLoad())
                     lqList.push_back(uop);
                 if (uop->dyn.isStore())
@@ -1510,15 +1543,24 @@ Pipeline::completeExecution()
 void
 Pipeline::countFusedPair(const Uop *uop)
 {
+    // One distance sample per committed pair (consecutive pairs are
+    // distance 1), so the histogram's sample count equals the total
+    // fused-pair count.
     switch (uop->fusion) {
       case FusionKind::CsfOther:
         counter("pairs.csf_other")++;
+        if (histPairDistance)
+            histPairDistance->addSample(1);
         return;
       case FusionKind::CsfMem:
         counter("pairs.csf_mem")++;
+        if (histPairDistance)
+            histPairDistance->addSample(1);
         return;
       case FusionKind::NcsfMem: {
         const uint64_t distance = uop->tailDyn.seq - uop->dyn.seq;
+        if (histPairDistance)
+            histPairDistance->addSample(distance);
         if (distance == 1)
             counter("pairs.csf_mem")++;
         else
@@ -1568,29 +1610,60 @@ Pipeline::traceCommit(const Uop *uop) const
     out << '\n';
 }
 
+/**
+ * Commit wrapper: runs the retirement loop, then attributes the cycle
+ * to exactly one `cpi.*` category (retired / frontend-starved / the
+ * reason the ROB head is blocked). One increment per call and run()
+ * calls this exactly once per cycle, so the categories partition
+ * total cycles and StatGroup::cpiStack() is exact by construction —
+ * the machine-checked form of the paper's Fig. 9 cycle accounting.
+ */
 void
 Pipeline::commitStage()
+{
+    commitsThisCycle = 0;
+    cpiBlockReason = nullptr;
+    commitStageImpl();
+    if (commitsThisCycle > 0)
+        counter("cpi.retiring")++;
+    else if (cpiBlockReason)
+        counter(cpiBlockReason)++;
+    else
+        counter("cpi.frontend")++;
+}
+
+void
+Pipeline::commitStageImpl()
 {
     unsigned slots = params.commitWidth;
     while (slots > 0 && !rob.empty()) {
         Uop *uop = rob.front();
         if (!uop->done) {
-            if (!uop->dispatched)
+            if (!uop->dispatched) {
                 counter("commit.blocked.not_dispatched")++;
-            else if (!uop->ncsReady)
+                cpiBlockReason = "cpi.backend.dispatch";
+            } else if (!uop->ncsReady) {
                 counter("commit.blocked.ncs_pending")++;
-            else if (!uop->issued && uop->notReady > 0)
+                cpiBlockReason = "cpi.fusion.pending";
+            } else if (!uop->issued && uop->notReady > 0) {
                 counter("commit.blocked.waiting_sources")++;
-            else if (!uop->issued)
+                cpiBlockReason = "cpi.backend.sources";
+            } else if (!uop->issued) {
                 counter("commit.blocked.port_starved")++;
-            else if (uop->hasTail)
+                cpiBlockReason = "cpi.backend.ports";
+            } else if (uop->hasTail) {
                 counter("commit.blocked.executing_fused")++;
-            else if (uop->isLoad())
+                cpiBlockReason = "cpi.exec.fused";
+            } else if (uop->isLoad()) {
                 counter("commit.blocked.executing_load")++;
-            else if (uop->isStore())
+                cpiBlockReason = "cpi.exec.load";
+            } else if (uop->isStore()) {
                 counter("commit.blocked.executing_store")++;
-            else
+                cpiBlockReason = "cpi.exec.store";
+            } else {
                 counter("commit.blocked.executing")++;
+                cpiBlockReason = "cpi.exec.other";
+            }
             return;
         }
 
@@ -1614,6 +1687,9 @@ Pipeline::commitStage()
         }
 
         AUDIT_HOOK(onCommit(*uop, cycle));
+        if (tracer)
+            tracer->recordCommit(*uop, cycle);
+        ++commitsThisCycle;
         if (params.traceOut)
             traceCommit(uop);
         counter("commit.insts") += uop->archInsts();
@@ -1697,7 +1773,11 @@ Pipeline::resumeFetchAfter(uint64_t delay)
 void
 Pipeline::squashFrom(uint64_t seq_min, const char *reason)
 {
-    counter(strFormat("flush.%s", reason).c_str())++;
+    // Dynamic name: go through the string-keyed StatGroup index, not
+    // counter(), whose pointer memoization must never see a
+    // temporary's c_str() (a recycled allocation would alias another
+    // counter).
+    statGroup.counter(strFormat("flush.%s", reason))++;
     if (params.traceOut)
         *params.traceOut << "FLUSH  " << reason << " from seq "
                          << seq_min << " @" << cycle << '\n';
@@ -1726,6 +1806,8 @@ Pipeline::squashFrom(uint64_t seq_min, const char *reason)
         const Uop *uop = up.get();
         squashed.push_back(seq);
         AUDIT_HOOK(onSquash(*uop, cycle));
+        if (tracer)
+            tracer->recordSquash(*uop, cycle, reason);
         if (uop->isTailMarker) {
             // The head is older; if it survived we would have moved
             // the flush point above, so the head must be squashed and
@@ -1848,6 +1930,13 @@ Pipeline::run()
         aqInsertStage();
         fetchStage();
         ++cycle;
+
+        if (params.sampleHistograms) {
+            histRob->addSample(rob.size());
+            histIq->addSample(iqCount);
+            histLq->addSample(lqList.size());
+            histSq->addSample(sqList.size());
+        }
 
 #ifdef HELIOS_AUDIT
         if (auditor) {

@@ -38,6 +38,8 @@
 namespace helios
 {
 
+class Histogram;
+class LifecycleTracer;
 class PipelineAuditor;
 
 /** Result summary of a pipeline run. */
@@ -78,6 +80,7 @@ class Pipeline
   private:
     // ---- per-cycle stages (called in reverse pipeline order) ----
     void commitStage();
+    void commitStageImpl();
     void drainStores();
     void completeExecution();
     void issueStage();
@@ -128,12 +131,17 @@ class Pipeline
     bool sourceIsReady(uint64_t producer_seq) const;
 
     /**
-     * Hot-path counter access. Every call site passes a string
-     * literal, so the character pointer itself identifies the counter;
-     * memoizing Stat addresses by pointer turns the per-event
-     * string-keyed map lookup (~28% of simulation time) into a flat
-     * hash hit. Stat references are stable: StatGroup stores counters
-     * in a node-based map.
+     * Hot-path counter access. Call sites must pass pointers with
+     * static storage duration (string literals): the pointer itself
+     * identifies the counter, so memoizing Stat addresses by pointer
+     * turns the per-event string-keyed lookup (~28% of simulation
+     * time) into a flat hash hit. Distinct literals with identical
+     * content coalesce onto one Stat through the content-hashed
+     * StatGroup index, paid once per pointer miss. Never pass a
+     * temporary's c_str() — a later allocation could reuse the
+     * address and alias a different counter; dynamic names go through
+     * statGroup.counter() directly (see squashFrom). Stat references
+     * are stable: StatGroup stores counters in a stable deque.
      */
     Stat &
     counter(const char *name)
@@ -148,9 +156,24 @@ class Pipeline
     InstructionFeed &feed;
 
     PipelineAuditor *auditor = nullptr; ///< optional, non-owning
+    LifecycleTracer *tracer = nullptr;  ///< optional, non-owning
 
     StatGroup statGroup;
     std::unordered_map<const char *, Stat *> statCache;
+
+    // Telemetry histograms (live inside statGroup; non-null only when
+    // CoreParams::sampleHistograms asked for per-cycle sampling).
+    Histogram *histRob = nullptr;
+    Histogram *histIq = nullptr;
+    Histogram *histLq = nullptr;
+    Histogram *histSq = nullptr;
+    Histogram *histPairDistance = nullptr;
+    Histogram *histFpAgreement = nullptr;
+
+    // Per-cycle CPI attribution (see commitStage): the blocked-head
+    // category of the current cycle, cleared each cycle.
+    const char *cpiBlockReason = nullptr;
+    unsigned commitsThisCycle = 0;
     CacheHierarchy caches;
     BranchPredictor bpred;
     StoreSets storeSets;

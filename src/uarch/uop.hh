@@ -81,6 +81,7 @@ struct Uop
     bool done = false;     ///< fully complete (commit-eligible)
     bool committed = false;
     uint64_t fetchCycle = 0;
+    uint64_t aqCycle = 0; ///< decode done, inserted into the AQ
     uint64_t renameCycle = 0;
     uint64_t dispatchCycle = 0;
     uint64_t issueCycle = 0;

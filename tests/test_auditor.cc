@@ -56,7 +56,11 @@ randomProgram(Rng &rng)
     const unsigned body = unsigned(rng.range(24, 48));
     for (unsigned i = 0; i < body; ++i) {
         const std::string base = rng.below(2) ? "s0" : "s1";
-        const std::string data = "a" + std::to_string(rng.below(4));
+        // Built with += rather than "a" + to_string(...): the rvalue
+        // operator+ trips GCC 12's -Wrestrict false positive
+        // (PR 105651) under -Werror.
+        std::string data = "a";
+        data += std::to_string(rng.below(4));
         // 8-aligned offsets in a small window cluster accesses into
         // the same fusion regions.
         const std::string off = std::to_string(8 * rng.range(0, 15));
