@@ -3,6 +3,7 @@
  * Diff two RunReport JSON files and flag regressions.
  *
  *   $ compare_reports baseline.json current.json [options]
+ *       --tolerance PCT         shorthand: set both tolerances at once
  *       --ipc-tolerance PCT     max allowed IPC drop, percent
  *                               (default 2)
  *       --coverage-tolerance PCT max allowed fusion-coverage drop,
@@ -18,7 +19,15 @@
  *   - the committed instruction count is identical when both runs
  *     used the same instruction budget (the workload itself did not
  *     silently change);
+ *   - when both runs carry a profile section (schema v2), no hot
+ *     static site's fusion coverage dropped more than the coverage
+ *     tolerance (per-site regression detection: an aggregate can hide
+ *     one site losing its fusion to another site gaining);
  *   - the current file reports no differential-harness verdicts.
+ *
+ * A regressing pair additionally prints the top counter deltas
+ * between the two runs, so the first diagnostic step — which counter
+ * moved — needs no second tool.
  *
  * Exit status: 0 clean, 1 regression or verdict found, 2 usage /
  * file errors. CI keeps a committed baseline under bench/baselines/
@@ -27,10 +36,13 @@
  * OBSERVABILITY.md).
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "harness/run_report.hh"
@@ -45,8 +57,88 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: compare_reports <baseline.json> "
-                 "<current.json> [--ipc-tolerance PCT] "
+                 "<current.json> [--tolerance PCT] "
+                 "[--ipc-tolerance PCT] "
                  "[--coverage-tolerance PCT] [--verbose]\n");
+}
+
+/**
+ * Print the most-changed counters between two regressing runs,
+ * largest relative move first. Counters present in only one run count
+ * as a full move.
+ */
+void
+printTopCounterDeltas(const RunReport &base, const RunReport &cur,
+                      size_t top_n)
+{
+    struct Delta
+    {
+        std::string name;
+        uint64_t before, after;
+        double rel;
+    };
+    std::vector<Delta> deltas;
+    const auto consider = [&](const std::string &name, uint64_t before,
+                              uint64_t after) {
+        if (before == after)
+            return;
+        const uint64_t reference = std::max(before, after);
+        deltas.push_back(
+            {name, before, after,
+             before ? (double(after) - double(before)) / double(before)
+                    : double(reference)});
+    };
+    for (const auto &[name, before] : base.stats.dump())
+        consider(name, before, cur.stats.get(name));
+    for (const auto &[name, after] : cur.stats.dump())
+        if (base.stats.get(name) == 0 && after != 0)
+            consider(name, 0, after);
+    std::sort(deltas.begin(), deltas.end(),
+              [](const Delta &a, const Delta &b) {
+                  if (std::fabs(a.rel) != std::fabs(b.rel))
+                      return std::fabs(a.rel) > std::fabs(b.rel);
+                  return std::max(a.before, a.after) >
+                         std::max(b.before, b.after);
+              });
+    if (deltas.size() > top_n)
+        deltas.resize(top_n);
+    for (const Delta &delta : deltas)
+        std::printf("         %-32s %12llu -> %-12llu (%+.1f%%)\n",
+                    delta.name.c_str(),
+                    (unsigned long long)delta.before,
+                    (unsigned long long)delta.after,
+                    100.0 * delta.rel);
+}
+
+/** A site hot enough that its coverage is statistically meaningful. */
+constexpr uint64_t kSiteExecutionFloor = 128;
+
+/**
+ * Per-site coverage regression check (both runs profiled): flag every
+ * hot baseline site whose coverage dropped more than the tolerance.
+ * Returns the number of regressing sites.
+ */
+unsigned
+compareSites(const RunReport &base, const RunReport &cur,
+             double coverage_tolerance)
+{
+    unsigned regressions = 0;
+    for (const ProfileSite &site : base.profile.sites) {
+        if (site.executions < kSiteExecutionFloor)
+            continue;
+        const ProfileSite *now = cur.profile.find(site.pc);
+        const double before = site.coverage();
+        const double after = now ? now->coverage() : 0.0;
+        if (after < before - coverage_tolerance) {
+            std::printf("SITE     %s/%s pc 0x%llx coverage "
+                        "%.4f -> %.4f (tolerance -%.2f pp)\n",
+                        base.workload.c_str(), base.mode.c_str(),
+                        (unsigned long long)site.pc, before, after,
+                        100.0 * coverage_tolerance);
+            ++regressions;
+        }
+    }
+    return regressions;
 }
 
 } // namespace
@@ -61,7 +153,12 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--ipc-tolerance" && i + 1 < argc) {
+        if (arg == "--tolerance" && i + 1 < argc) {
+            const double tolerance =
+                std::strtod(argv[++i], nullptr) / 100.0;
+            ipc_tolerance = tolerance;
+            coverage_tolerance = tolerance;
+        } else if (arg == "--ipc-tolerance" && i + 1 < argc) {
             ipc_tolerance = std::strtod(argv[++i], nullptr) / 100.0;
         } else if (arg == "--coverage-tolerance" && i + 1 < argc) {
             coverage_tolerance =
@@ -143,7 +240,11 @@ main(int argc, char **argv)
                             (unsigned long long)cur->instructions);
                 bad = true;
             }
+            if (base.profiled && cur->profiled &&
+                compareSites(base, *cur, coverage_tolerance) > 0)
+                bad = true;
             if (bad) {
+                printTopCounterDeltas(base, *cur, 5);
                 ++regressions;
             } else if (verbose) {
                 std::printf("ok       %s/%s IPC %.4f -> %.4f "

@@ -10,6 +10,11 @@
  * Set HELIOS_REPORT=<path> to additionally write the whole matrix as
  * a RunReport JSON file (see OBSERVABILITY.md) for archival or
  * bench/compare_reports diffing against a previous run.
+ *
+ * Set HELIOS_PROFILE=<window-cycles> to run every cell with the
+ * per-PC fusion-site profiler attached (0: profile without windowed
+ * time-series samples); the profile sections ride along in the
+ * HELIOS_REPORT file.
  */
 
 #include <cstdio>
@@ -39,10 +44,21 @@ main()
 
     // One matrix cell per (workload, mode); results come back in
     // input order, so cell w * num_modes + m is workload w, mode m.
+    bool profile = false;
+    uint64_t window_cycles = 0;
+    if (const char *spec = std::getenv("HELIOS_PROFILE")) {
+        profile = true;
+        window_cycles = std::strtoull(spec, nullptr, 0);
+    }
+
     std::vector<MatrixCell> cells;
     for (const Workload &workload : allWorkloads())
-        for (FusionMode mode : modes)
-            cells.emplace_back(workload, mode, budget);
+        for (FusionMode mode : modes) {
+            CoreParams params = CoreParams::icelake(mode);
+            params.profile = profile;
+            params.profileWindowCycles = window_cycles;
+            cells.emplace_back(workload, params, budget);
+        }
 
     Stopwatch timer;
     const std::vector<RunResult> results = runMatrix(cells, jobs);

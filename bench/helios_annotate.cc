@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Annotated disassembly from a profiled run report.
+ *
+ *   $ helios_annotate <report.json> <program.s> [options]
+ *       --run NAME      pick the run by workload name (default: the
+ *                       first profiled run in the file)
+ *       --mode NAME     pick the run by fusion mode (combined with
+ *                       --run when both are given)
+ *       --top N         hottest-site list length (default 10)
+ *       --json          emit machine-readable JSON instead of text
+ *       --out FILE      write to FILE instead of stdout
+ *
+ * Joins the per-PC fusion-site profile of a schema-v2 run report
+ * (`helios_run --profile`, or fig10 with HELIOS_PROFILE set) with the
+ * disassembly of the program it measured: every text line gets its
+ * execution count, fusion coverage, per-class fused pairs,
+ * missed-opportunity reasons and dominant stall category; the hottest
+ * sites by attributed stall cycles lead the output. See
+ * OBSERVABILITY.md ("Profiling & annotation").
+ *
+ * Exit status: 0 on success, 1 on malformed inputs (fatal errors),
+ * 2 on usage errors or an unwritable --out path.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "harness/run_report.hh"
+#include "telemetry/annotate.hh"
+
+using namespace helios;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: helios_annotate <report.json> <program.s> "
+                 "[--run NAME] [--mode NAME] [--top N] [--json] "
+                 "[--out FILE]\n");
+}
+
+/** The run to annotate: filtered by name/mode, profiled runs only. */
+const RunReport *
+selectRun(const RunReportFile &file, const std::string &run_name,
+          const std::string &mode_name)
+{
+    for (const RunReport &run : file.runs) {
+        if (!run.profiled)
+            continue;
+        if (!run_name.empty() && run.workload != run_name)
+            continue;
+        if (!mode_name.empty() && run.mode != mode_name)
+            continue;
+        return &run;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string report_path, program_path, out_path;
+    std::string run_name, mode_name;
+    size_t top_n = 10;
+    bool json = false;
+
+    const auto value_of = [&](int &i, const char *name) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr,
+                         "helios_annotate: %s needs an argument\n",
+                         name);
+            usage();
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--run") {
+            run_name = value_of(i, "--run");
+        } else if (arg == "--mode") {
+            mode_name = value_of(i, "--mode");
+        } else if (arg == "--top") {
+            top_n = std::strtoull(value_of(i, "--top"), nullptr, 0);
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--out") {
+            out_path = value_of(i, "--out");
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr,
+                         "helios_annotate: unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        } else if (report_path.empty()) {
+            report_path = arg;
+        } else if (program_path.empty()) {
+            program_path = arg;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (report_path.empty() || program_path.empty()) {
+        usage();
+        return 2;
+    }
+
+    try {
+        const RunReportFile file = RunReportFile::load(report_path);
+        const RunReport *run = selectRun(file, run_name, mode_name);
+        if (!run)
+            fatal("no profiled run%s%s in '%s' (re-run with "
+                  "--profile / HELIOS_PROFILE)",
+                  run_name.empty() ? "" : " matching ",
+                  run_name.empty() ? "" : run_name.c_str(),
+                  report_path.c_str());
+
+        std::ifstream source_file(program_path);
+        if (!source_file) {
+            std::fprintf(stderr,
+                         "helios_annotate: cannot open '%s'\n",
+                         program_path.c_str());
+            return 2;
+        }
+        std::ostringstream source;
+        source << source_file.rdbuf();
+        const Program program = assemble(source.str());
+
+        std::string rendered;
+        if (json) {
+            rendered =
+                annotateJson(run->profile, program, top_n).dump(2) +
+                "\n";
+        } else {
+            rendered = strFormat("%s %s (%s)\n", run->workload.c_str(),
+                                 run->mode.c_str(),
+                                 report_path.c_str()) +
+                       annotateText(run->profile, program, top_n);
+        }
+
+        if (out_path.empty()) {
+            std::fputs(rendered.c_str(), stdout);
+        } else {
+            std::ofstream out(out_path);
+            if (!out || !(out << rendered)) {
+                std::fprintf(
+                    stderr,
+                    "helios_annotate: cannot write '%s'\n",
+                    out_path.c_str());
+                return 2;
+            }
+        }
+        return 0;
+    } catch (const FatalError &error) {
+        std::fprintf(stderr, "helios_annotate: %s\n", error.what());
+        return 1;
+    }
+}

@@ -19,6 +19,17 @@
  *       --report FILE                      write a machine-readable
  *                                          RunReport JSON file (single
  *                                          run or the whole --sweep)
+ *       --profile FILE                     enable the per-PC fusion-
+ *                                          site profiler and write a
+ *                                          schema-v2 report (with the
+ *                                          profile section) to FILE
+ *       --window N                         profiler time-series window
+ *                                          in cycles (default 10000;
+ *                                          0 disables windowed samples)
+ *       --annotate                         profile the run and print
+ *                                          annotated disassembly
+ *                                          (execs / coverage / stalls
+ *                                          per line) on stdout
  *       --functional                       skip the timing model
  *       --sweep                            run ALL configurations as a
  *                                          parallel matrix and print a
@@ -34,9 +45,11 @@
  *                                          violation. Exit 1 when any
  *                                          invariant fails.
  *
- * Unknown options and options missing their argument exit with status
- * 2 after printing usage. See OBSERVABILITY.md for the trace and
- * report formats.
+ * Unknown options, options missing their argument, and output paths
+ * (--trace/--report/--profile) that cannot be opened for writing exit
+ * with status 2 — the last is checked up front so a long simulation
+ * never runs just to lose its results. See OBSERVABILITY.md for the
+ * trace, report and profile formats.
  *
  * The program uses the same conventions as the workload suite: exit
  * through `li a7, 93; ecall` with the result in a0; `ecall` with
@@ -56,7 +69,9 @@
 #include "harness/run_report.hh"
 #include "harness/runner.hh"
 #include "sim/hart.hh"
+#include "telemetry/annotate.hh"
 #include "telemetry/lifecycle.hh"
+#include "telemetry/profiler.hh"
 #include "uarch/auditor.hh"
 #include "uarch/pipeline.hh"
 
@@ -72,7 +87,28 @@ usage()
                  "usage: helios_run <file.s> [--config NAME] "
                  "[--max-insts N] [--trace FILE] [--pipeview] "
                  "[--stats] [--cpi-stack] [--report FILE] "
+                 "[--profile FILE] [--window N] [--annotate] "
                  "[--functional] [--sweep] [--jobs N] [--audit]\n");
+}
+
+/**
+ * Output paths fail fast: a path that cannot be opened for writing is
+ * a usage error (exit 2) detected before the simulation runs, not a
+ * silent or late failure after minutes of work. The append-mode probe
+ * never truncates an existing file.
+ */
+void
+requireWritable(const std::string &path, const char *flag)
+{
+    if (path.empty())
+        return;
+    std::ofstream probe(path, std::ios::app);
+    if (!probe) {
+        std::fprintf(stderr,
+                     "helios_run: %s: cannot open '%s' for writing\n",
+                     flag, path.c_str());
+        std::exit(2);
+    }
 }
 
 /** Write the lifecycle trace pair: Chrome JSON plus Konata text. */
@@ -107,7 +143,8 @@ writeTraces(const LifecycleTracer &tracer, const std::string &path)
 int
 runSweep(const std::string &path, const std::string &source,
          uint64_t max_insts, unsigned jobs, bool audit, bool dump_stats,
-         bool cpi_stack, const std::string &report_path)
+         bool cpi_stack, const std::string &report_path,
+         const std::string &profile_path, uint64_t window_cycles)
 {
     // Wrap the assembled file as an ad-hoc workload so it can ride
     // the same matrix machinery as the paper sweeps.
@@ -146,6 +183,8 @@ runSweep(const std::string &path, const std::string &source,
             // Reports carry occupancy histograms; sampling is
             // observer-effect-free (tested) and cheap at this scale.
             params.sampleHistograms = !report_path.empty();
+            params.profile = !profile_path.empty();
+            params.profileWindowCycles = window_cycles;
             cells.emplace_back(workload, params, max_insts);
         }
         results = runMatrix(cells, jobs);
@@ -178,7 +217,7 @@ runSweep(const std::string &path, const std::string &source,
         }
     }
 
-    if (!report_path.empty()) {
+    if (!report_path.empty() || !profile_path.empty()) {
         RunReportFile file;
         file.generator = "helios_run --sweep";
         if (diff)
@@ -186,10 +225,17 @@ runSweep(const std::string &path, const std::string &source,
         else
             for (const RunResult &result : results)
                 file.add(result, max_insts);
-        file.save(report_path);
-        std::printf("report: %zu runs, %zu verdicts -> %s\n",
-                    file.runs.size(), file.verdicts.size(),
-                    report_path.c_str());
+        if (!report_path.empty()) {
+            file.save(report_path);
+            std::printf("report: %zu runs, %zu verdicts -> %s\n",
+                        file.runs.size(), file.verdicts.size(),
+                        report_path.c_str());
+        }
+        if (!profile_path.empty() && profile_path != report_path) {
+            file.save(profile_path);
+            std::printf("profile: %zu runs -> %s\n",
+                        file.runs.size(), profile_path.c_str());
+        }
     }
 
     if (diff) {
@@ -234,11 +280,14 @@ main(int argc, char **argv)
     std::string path;
     std::string trace_path;
     std::string report_path;
+    std::string profile_path;
     FusionMode mode = FusionMode::Helios;
     uint64_t max_insts = UINT64_MAX;
+    uint64_t window_cycles = 10000;
     unsigned jobs = 0;
     bool pipeview = false, dump_stats = false, functional_only = false;
     bool cpi_stack = false, sweep = false, audit = false;
+    bool annotate = false;
 
     // Options taking a value; missing values are a usage error (exit
     // 2), same as unknown options.
@@ -266,6 +315,13 @@ main(int argc, char **argv)
             trace_path = value_of(i, "--trace");
         } else if (arg == "--report") {
             report_path = value_of(i, "--report");
+        } else if (arg == "--profile") {
+            profile_path = value_of(i, "--profile");
+        } else if (arg == "--window") {
+            window_cycles =
+                std::strtoull(value_of(i, "--window"), nullptr, 0);
+        } else if (arg == "--annotate") {
+            annotate = true;
         } else if (arg == "--pipeview") {
             pipeview = true;
         } else if (arg == "--stats") {
@@ -292,6 +348,10 @@ main(int argc, char **argv)
         return 2;
     }
 
+    requireWritable(trace_path, "--trace");
+    requireWritable(report_path, "--report");
+    requireWritable(profile_path, "--profile");
+
     std::ifstream file(path);
     if (!file) {
         std::fprintf(stderr, "helios_run: cannot open '%s'\n",
@@ -313,16 +373,25 @@ main(int argc, char **argv)
             fatal("--audit checks the timing pipeline; drop "
                   "--functional");
         if (functional_only &&
-            (!trace_path.empty() || cpi_stack || pipeview))
-            fatal("--trace/--cpi-stack/--pipeview need the timing "
-                  "model; drop --functional");
+            (!trace_path.empty() || cpi_stack || pipeview ||
+             !profile_path.empty() || annotate))
+            fatal("--trace/--cpi-stack/--pipeview/--profile/"
+                  "--annotate need the timing model; drop "
+                  "--functional");
         if (sweep && !trace_path.empty())
             fatal("--trace records one run; pick a --config instead "
                   "of --sweep");
+        if (sweep && annotate)
+            fatal("--annotate renders one run; pick a --config "
+                  "instead of --sweep");
+        if (sweep && audit && !profile_path.empty())
+            fatal("--profile is not routed through the differential "
+                  "harness; drop --audit or --sweep");
 
         if (sweep)
             return runSweep(path, text.str(), max_insts, jobs, audit,
-                            dump_stats, cpi_stack, report_path);
+                            dump_stats, cpi_stack, report_path,
+                            profile_path, window_cycles);
 
         Memory memory;
         Hart hart(memory);
@@ -349,6 +418,8 @@ main(int argc, char **argv)
                 params.tracer = &tracer;
             params.sampleHistograms = !trace_path.empty() ||
                                       !report_path.empty() || cpi_stack;
+            params.profile = !profile_path.empty() || annotate;
+            params.profileWindowCycles = window_cycles;
             Pipeline pipeline(params, feed);
             PipelineAuditor auditor(params);
             if (audit)
@@ -373,7 +444,7 @@ main(int argc, char **argv)
                            stdout);
             if (!trace_path.empty())
                 writeTraces(tracer, trace_path);
-            if (!report_path.empty()) {
+            if (!report_path.empty() || !profile_path.empty()) {
                 RunResult run;
                 run.workload = path;
                 run.mode = mode;
@@ -391,13 +462,36 @@ main(int argc, char **argv)
                     run.auditChecks = auditor.checksPerformed();
                     run.auditViolations = auditor.violations();
                 }
+                if (const FusionProfiler *profiler =
+                        pipeline.fusionProfiler()) {
+                    run.profiled = true;
+                    run.profile = profiler->data();
+                }
                 RunReportFile report_file;
                 report_file.generator = "helios_run";
                 report_file.add(run, max_insts == UINT64_MAX
                                          ? 0 : max_insts);
-                report_file.save(report_path);
-                std::printf("report: 1 run -> %s\n",
-                            report_path.c_str());
+                if (!report_path.empty()) {
+                    report_file.save(report_path);
+                    std::printf("report: 1 run -> %s\n",
+                                report_path.c_str());
+                }
+                if (!profile_path.empty() &&
+                    profile_path != report_path) {
+                    report_file.save(profile_path);
+                    std::printf(
+                        "profile: %zu sites, %zu windows -> %s\n",
+                        report_file.runs[0].profile.sites.size(),
+                        report_file.runs[0].profile.windows.size(),
+                        profile_path.c_str());
+                }
+            }
+            if (annotate) {
+                const FusionProfiler *profiler =
+                    pipeline.fusionProfiler();
+                std::fputs(
+                    annotateText(profiler->data(), program).c_str(),
+                    stdout);
             }
             if (audit) {
                 const int status = auditEpilogue(auditor);

@@ -166,6 +166,11 @@ Histogram::operator==(const Histogram &other) const
 void
 CpiStack::addCategory(const std::string &name, uint64_t cycles)
 {
+    // Double-attribution guard: a category added twice would count its
+    // cycles twice and silently break the partition invariant.
+    for (const auto &[existing, _] : entries)
+        helios_assert(existing != name,
+                      "CpiStack category attributed twice");
     entries.emplace_back(name, cycles);
 }
 

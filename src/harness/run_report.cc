@@ -129,6 +129,11 @@ RunReport::toJson() const
     for (size_t i = 0; i < stack.size(); ++i)
         cpi.set(stack.name(i), JsonValue(stack.cycles(i)));
     value.set("cpi_stack", std::move(cpi));
+
+    // Schema v2: the profile section is optional so unprofiled runs
+    // serialize exactly as v1 did (minus the version stamp).
+    if (profiled)
+        value.set("profile", profile.toJson());
     return value;
 }
 
@@ -160,6 +165,11 @@ RunReport::fromJson(const JsonValue &value)
 
     for (const auto &[name, hist] : value.at("histograms").members())
         report.stats.histogram(name, histogramFromJson(hist));
+
+    if (value.has("profile")) {
+        report.profiled = true;
+        report.profile = ProfileData::fromJson(value.at("profile"));
+    }
     return report;
 }
 
@@ -174,7 +184,8 @@ RunReport::operator==(const RunReport &other) const
         hartInstructions != other.hartInstructions ||
         exited != other.exited || exitCode != other.exitCode ||
         audited != other.audited || auditChecks != other.auditChecks ||
-        auditViolations != other.auditViolations)
+        auditViolations != other.auditViolations ||
+        profiled != other.profiled || !(profile == other.profile))
         return false;
     if (stats.dump() != other.stats.dump())
         return false;
@@ -210,6 +221,8 @@ makeRunReport(const RunResult &result, uint64_t max_insts)
     report.auditChecks = result.auditChecks;
     report.auditViolations = result.auditViolations.size();
     report.stats = result.stats;
+    report.profiled = result.profiled;
+    report.profile = result.profile;
     return report;
 }
 

@@ -34,8 +34,13 @@ namespace helios
 struct DiffReport;
 
 /** Schema version stamped into every report file. Bump on any change
- *  that is not purely additive. */
-constexpr unsigned kRunReportVersion = 1;
+ *  that is not purely additive.
+ *
+ *  v2 adds an optional per-run "profile" section (per-PC fusion-site
+ *  counters, missed-opportunity attribution and windowed time-series
+ *  samples; see OBSERVABILITY.md). The addition is backward
+ *  compatible: v1 files parse unchanged. */
+constexpr unsigned kRunReportVersion = 2;
 
 /** One (workload, configuration) run, ready for serialization. */
 struct RunReport
@@ -65,6 +70,11 @@ struct RunReport
 
     // Full counter table and telemetry histograms.
     StatGroup stats;
+
+    // Per-PC fusion-site profile (schema v2; present when the run was
+    // profiled).
+    bool profiled = false;
+    ProfileData profile;
 
     /** Exact CPI stack rebuilt from the cpi.* counters. */
     CpiStack cpiStack() const { return stats.cpiStack(cycles); }

@@ -78,6 +78,10 @@ runOne(const Workload &workload, const CoreParams &params,
         result.auditChecks = auditor->checksPerformed();
         result.auditViolations = auditor->violations();
     }
+    if (const FusionProfiler *profiler = pipeline.fusionProfiler()) {
+        result.profiled = true;
+        result.profile = profiler->data();
+    }
     return result;
 }
 

@@ -22,6 +22,7 @@
 
 #include "common/stats.hh"
 #include "sim/trace.hh"
+#include "telemetry/profiler.hh"
 #include "uarch/auditor.hh"
 #include "uarch/params.hh"
 #include "workloads/workloads.hh"
@@ -53,6 +54,11 @@ struct RunResult
     bool audited = false;
     uint64_t auditChecks = 0;
     std::vector<AuditViolation> auditViolations;
+
+    // Per-PC fusion-site profile; filled when CoreParams::profile
+    // was set.
+    bool profiled = false;
+    ProfileData profile;
 
     double
     ipc() const

@@ -1,0 +1,199 @@
+#include "telemetry/annotate.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "isa/decoder.hh"
+#include "isa/disasm.hh"
+
+namespace helios
+{
+
+namespace
+{
+
+std::map<uint64_t, std::string>
+labelsByAddress(const Program &program)
+{
+    std::map<uint64_t, std::string> labels;
+    // First symbol name at each address wins (ties are rare: alias
+    // labels on the same instruction).
+    for (const auto &[name, addr] : program.symbols)
+        labels.emplace(addr, name);
+    return labels;
+}
+
+/** Indices of the top_n profiled lines by attributed stall cycles. */
+std::vector<size_t>
+hottest(const std::vector<AnnotatedLine> &lines, size_t top_n)
+{
+    std::vector<size_t> order;
+    for (size_t i = 0; i < lines.size(); ++i)
+        if (lines[i].profiled && lines[i].site.stallCycles() > 0)
+            order.push_back(i);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         return lines[a].site.stallCycles() >
+                                lines[b].site.stallCycles();
+                     });
+    if (order.size() > top_n)
+        order.resize(top_n);
+    return order;
+}
+
+std::string
+renderCounts(const std::array<uint64_t, kNumPairClasses> &fused,
+             const std::array<uint64_t, kNumMissReasons> &missed)
+{
+    std::ostringstream out;
+    bool first = true;
+    for (size_t i = 0; i < kNumPairClasses; ++i) {
+        if (!fused[i])
+            continue;
+        out << (first ? "" : ", ")
+            << pairClassName(static_cast<PairClass>(i)) << " "
+            << fused[i];
+        first = false;
+    }
+    for (size_t i = 0; i < kNumMissReasons; ++i) {
+        if (!missed[i])
+            continue;
+        out << (first ? "" : ", ") << "missed:"
+            << missReasonName(static_cast<MissReason>(i)) << " "
+            << missed[i];
+        first = false;
+    }
+    return out.str();
+}
+
+} // namespace
+
+std::vector<AnnotatedLine>
+annotateLines(const ProfileData &profile, const Program &program)
+{
+    const auto labels = labelsByAddress(program);
+    std::vector<AnnotatedLine> lines;
+    lines.reserve(program.code.size());
+    for (size_t i = 0; i < program.code.size(); ++i) {
+        AnnotatedLine line;
+        line.pc = program.textBase + 4 * i;
+        auto label = labels.find(line.pc);
+        if (label != labels.end())
+            line.label = label->second;
+        line.disasm = disassemble(decode(program.code[i]));
+        if (const ProfileSite *site = profile.find(line.pc)) {
+            line.profiled = true;
+            line.site = *site;
+        } else {
+            line.site.pc = line.pc;
+        }
+        lines.push_back(std::move(line));
+    }
+    return lines;
+}
+
+std::string
+annotateText(const ProfileData &profile, const Program &program,
+             size_t top_n)
+{
+    const auto lines = annotateLines(profile, program);
+    size_t profiled = 0;
+    for (const AnnotatedLine &line : lines)
+        profiled += line.profiled;
+
+    std::ostringstream out;
+    out << strFormat("annotated disassembly: %zu text instructions, "
+                     "%zu executed\n",
+                     lines.size(), profiled);
+    out << strFormat("cycles %llu, fused pairs %llu",
+                     (unsigned long long)profile.totalCycles,
+                     (unsigned long long)profile.fusedPairs());
+    const std::string totals =
+        renderCounts(profile.fusedTotals, profile.missedTotals);
+    if (!totals.empty())
+        out << " (" << totals << ")";
+    out << strFormat(", missed pairs %llu\n",
+                     (unsigned long long)profile.missedPairs());
+
+    const auto hot = hottest(lines, top_n);
+    if (!hot.empty()) {
+        out << "\nhottest sites (by attributed stall cycles):\n";
+        for (size_t index : hot) {
+            const AnnotatedLine &line = lines[index];
+            out << strFormat(
+                "  0x%05llx  %-28s %10llu cycles  %s\n",
+                (unsigned long long)line.pc, line.disasm.c_str(),
+                (unsigned long long)line.site.stallCycles(),
+                line.site.dominantStall().c_str());
+        }
+    }
+
+    out << "\n";
+    for (const AnnotatedLine &line : lines) {
+        if (!line.label.empty())
+            out << line.label << ":\n";
+        out << strFormat("  0x%05llx  %-28s",
+                         (unsigned long long)line.pc,
+                         line.disasm.c_str());
+        if (line.profiled) {
+            const ProfileSite &site = line.site;
+            out << strFormat("  execs %8llu  cov %5.1f%%",
+                             (unsigned long long)site.executions,
+                             100.0 * site.coverage());
+            const std::string counts =
+                renderCounts(site.fused, site.missed);
+            if (!counts.empty())
+                out << "  [" << counts << "]";
+            if (site.stallCycles() > 0)
+                out << strFormat(
+                    "  stall %llu (%s)",
+                    (unsigned long long)site.stallCycles(),
+                    site.dominantStall().c_str());
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+JsonValue
+annotateJson(const ProfileData &profile, const Program &program,
+             size_t top_n)
+{
+    const auto lines = annotateLines(profile, program);
+
+    JsonValue root = JsonValue::object();
+    root.set("schema", JsonValue("helios-annotate"));
+    root.set("version", JsonValue(uint64_t(1)));
+    root.set("total_cycles", JsonValue(profile.totalCycles));
+    root.set("fused_pairs", JsonValue(profile.fusedPairs()));
+    root.set("missed_pairs", JsonValue(profile.missedPairs()));
+
+    JsonValue hottest_pcs = JsonValue::array();
+    for (size_t index : hottest(lines, top_n))
+        hottest_pcs.push(JsonValue(lines[index].pc));
+    root.set("hottest", std::move(hottest_pcs));
+
+    JsonValue line_array = JsonValue::array();
+    for (const AnnotatedLine &line : lines) {
+        JsonValue entry = JsonValue::object();
+        entry.set("pc", JsonValue(line.pc));
+        if (!line.label.empty())
+            entry.set("label", JsonValue(line.label));
+        entry.set("disasm", JsonValue(line.disasm));
+        entry.set("profiled", JsonValue(line.profiled));
+        if (line.profiled) {
+            entry.set("coverage", JsonValue(line.site.coverage()));
+            const std::string stall = line.site.dominantStall();
+            if (!stall.empty())
+                entry.set("dominant_stall", JsonValue(stall));
+            entry.set("site", line.site.toJson());
+        }
+        line_array.push(std::move(entry));
+    }
+    root.set("lines", std::move(line_array));
+    return root;
+}
+
+} // namespace helios

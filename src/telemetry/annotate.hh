@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Profile-annotated disassembly.
+ *
+ * Joins a FusionProfiler's per-PC ProfileData with a program image:
+ * every text-section instruction is disassembled and decorated with
+ * its execution count, fusion coverage, per-class fused-pair counts,
+ * missed-opportunity reasons and dominant stall category. Emitted in
+ * two forms — human-readable text (the `helios_annotate` tool and
+ * `helios_run --annotate`) and JSON for downstream tooling.
+ */
+
+#ifndef TELEMETRY_ANNOTATE_HH
+#define TELEMETRY_ANNOTATE_HH
+
+#include <string>
+
+#include "asm/program.hh"
+#include "common/json.hh"
+#include "telemetry/profiler.hh"
+
+namespace helios
+{
+
+/** One annotated text-section line (profiled or not). */
+struct AnnotatedLine
+{
+    uint64_t pc = 0;
+    std::string label;  ///< symbol defined at this pc ("" if none)
+    std::string disasm;
+    bool profiled = false; ///< a ProfileSite exists for this pc
+    ProfileSite site;      ///< zeroed when !profiled
+};
+
+/**
+ * Join @a profile with @a program: one AnnotatedLine per text-section
+ * instruction, in address order. Sites outside the text section
+ * (there should be none) are ignored.
+ */
+std::vector<AnnotatedLine> annotateLines(const ProfileData &profile,
+                                         const Program &program);
+
+/**
+ * Human-readable annotated disassembly: run totals, the @a top_n
+ * hottest sites by attributed stall cycles, then every text line with
+ * executions / coverage / dominant stall.
+ */
+std::string annotateText(const ProfileData &profile,
+                         const Program &program, size_t top_n = 10);
+
+/**
+ * The same join as machine-readable JSON
+ * (`"schema": "helios-annotate"`): totals, hottest sites, and one
+ * entry per executed line including the full per-site counters.
+ */
+JsonValue annotateJson(const ProfileData &profile,
+                       const Program &program, size_t top_n = 10);
+
+} // namespace helios
+
+#endif // TELEMETRY_ANNOTATE_HH

@@ -132,6 +132,17 @@ struct CoreParams
      *  figure-scale sweeps pay nothing. */
     bool sampleHistograms = false;
 
+    /** Attach a FusionProfiler (src/telemetry/profiler.*): per-static-
+     *  PC fusion-site counters, missed-opportunity attribution via a
+     *  commit-time oracle pair-finder, and windowed time-series
+     *  samples. Off by default; a profiled run is bit-identical to an
+     *  unprofiled one (tier-1 checked). */
+    bool profile = false;
+
+    /** Time-series sampling interval in cycles for the profiler
+     *  (0: no windowed samples, per-site aggregates only). */
+    uint64_t profileWindowCycles = 0;
+
     /** The paper's configuration with a given fusion mode. */
     static CoreParams
     icelake(FusionMode mode)

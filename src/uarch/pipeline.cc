@@ -9,6 +9,7 @@
 #include "fusion/fusion_predictor.hh"
 #include "fusion/tage_fp.hh"
 #include "telemetry/lifecycle.hh"
+#include "telemetry/profiler.hh"
 #include "uarch/auditor.hh"
 
 /**
@@ -83,6 +84,9 @@ Pipeline::Pipeline(const CoreParams &p, InstructionFeed &f)
         histFpAgreement = &statGroup.histogram(
             "fusion.fp_agreement", Histogram::linear(2, 1));
     }
+
+    if (params.profile)
+        profiler = std::make_unique<FusionProfiler>(params);
 }
 
 Pipeline::~Pipeline() = default;
@@ -261,6 +265,8 @@ Pipeline::tryPredictedFusion(Uop *tail)
     if (!pred.valid)
         return false;
     counter("fusion.fp_attempts")++;
+    if (profiler)
+        profiler->recordAttempt(tail->dyn.pc);
 
     if (tail->fusion != FusionKind::None || tail->isTailMarker)
         return false;
@@ -768,6 +774,13 @@ Pipeline::renameNormal(Uop *uop)
         helios_assert(pendingNcsf > 0, "pendingNcsf underflow");
         --pendingNcsf;
         counter("fusion.fp_nest_limited")++;
+        if (marker->profBreak == ProfBreak::None)
+            marker->profBreak = ProfBreak::NestLimit;
+        if (uop->profBreak == ProfBreak::None)
+            uop->profBreak = ProfBreak::NestLimit;
+        if (profiler)
+            profiler->recordBreak(marker->dyn.pc,
+                                  ProfBreak::NestLimit);
         helios_pending = false;
     }
 
@@ -888,14 +901,32 @@ Pipeline::renameMarker(Uop *marker)
     if (heliosDependent(head, marker)) {
         marker->mustUnfuse = true;
         counter("fusion.unfuse_deadlock")++;
+        if (marker->profBreak == ProfBreak::None) {
+            marker->profBreak = ProfBreak::Deadlock;
+            if (profiler)
+                profiler->recordBreak(marker->dyn.pc,
+                                      ProfBreak::Deadlock);
+        }
     }
     if (head->isStore() && head->storeInCatalyst) {
         marker->mustUnfuse = true;
         counter("fusion.unfuse_store_catalyst")++;
+        if (marker->profBreak == ProfBreak::None) {
+            marker->profBreak = ProfBreak::StoreCatalyst;
+            if (profiler)
+                profiler->recordBreak(marker->dyn.pc,
+                                      ProfBreak::StoreCatalyst);
+        }
     }
     if (head->serializingInCatalyst) {
         marker->mustUnfuse = true;
         counter("fusion.unfuse_serializing")++;
+        if (marker->profBreak == ProfBreak::None) {
+            marker->profBreak = ProfBreak::Serializing;
+            if (profiler)
+                profiler->recordBreak(marker->dyn.pc,
+                                      ProfBreak::Serializing);
+        }
     }
 
     // Capture the program-order-correct producers of the tail sources.
@@ -914,6 +945,12 @@ Pipeline::renameMarker(Uop *marker)
         tailDependsOnCatalystLoad(head, marker)) {
         marker->mustUnfuse = true;
         counter("fusion.unfuse_late_raw")++;
+        if (marker->profBreak == ProfBreak::None) {
+            marker->profBreak = ProfBreak::LateRaw;
+            if (profiler)
+                profiler->recordBreak(marker->dyn.pc,
+                                      ProfBreak::LateRaw);
+        }
     }
 
     if (tail.writesReg()) {
@@ -1054,6 +1091,10 @@ Pipeline::dispatchStage()
                 if (head->fpPred.valid)
                     fusionPred->resolve(head->fpPred, false);
                 counter("fusion.mispredicts")++;
+                if (head->profBreak == ProfBreak::None)
+                    head->profBreak = uop->profBreak;
+                if (profiler)
+                    profiler->recordMispredict(uop->dyn.pc);
 
                 // Convert the marker into a real µ-op.
                 uop->isTailMarker = false;
@@ -1282,6 +1323,8 @@ Pipeline::executeStore(Uop *uop)
                 fusionPred->resolve(load->fpPred, false);
                 counter("fusion.mispredicts")++;
                 counter("fusion.mispredict_violation")++;
+                if (profiler)
+                    profiler->recordMispredict(load->tailDyn.pc);
             }
             if (flushRequestSeq == invalidSeq ||
                 load->seq < flushRequestSeq) {
@@ -1399,6 +1442,8 @@ Pipeline::issueStage()
                 fusionPred->resolve(uop->fpPred, false);
                 counter("fusion.mispredicts")++;
                 counter("fusion.mispredict_region")++;
+                if (profiler)
+                    profiler->recordMispredict(uop->tailDyn.pc);
                 if (flushRequestSeq == invalidSeq ||
                     uop->seq < flushRequestSeq) {
                     flushRequestSeq = uop->seq;
@@ -1624,12 +1669,25 @@ Pipeline::commitStage()
     commitsThisCycle = 0;
     cpiBlockReason = nullptr;
     commitStageImpl();
+    // Double-attribution guard: exactly one cpi.* increment per cycle
+    // keeps the stack exact; a second attribution for the same cycle
+    // is a model bug.
+    helios_assert(cycle != lastCpiCycle,
+                  "cpi.* attributed twice in one cycle");
+    lastCpiCycle = cycle;
+    const char *category = "cpi.frontend";
     if (commitsThisCycle > 0)
-        counter("cpi.retiring")++;
+        category = "cpi.retiring";
     else if (cpiBlockReason)
-        counter(cpiBlockReason)++;
-    else
-        counter("cpi.frontend")++;
+        category = cpiBlockReason;
+    counter(category)++;
+    if (profiler) {
+        // Charge blocked-head cycles to the head µ-op's static PC.
+        const bool blocked = commitsThisCycle == 0 &&
+                             cpiBlockReason && !rob.empty();
+        profiler->onCycle(category,
+                          blocked ? rob.front()->dyn.pc : 0, blocked);
+    }
 }
 
 void
@@ -1689,6 +1747,8 @@ Pipeline::commitStageImpl()
         AUDIT_HOOK(onCommit(*uop, cycle));
         if (tracer)
             tracer->recordCommit(*uop, cycle);
+        if (profiler)
+            profiler->recordCommit(*uop);
         ++commitsThisCycle;
         if (params.traceOut)
             traceCommit(uop);
@@ -1808,6 +1868,8 @@ Pipeline::squashFrom(uint64_t seq_min, const char *reason)
         AUDIT_HOOK(onSquash(*uop, cycle));
         if (tracer)
             tracer->recordSquash(*uop, cycle, reason);
+        if (profiler)
+            profiler->recordSquash(*uop);
         if (uop->isTailMarker) {
             // The head is older; if it survived we would have moved
             // the flush point above, so the head must be squashed and
@@ -1989,6 +2051,9 @@ Pipeline::run()
 #ifndef HELIOS_AUDIT
     (void)drained;
 #endif
+
+    if (profiler)
+        profiler->finalize(cycle);
 
     counter("cycles") += cycle;
     PipelineResult result;

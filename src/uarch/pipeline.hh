@@ -38,6 +38,7 @@
 namespace helios
 {
 
+class FusionProfiler;
 class Histogram;
 class LifecycleTracer;
 class PipelineAuditor;
@@ -76,6 +77,13 @@ class Pipeline
      * configuration error rather than a silently unaudited run.
      */
     void attachAuditor(PipelineAuditor *auditor);
+
+    /** Per-PC fusion-site profile, when CoreParams::profile asked for
+     *  one (nullptr otherwise). Finalized when run() returns. */
+    const FusionProfiler *fusionProfiler() const
+    {
+        return profiler.get();
+    }
 
   private:
     // ---- per-cycle stages (called in reverse pipeline order) ----
@@ -157,6 +165,10 @@ class Pipeline
 
     PipelineAuditor *auditor = nullptr; ///< optional, non-owning
     LifecycleTracer *tracer = nullptr;  ///< optional, non-owning
+    /** Owned; non-null only when CoreParams::profile is set. The
+     *  profiler keeps all data private (no statGroup counters), so a
+     *  profiled run's stat dump matches an unprofiled one. */
+    std::unique_ptr<FusionProfiler> profiler;
 
     StatGroup statGroup;
     std::unordered_map<const char *, Stat *> statCache;
@@ -174,6 +186,7 @@ class Pipeline
     // category of the current cycle, cleared each cycle.
     const char *cpiBlockReason = nullptr;
     unsigned commitsThisCycle = 0;
+    uint64_t lastCpiCycle = ~0ULL; ///< double-attribution guard
     CacheHierarchy caches;
     BranchPredictor bpred;
     StoreSets storeSets;

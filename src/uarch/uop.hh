@@ -26,6 +26,36 @@ enum class FusionKind : uint8_t
 };
 
 /**
+ * Why a once-fused pair was broken before issue (profiling only;
+ * inert when no profiler is attached). One byte on purpose — it rides
+ * in every Uop.
+ */
+enum class ProfBreak : uint8_t
+{
+    None = 0,
+    NestLimit,     ///< every NCSF nest level busy (fp_nest_limited)
+    Deadlock,      ///< Deadlock-Tag propagation hit
+    StoreCatalyst, ///< store in a store-pair catalyst window
+    Serializing,   ///< serializing µ-op inside the catalyst
+    LateRaw,       ///< tail source fed by a catalyst load
+};
+
+/** Stable lowercase name, e.g. "nest_limit" ("" for None). */
+inline const char *
+profBreakName(ProfBreak reason)
+{
+    switch (reason) {
+      case ProfBreak::None: return "";
+      case ProfBreak::NestLimit: return "nest_limit";
+      case ProfBreak::Deadlock: return "deadlock";
+      case ProfBreak::StoreCatalyst: return "store_catalyst";
+      case ProfBreak::Serializing: return "serializing";
+      case ProfBreak::LateRaw: return "late_raw";
+    }
+    return "";
+}
+
+/**
  * One µ-op flowing through the pipeline.
  *
  * A fused µ-op carries both nucleii (dyn = head, tailDyn = tail). An
@@ -56,6 +86,11 @@ struct Uop
     bool storeInCatalyst = false;
     bool serializingInCatalyst = false;
     bool fpInitiated = false;  ///< fusion came from the predictor
+    /** Why a once-fused pair was broken (profiling only; first
+     *  reason wins, None when never broken). One byte so it packs
+     *  into the bool block — the Uop must not grow for a passive
+     *  feature. */
+    ProfBreak profBreak = ProfBreak::None;
     FpPrediction fpPred;
 
     /** Producers of the tail nucleus' sources, captured when the tail

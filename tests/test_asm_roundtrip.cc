@@ -9,6 +9,7 @@
 
 #include "asm/assembler.hh"
 #include "common/random.hh"
+#include "isa/decoder.hh"
 #include "isa/disasm.hh"
 #include "isa/encoder.hh"
 
@@ -72,6 +73,48 @@ TEST_P(DisasmRoundTrip, TextSurvivesReassembly)
         const Program prog = assemble(text);
         ASSERT_EQ(prog.code.size(), 1u) << text;
         EXPECT_EQ(prog.code[0], expected) << text;
+    }
+}
+
+// The path the annotation tooling takes: assembled machine words are
+// decoded and the *decoded* instruction disassembled. That text must
+// reassemble to the identical word, for every opcode the assembler
+// can emit.
+TEST_P(DisasmRoundTrip, DecodedWordSurvivesReassembly)
+{
+    const Op op = static_cast<Op>(GetParam());
+    const OpInfo &info = opInfo(op);
+    Rng rng(GetParam() * 6007 + 13);
+
+    for (int trial = 0; trial < 100; ++trial) {
+        Instruction inst;
+        inst.op = op;
+        inst.rd = info.writesRd ? uint8_t(rng.below(32)) : 0;
+        inst.rs1 = info.readsRs1 || info.cls == OpClass::Load ||
+                           info.cls == OpClass::Store
+                       ? uint8_t(rng.below(32))
+                       : 0;
+        inst.rs2 = info.readsRs2 ? uint8_t(rng.below(32)) : 0;
+        const bool has_imm = !info.readsRs2 ||
+                             info.cls == OpClass::Store ||
+                             info.cls == OpClass::Branch;
+        inst.imm = has_imm && info.cls != OpClass::Serializing
+                       ? randomImmFor(op, rng)
+                       : 0;
+        if (op == Op::Jalr)
+            inst.rs2 = 0;
+
+        const uint32_t word = encode(inst);
+        const Program source = assemble(disassemble(inst));
+        ASSERT_EQ(source.code.size(), 1u);
+        ASSERT_EQ(source.code[0], word);
+
+        const Instruction decoded = decode(source.code[0]);
+        EXPECT_EQ(decoded.op, op);
+        const std::string text = disassemble(decoded);
+        const Program prog = assemble(text);
+        ASSERT_EQ(prog.code.size(), 1u) << text;
+        EXPECT_EQ(prog.code[0], word) << text;
     }
 }
 

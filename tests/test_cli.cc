@@ -1,0 +1,109 @@
+/**
+ * @file
+ * helios_run command-line contract.
+ *
+ * The exit-status rules a scripted caller (CI, bench drivers) relies
+ * on: output paths that cannot be opened for writing fail fast with
+ * exit 2 — before the simulation runs — and never silently succeed;
+ * a writable path produces the promised artifact and exit 0.
+ *
+ * Drives the real binary (HELIOS_RUN_BIN, injected by CMake) through
+ * std::system.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <sys/wait.h>
+
+#include "common/json.hh"
+
+using namespace helios;
+
+namespace
+{
+
+/** Run helios_run on the dotprod example with @a args appended. */
+int
+runCli(const std::string &args)
+{
+    const std::string command = std::string(HELIOS_RUN_BIN) + " " +
+                                DOTPROD_S +
+                                " --max-insts 2000 " + args +
+                                " > /dev/null 2>&1";
+    const int status = std::system(command.c_str());
+    EXPECT_TRUE(WIFEXITED(status)) << command;
+    return WEXITSTATUS(status);
+}
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + name;
+}
+
+/** A path no process can create: inside a missing directory. */
+std::string
+unwritablePath(const char *name)
+{
+    return tempPath("no-such-dir/") + name;
+}
+
+} // namespace
+
+TEST(Cli, UnwritableReportPathExitsTwo)
+{
+    EXPECT_EQ(runCli("--report " + unwritablePath("r.json")), 2);
+}
+
+TEST(Cli, UnwritableTracePathExitsTwo)
+{
+    EXPECT_EQ(runCli("--trace " + unwritablePath("t.json")), 2);
+}
+
+TEST(Cli, UnwritableProfilePathExitsTwo)
+{
+    EXPECT_EQ(runCli("--profile " + unwritablePath("p.json")), 2);
+}
+
+TEST(Cli, WritableReportSucceeds)
+{
+    const std::string path = tempPath("cli_report.json");
+    std::remove(path.c_str());
+    EXPECT_EQ(runCli("--report " + path), 0);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const JsonValue report = JsonValue::parse(text.str());
+    EXPECT_EQ(report.at("schema").asString(), "helios-run-report");
+    std::remove(path.c_str());
+}
+
+TEST(Cli, ProfileWritesSchemaV2WithProfileSection)
+{
+    const std::string path = tempPath("cli_profile.json");
+    std::remove(path.c_str());
+    EXPECT_EQ(runCli("--profile " + path), 0);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const JsonValue report = JsonValue::parse(text.str());
+    EXPECT_EQ(report.at("version").asUint(), 2u);
+    ASSERT_GT(report.at("runs").size(), 0u);
+    EXPECT_TRUE(report.at("runs").at(0).has("profile"));
+    std::remove(path.c_str());
+}
+
+TEST(Cli, UnknownOptionExitsTwo)
+{
+    EXPECT_EQ(runCli("--no-such-flag"), 2);
+}

@@ -168,6 +168,17 @@ TEST(CpiStack, AdHocResidual)
     EXPECT_TRUE(stack.exact());
 }
 
+TEST(CpiStack, DoubleAttributionAsserts)
+{
+    CpiStack stack(100);
+    stack.addCategory("cpi.retiring", 60);
+    // Adding the same category twice would double-count its cycles
+    // and silently break the partition invariant; the debug assert
+    // catches it at the source.
+    EXPECT_DEATH(stack.addCategory("cpi.retiring", 40),
+                 "attributed twice");
+}
+
 TEST(CpiStack, PrefixFractions)
 {
     CpiStack stack(100);
