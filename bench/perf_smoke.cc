@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Wall-clock smoke benchmark for the simulator itself.
+ *
+ * Every other binary under bench/ measures the *modeled* machine;
+ * this one measures the *model*: how many µ-ops per host second the
+ * cycle-level core simulates. It exists so the hot-path work (µ-op
+ * slab recycler, ring-buffer queues, event-driven wakeup, the
+ * LQ/SQ counting filter — see DESIGN.md, "Performance engineering")
+ * stays fast: CI runs it against a committed baseline and fails when
+ * simulation throughput regresses.
+ *
+ *   $ perf_smoke [options]
+ *       --out PATH        write results as JSON (BENCH_perf.json)
+ *       --baseline PATH   compare against a previous --out file
+ *       --tolerance PCT   max allowed throughput drop, percent
+ *                         (default 25 — wall clock on shared CI
+ *                         runners is noisy; the committed baseline
+ *                         catches step-function regressions, not
+ *                         single-digit drift)
+ *       --runs N          timing repetitions per cell, best-of-N
+ *                         (default 3)
+ *       --max-insts N     per-cell instruction budget
+ *                         (default 300000)
+ *
+ * The matrix is three workloads of deliberately different character
+ * (605.mcf_s: pointer chasing and flushes; qsort: branchy integer
+ * code; fft: dense float arithmetic) under three fusion configs
+ * (None: baseline decode path, Helios: the predictive front end,
+ * Oracle: the AQ-scanning upper bound), so a regression in any major
+ * subsystem moves at least one cell. Cells run sequentially on one
+ * thread — this is a wall-clock benchmark, co-scheduling cells would
+ * just measure contention. Each cell reports its best-of-N µ-ops per
+ * host second; the headline number is the geomean across cells.
+ *
+ * Exit status: 0 clean, 1 regression against the baseline, 2 usage /
+ * file errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+using namespace helios;
+
+namespace
+{
+
+struct Cell
+{
+    const char *workload;
+    FusionMode mode;
+    double uopsPerSec = 0.0; ///< best of N runs
+    uint64_t uops = 0;
+    uint64_t cycles = 0;
+};
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: perf_smoke [--out PATH] [--baseline PATH] "
+                 "[--tolerance PCT] [--runs N] [--max-insts N]\n");
+}
+
+std::string
+cellKey(const Cell &cell)
+{
+    return std::string(cell.workload) + "/" +
+           fusionModeName(cell.mode);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    std::string baseline_path;
+    double tolerance = 25.0;
+    int runs = 3;
+    uint64_t max_insts = 300000;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--out") {
+            out_path = value();
+        } else if (arg == "--baseline") {
+            baseline_path = value();
+        } else if (arg == "--tolerance") {
+            tolerance = std::strtod(value(), nullptr);
+        } else if (arg == "--runs") {
+            runs = std::atoi(value());
+        } else if (arg == "--max-insts") {
+            max_insts = std::strtoull(value(), nullptr, 0);
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (runs < 1 || tolerance < 0) {
+        usage();
+        return 2;
+    }
+
+    printBenchHeader("perf_smoke — simulator wall-clock throughput",
+                     "µ-ops simulated per host second, best of " +
+                         std::to_string(runs) + " run(s)");
+
+    std::vector<Cell> cells = {
+        {"605.mcf_s", FusionMode::None},
+        {"605.mcf_s", FusionMode::Helios},
+        {"605.mcf_s", FusionMode::Oracle},
+        {"qsort", FusionMode::None},
+        {"qsort", FusionMode::Helios},
+        {"qsort", FusionMode::Oracle},
+        {"fft", FusionMode::None},
+        {"fft", FusionMode::Helios},
+        {"fft", FusionMode::Oracle},
+    };
+
+    Table table({"workload", "mode", "uops", "cycles", "Muops/s"});
+    std::vector<double> rates;
+    for (Cell &cell : cells) {
+        const Workload &workload = findWorkload(cell.workload);
+        for (int attempt = 0; attempt < runs; ++attempt) {
+            Stopwatch timer;
+            const RunResult result =
+                runOne(workload, cell.mode, max_insts);
+            const double seconds = timer.seconds();
+            const double rate =
+                seconds > 0 ? double(result.uops) / seconds : 0;
+            if (rate > cell.uopsPerSec) {
+                cell.uopsPerSec = rate;
+                cell.uops = result.uops;
+                cell.cycles = result.cycles;
+            }
+        }
+        rates.push_back(cell.uopsPerSec);
+        table.addRow({cell.workload, fusionModeName(cell.mode),
+                      std::to_string(cell.uops),
+                      std::to_string(cell.cycles),
+                      Table::num(cell.uopsPerSec / 1e6, 2)});
+    }
+    table.print();
+    const double headline = geomean(rates);
+    std::printf("\ngeomean: %.2f Muops/s\n", headline / 1e6);
+
+    if (!out_path.empty()) {
+        JsonValue root = JsonValue::object();
+        root.set("generator", "perf_smoke");
+        root.set("max_insts", max_insts);
+        root.set("runs", uint64_t(runs));
+        root.set("geomean_uops_per_sec", headline);
+        JsonValue cell_array = JsonValue::array();
+        for (const Cell &cell : cells) {
+            JsonValue entry = JsonValue::object();
+            entry.set("workload", cell.workload);
+            entry.set("mode", fusionModeName(cell.mode));
+            entry.set("uops", cell.uops);
+            entry.set("cycles", cell.cycles);
+            entry.set("uops_per_sec", cell.uopsPerSec);
+            cell_array.push(std::move(entry));
+        }
+        root.set("cells", std::move(cell_array));
+        std::ofstream file(out_path);
+        if (!file) {
+            warn("perf_smoke: cannot write %s", out_path.c_str());
+            return 2;
+        }
+        file << root.dump(2) << '\n';
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+
+    if (baseline_path.empty())
+        return 0;
+
+    std::ifstream file(baseline_path);
+    if (!file) {
+        warn("perf_smoke: cannot read %s", baseline_path.c_str());
+        return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    const JsonValue base = JsonValue::parse(buffer.str());
+
+    // Per-cell comparison: an aggregate geomean can hide one config
+    // regressing while another (noisier) one speeds up.
+    int regressions = 0;
+    const JsonValue &base_cells = base.at("cells");
+    for (const Cell &cell : cells) {
+        const JsonValue *match = nullptr;
+        for (size_t i = 0; i < base_cells.size(); ++i) {
+            const JsonValue &entry = base_cells.at(i);
+            if (entry.at("workload").asString() == cell.workload &&
+                entry.at("mode").asString() ==
+                    fusionModeName(cell.mode)) {
+                match = &entry;
+                break;
+            }
+        }
+        if (!match) {
+            std::printf("  [new cell]  %s\n", cellKey(cell).c_str());
+            continue;
+        }
+        const double before = match->at("uops_per_sec").asDouble();
+        if (before <= 0)
+            continue;
+        const double change =
+            (cell.uopsPerSec - before) / before * 100.0;
+        const bool bad = change < -tolerance;
+        if (bad)
+            ++regressions;
+        std::printf("  %-24s %8.2f -> %8.2f Muops/s  (%+.1f%%)%s\n",
+                    cellKey(cell).c_str(), before / 1e6,
+                    cell.uopsPerSec / 1e6, change,
+                    bad ? "  REGRESSION" : "");
+    }
+    const double base_geomean =
+        base.at("geomean_uops_per_sec").asDouble();
+    if (base_geomean > 0) {
+        const double change =
+            (headline - base_geomean) / base_geomean * 100.0;
+        std::printf("  %-24s %8.2f -> %8.2f Muops/s  (%+.1f%%)\n",
+                    "geomean", base_geomean / 1e6, headline / 1e6,
+                    change);
+    }
+    if (regressions > 0) {
+        std::printf("\n%d cell(s) regressed more than %.0f%%\n",
+                    regressions, tolerance);
+        return 1;
+    }
+    std::printf("\nwithin %.0f%% of baseline\n", tolerance);
+    return 0;
+}

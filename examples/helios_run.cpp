@@ -30,6 +30,12 @@
  *                                          annotated disassembly
  *                                          (execs / coverage / stalls
  *                                          per line) on stdout
+ *       --time                             print a machine-greppable
+ *                                          simulation-speed line:
+ *                                          wall-clock seconds, host-
+ *                                          MHz-equivalent (simulated
+ *                                          cycles per host second) and
+ *                                          simulated µops per second
  *       --functional                       skip the timing model
  *       --sweep                            run ALL configurations as a
  *                                          parallel matrix and print a
@@ -88,7 +94,8 @@ usage()
                  "[--max-insts N] [--trace FILE] [--pipeview] "
                  "[--stats] [--cpi-stack] [--report FILE] "
                  "[--profile FILE] [--window N] [--annotate] "
-                 "[--functional] [--sweep] [--jobs N] [--audit]\n");
+                 "[--time] [--functional] [--sweep] [--jobs N] "
+                 "[--audit]\n");
 }
 
 /**
@@ -136,6 +143,25 @@ writeTraces(const LifecycleTracer &tracer, const std::string &path)
 }
 
 /**
+ * The --time line: how fast the *simulator* ran, in units that
+ * compare directly across hosts and changes — wall-clock seconds,
+ * host-MHz-equivalent (simulated cycles per host second), and
+ * simulated µops per host second. One fixed-format line so scripts
+ * and tests can grep it.
+ */
+void
+printTimeLine(double seconds, uint64_t cycles, uint64_t uops)
+{
+    const double mhz =
+        seconds > 0 ? double(cycles) / seconds / 1e6 : 0.0;
+    const double muops =
+        seconds > 0 ? double(uops) / seconds / 1e6 : 0.0;
+    std::printf("time: %.3f s wall, %.3f MHz-equivalent, "
+                "%.3f Muops/s\n",
+                seconds, mhz, muops);
+}
+
+/**
  * Run every fusion configuration over the file as a parallel matrix.
  * With @a audit, route the sweep through the differential harness so
  * cross-configuration state and per-run invariants are checked too.
@@ -143,7 +169,7 @@ writeTraces(const LifecycleTracer &tracer, const std::string &path)
 int
 runSweep(const std::string &path, const std::string &source,
          uint64_t max_insts, unsigned jobs, bool audit, bool dump_stats,
-         bool cpi_stack, const std::string &report_path,
+         bool cpi_stack, bool timing, const std::string &report_path,
          const std::string &profile_path, uint64_t window_cycles)
 {
     // Wrap the assembled file as an ad-hoc workload so it can ride
@@ -202,6 +228,14 @@ runSweep(const std::string &path, const std::string &source,
                                : "-"});
     table.print();
     printMatrixTiming(results.size(), jobs, elapsed);
+    if (timing) {
+        uint64_t total_cycles = 0, total_uops = 0;
+        for (const RunResult &result : results) {
+            total_cycles += result.cycles;
+            total_uops += result.uops;
+        }
+        printTimeLine(elapsed, total_cycles, total_uops);
+    }
 
     for (const RunResult &result : results) {
         if (dump_stats) {
@@ -287,7 +321,7 @@ main(int argc, char **argv)
     unsigned jobs = 0;
     bool pipeview = false, dump_stats = false, functional_only = false;
     bool cpi_stack = false, sweep = false, audit = false;
-    bool annotate = false;
+    bool annotate = false, timing = false;
 
     // Options taking a value; missing values are a usage error (exit
     // 2), same as unknown options.
@@ -328,6 +362,8 @@ main(int argc, char **argv)
             dump_stats = true;
         } else if (arg == "--cpi-stack") {
             cpi_stack = true;
+        } else if (arg == "--time") {
+            timing = true;
         } else if (arg == "--functional") {
             functional_only = true;
         } else if (arg == "--sweep") {
@@ -374,9 +410,9 @@ main(int argc, char **argv)
                   "--functional");
         if (functional_only &&
             (!trace_path.empty() || cpi_stack || pipeview ||
-             !profile_path.empty() || annotate))
+             !profile_path.empty() || annotate || timing))
             fatal("--trace/--cpi-stack/--pipeview/--profile/"
-                  "--annotate need the timing model; drop "
+                  "--annotate/--time need the timing model; drop "
                   "--functional");
         if (sweep && !trace_path.empty())
             fatal("--trace records one run; pick a --config instead "
@@ -390,7 +426,7 @@ main(int argc, char **argv)
 
         if (sweep)
             return runSweep(path, text.str(), max_insts, jobs, audit,
-                            dump_stats, cpi_stack, report_path,
+                            dump_stats, cpi_stack, timing, report_path,
                             profile_path, window_cycles);
 
         Memory memory;
@@ -435,6 +471,8 @@ main(int argc, char **argv)
                         elapsed > 0 ? double(result.cycles) / elapsed /
                                           1e3
                                     : 0.0);
+            if (timing)
+                printTimeLine(elapsed, result.cycles, result.uops);
             if (dump_stats)
                 std::fputs(pipeline.stats().toString().c_str(), stdout);
             if (cpi_stack)

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fixed-capacity circular FIFO used for the pipeline's per-cycle
+ * queues (ROB, AQ, LQ, SQ, rename skid buffer, decode pipe).
+ *
+ * The timing model's structural limits are all hard caps from
+ * CoreParams, so a pre-sized ring never reallocates: push/pop are two
+ * or three arithmetic ops on a contiguous array, where std::deque
+ * pays map-of-blocks indirection and allocates/frees blocks as the
+ * queue breathes every cycle. Indexing is logical (0 == front), so
+ * range-for and operator[] walk front-to-back exactly like the deques
+ * they replace.
+ */
+
+#ifndef COMMON_RING_HH
+#define COMMON_RING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace helios
+{
+
+template <typename T>
+class RingBuffer
+{
+  public:
+    explicit RingBuffer(size_t capacity) : slots(capacity ? capacity : 1)
+    {
+    }
+
+    size_t size() const { return count; }
+    size_t capacity() const { return slots.size(); }
+    bool empty() const { return count == 0; }
+    bool full() const { return count == slots.size(); }
+
+    T &front() { return slots[head]; }
+    const T &front() const { return slots[head]; }
+    T &back() { return slots[physical(count - 1)]; }
+    const T &back() const { return slots[physical(count - 1)]; }
+
+    T &operator[](size_t i) { return slots[physical(i)]; }
+    const T &operator[](size_t i) const { return slots[physical(i)]; }
+
+    void
+    push_back(const T &value)
+    {
+        emplace_back() = value;
+    }
+
+    /**
+     * Append by handing back the tail slot's existing object instead
+     * of constructing a fresh one, so a slot that owns heap storage
+     * (e.g. a vector) keeps its capacity warm across reuse. The
+     * caller must reset any state it cares about.
+     */
+    T &
+    emplace_back()
+    {
+        helios_assert(count < slots.size(), "ring buffer overflow");
+        return slots[physical(count++)];
+    }
+
+    void
+    pop_front()
+    {
+        helios_assert(count > 0, "pop_front on empty ring");
+        head = head + 1 == slots.size() ? 0 : head + 1;
+        --count;
+    }
+
+    void
+    pop_back()
+    {
+        helios_assert(count > 0, "pop_back on empty ring");
+        --count;
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+    /** Logical-index iterator (0 == front), enough for range-for. */
+    template <typename Ring, typename Ref>
+    class Iterator
+    {
+      public:
+        Iterator(Ring *ring, size_t index) : ring(ring), index(index) {}
+
+        Ref operator*() const { return (*ring)[index]; }
+        Iterator &operator++() { ++index; return *this; }
+        bool operator==(const Iterator &o) const
+        {
+            return index == o.index;
+        }
+        bool operator!=(const Iterator &o) const
+        {
+            return index != o.index;
+        }
+
+      private:
+        Ring *ring;
+        size_t index;
+    };
+
+    using iterator = Iterator<RingBuffer, T &>;
+    using const_iterator = Iterator<const RingBuffer, const T &>;
+
+    iterator begin() { return {this, 0}; }
+    iterator end() { return {this, count}; }
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, count}; }
+
+  private:
+    size_t
+    physical(size_t logical) const
+    {
+        size_t p = head + logical;
+        if (p >= slots.size())
+            p -= slots.size();
+        return p;
+    }
+
+    std::vector<T> slots;
+    size_t head = 0;
+    size_t count = 0;
+};
+
+} // namespace helios
+
+#endif // COMMON_RING_HH

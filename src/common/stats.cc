@@ -269,6 +269,16 @@ StatGroup::counter(const std::string &name)
     return counterSlots[it->second];
 }
 
+std::pair<const std::string *, Stat *>
+StatGroup::counterEntry(std::string_view name)
+{
+    const auto [it, fresh] = counterIndex.try_emplace(
+        std::string(name), counterSlots.size());
+    if (fresh)
+        counterSlots.emplace_back();
+    return {&it->first, &counterSlots[it->second]};
+}
+
 uint64_t
 StatGroup::get(const std::string &name) const
 {

@@ -17,7 +17,9 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace helios
@@ -182,6 +184,16 @@ class StatGroup
   public:
     /** Get or create the counter with the given name. */
     Stat &counter(const std::string &name);
+
+    /**
+     * Get or create, also returning the interned name string. The
+     * name pointer stays valid for the group's lifetime (node-based
+     * index map), so callers may key caches on a string_view of it —
+     * see Pipeline::counter(), which memoizes Stat addresses by
+     * content without pinning the caller's storage.
+     */
+    std::pair<const std::string *, Stat *>
+    counterEntry(std::string_view name);
 
     /** Read a counter; zero if it was never created. */
     uint64_t get(const std::string &name) const;

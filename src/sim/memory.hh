@@ -69,25 +69,44 @@ class Memory
   private:
     using Page = std::array<uint8_t, pageSize>;
 
+    /**
+     * Direct-mapped fast path: every address the assembler lays out
+     * (text at 0x10000, data at 0x200000, stack below 0x7ff0000) sits
+     * under 128 MiB, so a flat 32 K-entry page-pointer vector turns
+     * the per-access hash lookup into one indexed load. Higher pages
+     * fall back to the hash map, which stays the owner of every page
+     * either way — numPages() and checksum() are unchanged.
+     */
+    static constexpr uint64_t flatPages = 1ULL << 15;
+
     const Page *
     findPage(uint64_t addr) const
     {
-        auto it = pages.find(addr >> pageBits);
+        const uint64_t index = addr >> pageBits;
+        if (index < flatPages)
+            return flat[index];
+        auto it = pages.find(index);
         return it == pages.end() ? nullptr : it->second.get();
     }
 
     Page &
     touchPage(uint64_t addr)
     {
-        std::unique_ptr<Page> &slot = pages[addr >> pageBits];
+        const uint64_t index = addr >> pageBits;
+        if (index < flatPages && flat[index])
+            return *flat[index];
+        std::unique_ptr<Page> &slot = pages[index];
         if (!slot) {
             slot = std::make_unique<Page>();
             slot->fill(0);
+            if (index < flatPages)
+                flat[index] = slot.get();
         }
         return *slot;
     }
 
     std::unordered_map<uint64_t, std::unique_ptr<Page>> pages;
+    std::vector<Page *> flat = std::vector<Page *>(flatPages, nullptr);
 };
 
 } // namespace helios

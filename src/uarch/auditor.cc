@@ -542,7 +542,7 @@ void
 PipelineAuditor::checkOrderedScan(const AuditView &view)
 {
     auto check_order = [&](const char *name,
-                           const std::deque<Uop *> *queue) {
+                           const RingBuffer<Uop *> *queue) {
         if (!queue)
             return;
         ++checks;

@@ -40,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/ring.hh"
 #include "uarch/params.hh"
 #include "uarch/uop.hh"
 
@@ -73,10 +74,10 @@ struct AuditViolation
 struct AuditView
 {
     uint64_t cycle = 0;
-    const std::deque<Uop *> *rob = nullptr;
-    const std::deque<Uop *> *aq = nullptr;
-    const std::deque<Uop *> *lq = nullptr;
-    const std::deque<Uop *> *sq = nullptr;
+    const RingBuffer<Uop *> *rob = nullptr;
+    const RingBuffer<Uop *> *aq = nullptr;
+    const RingBuffer<Uop *> *lq = nullptr;
+    const RingBuffer<Uop *> *sq = nullptr;
     unsigned iqCount = 0;
     size_t drainCount = 0;
     size_t inflightCount = 0;

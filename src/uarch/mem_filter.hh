@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Counting membership filter over byte ranges, used to skip the
+ * LQ/SQ linear scans when no address overlap is possible.
+ *
+ * Every executed load/store registers its byte range at 16-byte
+ * granule resolution into a small direct-mapped table of counters;
+ * removal decrements the same slots, so add/remove must be called
+ * with the exact same range. mayOverlap() is conservative: false
+ * means *no* registered range can overlap the query (the scan is
+ * safely skipped and the simulation outcome is unchanged); true means
+ * scan — hash collisions only ever cause harmless extra scans.
+ */
+
+#ifndef UARCH_MEM_FILTER_HH
+#define UARCH_MEM_FILTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace helios
+{
+
+class MemRangeFilter
+{
+  public:
+    MemRangeFilter() : counts(tableSize, 0) {}
+
+    void add(uint64_t begin, uint64_t end) { update(begin, end, +1); }
+
+    void
+    remove(uint64_t begin, uint64_t end)
+    {
+        update(begin, end, -1);
+    }
+
+    bool
+    mayOverlap(uint64_t begin, uint64_t end) const
+    {
+        if (oversized > 0)
+            return begin < end;
+        if (begin >= end || occupied == 0)
+            return false;
+        const uint64_t first = begin >> granuleBits;
+        const uint64_t last = (end - 1) >> granuleBits;
+        if (last - first >= maxGranules)
+            return true;
+        for (uint64_t g = first; g <= last; ++g)
+            if (counts[slot(g)] != 0)
+                return true;
+        return false;
+    }
+
+    bool empty() const { return occupied == 0 && oversized == 0; }
+
+  private:
+    static constexpr unsigned granuleBits = 4; ///< 16-byte granules
+    static constexpr unsigned tableBits = 12;
+    static constexpr size_t tableSize = size_t(1) << tableBits;
+    /** Ranges spanning this many granules (1 KiB — far beyond the
+     *  64-byte fusion region) bypass the table entirely. */
+    static constexpr uint64_t maxGranules = 64;
+
+    static size_t
+    slot(uint64_t granule)
+    {
+        // Multiply-shift hash: adjacent granules spread across the
+        // table instead of clustering in one region.
+        return size_t((granule * 0x9E3779B97F4A7C15ULL) >>
+                      (64 - tableBits));
+    }
+
+    void
+    update(uint64_t begin, uint64_t end, int delta)
+    {
+        if (begin >= end)
+            return;
+        const uint64_t first = begin >> granuleBits;
+        const uint64_t last = (end - 1) >> granuleBits;
+        if (last - first >= maxGranules) {
+            oversized += delta;
+            helios_assert(oversized >= 0, "range filter underflow");
+            return;
+        }
+        for (uint64_t g = first; g <= last; ++g) {
+            uint32_t &c = counts[slot(g)];
+            helios_assert(delta > 0 || c > 0, "range filter underflow");
+            c += uint32_t(delta);
+        }
+        occupied += delta;
+        helios_assert(occupied >= 0, "range filter underflow");
+    }
+
+    std::vector<uint32_t> counts;
+    int64_t occupied = 0;  ///< tracked ranges (excluding oversized)
+    int64_t oversized = 0; ///< ranges too large for the table
+};
+
+} // namespace helios
+
+#endif // UARCH_MEM_FILTER_HH

@@ -143,6 +143,13 @@ struct CoreParams
      *  (0: no windowed samples, per-site aggregates only). */
     uint64_t profileWindowCycles = 0;
 
+    /** Recycle µ-op pool slots (the production fast path). The false
+     *  setting is a debug fallback that gives every fetched µ-op a
+     *  pristine, never-reused slot, for bisecting suspected recycling
+     *  bugs: both settings must produce bit-identical runs
+     *  (tests/test_perf_structures.cc). */
+    bool poolRecycling = true;
+
     /** The paper's configuration with a given fusion mode. */
     static CoreParams
     icelake(FusionMode mode)

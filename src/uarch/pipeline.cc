@@ -38,6 +38,36 @@ namespace
 
 constexpr uint64_t invalidSeq = ~0ULL;
 
+/** Pending-address markers in Pipeline::unresolvedKind. */
+constexpr uint8_t unresolvedNone = 0;
+constexpr uint8_t unresolvedLoad = 1;
+constexpr uint8_t unresolvedStore = 2;
+
+/** Smallest power of two >= n. */
+uint64_t
+nextPow2(uint64_t n)
+{
+    uint64_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+/**
+ * Size of the seq-indexed in-flight ring. Live sequence numbers span
+ * at most the machine's µ-op capacity times two (a fused µ-op holds
+ * two arch seqs), so doubling that again guarantees no two live seqs
+ * ever map to the same slot; inflightInsert asserts it anyway.
+ */
+uint64_t
+inflightRingSize(const CoreParams &p)
+{
+    const uint64_t uop_capacity =
+        uint64_t(p.frontendDepth + 5) * p.fetchWidth + p.aqSize +
+        2 * p.dispatchWidth + p.renameWidth + p.robSize + p.sqSize;
+    return nextPow2(2 * (2 * uop_capacity) + p.fetchWidth + 64);
+}
+
 bool
 rangesOverlap(uint64_t a_begin, uint64_t a_end, uint64_t b_begin,
               uint64_t b_end)
@@ -54,9 +84,44 @@ sameMemKind(const Uop *a, const Uop *b)
 
 } // namespace
 
-Pipeline::Pipeline(const CoreParams &p, InstructionFeed &f)
-    : params(p), feed(f), tracer(p.tracer), caches(params)
+Pipeline::HotStats
+Pipeline::bindHotStats(StatGroup &group)
 {
+    return {
+        group.counter("fetch.uops"),
+        group.counter("fetch.blocked_cycles"),
+        group.counter("fetch.mispredict_stall_cycles"),
+        group.counter("rename.uops"),
+        group.counter("rename.stall.aq_empty"),
+        group.counter("rename.stall.dispatch_backlog"),
+        group.counter("dispatch.uops"),
+        group.counter("issue.uops"),
+        group.counter("exec.loads"),
+        group.counter("exec.stores"),
+        group.counter("stlf.forwards"),
+        group.counter("stlf.partial"),
+        group.counter("exec.line_crossers"),
+        group.counter("commit.insts"),
+        group.counter("commit.uops"),
+        group.counter("commit.loads"),
+        group.counter("commit.stores"),
+        group.counter("cpi.retiring"),
+    };
+}
+
+Pipeline::Pipeline(const CoreParams &p, InstructionFeed &f)
+    : params(p), feed(f), tracer(p.tracer), hot(bindHotStats(statGroup)),
+      caches(params), uopPool(p.poolRecycling),
+      decodePipe(p.frontendDepth + 5),
+      aq(p.aqSize),
+      renamedQueue(2 * p.dispatchWidth + p.renameWidth),
+      rob(p.robSize), lqList(p.lqSize), sqList(p.sqSize),
+      drainQueue(p.sqSize)
+{
+    const uint64_t ring = inflightRingSize(p);
+    inflightSlots.resize(ring, nullptr);
+    unresolvedKind.resize(ring, unresolvedNone);
+    inflightMask = ring - 1;
     if (params.fpKind == FpKind::Tage)
         fusionPred = std::make_unique<TageFusionPredictor>();
     else
@@ -103,11 +168,70 @@ Pipeline::attachAuditor(PipelineAuditor *a)
 #endif
 }
 
-Uop *
-Pipeline::findInflight(uint64_t seq) const
+void
+Pipeline::inflightInsert(Uop *uop)
 {
-    auto it = inflight.find(seq);
-    return it == inflight.end() ? nullptr : it->second.get();
+    Uop *&slot = inflightSlots[uop->seq & inflightMask];
+    helios_assert(!slot, "in-flight seq ring collision");
+    slot = uop;
+    ++inflightCount;
+    if (uop->seq > maxFetchedSeq)
+        maxFetchedSeq = uop->seq;
+}
+
+/** Unlink from the index; the caller decides the record's fate
+ *  (release to the pool, or move to the drain queue). */
+Uop *
+Pipeline::inflightErase(uint64_t seq)
+{
+    Uop *&slot = inflightSlots[seq & inflightMask];
+    helios_assert(slot && slot->seq == seq,
+                  "erasing a seq that is not in flight");
+    Uop *uop = slot;
+    slot = nullptr;
+    --inflightCount;
+    return uop;
+}
+
+/** Insert into the ready list keeping ascending seq order. Newly
+ *  ready µ-ops are usually the youngest, so the walk from the tail
+ *  terminates almost immediately. */
+void
+Pipeline::readyInsert(Uop *uop)
+{
+    uop->inReadyList = true;
+    Uop *at = readyTail;
+    while (at && at->seq > uop->seq)
+        at = at->readyPrev;
+    if (!at) {
+        uop->readyPrev = nullptr;
+        uop->readyNext = readyHead;
+        if (readyHead)
+            readyHead->readyPrev = uop;
+        else
+            readyTail = uop;
+        readyHead = uop;
+    } else {
+        uop->readyPrev = at;
+        uop->readyNext = at->readyNext;
+        if (at->readyNext)
+            at->readyNext->readyPrev = uop;
+        else
+            readyTail = uop;
+        at->readyNext = uop;
+    }
+}
+
+void
+Pipeline::readyRemove(Uop *uop)
+{
+    (uop->readyPrev ? uop->readyPrev->readyNext : readyHead) =
+        uop->readyNext;
+    (uop->readyNext ? uop->readyNext->readyPrev : readyTail) =
+        uop->readyPrev;
+    uop->readyPrev = nullptr;
+    uop->readyNext = nullptr;
+    uop->inReadyList = false;
 }
 
 bool
@@ -127,17 +251,21 @@ void
 Pipeline::fetchStage()
 {
     if (cycle < fetchBlockedUntil) {
-        counter("fetch.blocked_cycles")++;
+        hot.fetchBlocked++;
         return;
     }
     if (fetchStallSeq != invalidSeq) {
-        counter("fetch.mispredict_stall_cycles")++;
+        hot.fetchMispredictStall++;
         return;
     }
     if (decodePipe.size() >= params.frontendDepth + 4)
         return;
 
-    std::vector<Uop *> group;
+    DecodeGroup &group = decodePipe.emplace_back();
+    group.uops.clear();
+    group.consumed = 0;
+    group.fused = false;
+    group.readyCycle = cycle + params.frontendDepth;
     for (unsigned i = 0; i < params.fetchWidth; ++i) {
         DynInst dyn;
         if (!replayQueue.empty()) {
@@ -150,22 +278,27 @@ Pipeline::fetchStage()
             break;
         }
 
-        auto owned = std::make_unique<Uop>();
-        Uop *uop = owned.get();
+        Uop *uop = uopPool.alloc();
         uop->seq = dyn.seq;
         uop->uid = nextUid++;
         uop->dyn = dyn;
         uop->fetchCycle = cycle;
         uop->fetchHistory = bpred.fusionHistory();
-        helios_assert(inflight.emplace(dyn.seq, std::move(owned)).second,
-                      "duplicate in-flight seq");
-        group.push_back(uop);
+        inflightInsert(uop);
+        group.uops.push_back(uop);
         AUDIT_HOOK(onFetch(*uop, cycle));
-        counter("fetch.uops")++;
-        if (dyn.inst.isStore())
-            unresolvedStores.insert(dyn.seq);
-        else if (dyn.inst.isLoad())
-            unresolvedLoads.insert(dyn.seq);
+        hot.fetchUops++;
+        if (dyn.inst.isStore()) {
+            helios_assert(unresolvedKind[dyn.seq & inflightMask] ==
+                              unresolvedNone,
+                          "unresolved ring collision");
+            unresolvedKind[dyn.seq & inflightMask] = unresolvedStore;
+        } else if (dyn.inst.isLoad()) {
+            helios_assert(unresolvedKind[dyn.seq & inflightMask] ==
+                              unresolvedNone,
+                          "unresolved ring collision");
+            unresolvedKind[dyn.seq & inflightMask] = unresolvedLoad;
+        }
 
         // Instruction cache: charge a stall when a new line misses.
         const uint64_t line = dyn.pc / params.lineBytes;
@@ -194,9 +327,8 @@ Pipeline::fetchStage()
         }
     }
 
-    if (!group.empty())
-        decodePipe.push_back({std::move(group),
-                              cycle + params.frontendDepth});
+    if (group.uops.empty())
+        decodePipe.pop_back();
 }
 
 // ---------------------------------------------------------------------
@@ -210,8 +342,8 @@ Pipeline::applyConsecutiveFusion(std::vector<Uop *> &group)
     if (mode == FusionMode::None)
         return;
 
-    std::vector<Uop *> out;
-    out.reserve(group.size());
+    std::vector<Uop *> &out = fuseScratch;
+    out.clear();
     size_t i = 0;
     while (i < group.size()) {
         Uop *head = group[i];
@@ -246,7 +378,7 @@ Pipeline::applyConsecutiveFusion(std::vector<Uop *> &group)
                 head->tailDyn = tail->dyn;
                 AUDIT_HOOK(onFusePair(*head, tail->dyn, head->fusion,
                                       /*absorbed=*/true, cycle));
-                inflight.erase(tail->seq);
+                uopPool.release(inflightErase(tail->seq));
                 out.push_back(head);
                 i += 2;
                 continue;
@@ -255,7 +387,7 @@ Pipeline::applyConsecutiveFusion(std::vector<Uop *> &group)
         out.push_back(head);
         ++i;
     }
-    group = std::move(out);
+    group.swap(out);
 }
 
 bool
@@ -264,7 +396,7 @@ Pipeline::tryPredictedFusion(Uop *tail)
     const FpPrediction &pred = tail->fpPred;
     if (!pred.valid)
         return false;
-    counter("fusion.fp_attempts")++;
+    literalCounter("fusion.fp_attempts")++;
     if (profiler)
         profiler->recordAttempt(tail->dyn.pc);
 
@@ -277,7 +409,7 @@ Pipeline::tryPredictedFusion(Uop *tail)
     if (!head || !head->inAq || head->isTailMarker ||
         head->fusion != FusionKind::None || head->hasTail ||
         !sameMemKind(head, tail)) {
-        counter("fusion.fp_no_head")++;
+        literalCounter("fusion.fp_no_head")++;
         return false;
     }
     // Different-base-register store pairs are not supported by
@@ -285,13 +417,13 @@ Pipeline::tryPredictedFusion(Uop *tail)
     // fourth source register).
     if (!params.fuseDbrStorePairs && tail->isStore() &&
         head->dyn.inst.baseReg() != tail->dyn.inst.baseReg()) {
-        counter("fusion.fp_store_dbr")++;
+        literalCounter("fusion.fp_store_dbr")++;
         return false;
     }
     // Statically-known dependent loads never fuse (Section II-B).
     if (head->dyn.inst.writesReg() &&
         head->dyn.inst.rd == tail->dyn.inst.baseReg()) {
-        counter("fusion.fp_dependent")++;
+        literalCounter("fusion.fp_dependent")++;
         return false;
     }
 
@@ -309,8 +441,8 @@ Pipeline::tryPredictedFusion(Uop *tail)
     AUDIT_HOOK(onFusePair(*head, tail->dyn, FusionKind::NcsfMem,
                           /*absorbed=*/false, cycle));
     ++pendingNcsf;
-    counter("fusion.fp_applied")++;
-    counter("fusion.fp_distance_sum") += pred.distance;
+    literalCounter("fusion.fp_applied")++;
+    literalCounter("fusion.fp_distance_sum") += pred.distance;
     if (histFpAgreement) {
         // Component agreement at the fuse decision: how many of the
         // tournament components backed the distance we acted on.
@@ -556,8 +688,8 @@ Pipeline::tryOracleFusion(Uop *tail)
     if (tail->fusion != FusionKind::None)
         return false;
 
-    for (auto it = aq.rbegin(); it != aq.rend(); ++it) {
-        Uop *cand = *it;
+    for (size_t index = aq.size(); index-- > 0;) {
+        Uop *cand = aq[index];
         if (cand == tail)
             continue;
         if (cand->seq >= tail->seq)
@@ -645,15 +777,20 @@ Pipeline::aqInsertStage()
     while (!decodePipe.empty() &&
            decodePipe.front().readyCycle <= cycle) {
         DecodeGroup &grp = decodePipe.front();
-        applyConsecutiveFusion(grp.uops);
+        // Exactly once per group: a rerun on the remainder of an
+        // AQ-stalled group could pair an already-fused head with the
+        // next µ-op and silently drop its first absorbed tail.
+        if (!grp.fused) {
+            applyConsecutiveFusion(grp.uops);
+            grp.fused = true;
+        }
 
-        while (!grp.uops.empty()) {
+        while (grp.consumed < grp.uops.size()) {
             if (aq.size() >= params.aqSize) {
-                counter("decode.stall.aq_full")++;
+                literalCounter("decode.stall.aq_full")++;
                 return;
             }
-            Uop *uop = grp.uops.front();
-            grp.uops.erase(grp.uops.begin());
+            Uop *uop = grp.uops[grp.consumed++];
 
             // Fusion-predictor lookup at Decode (Helios).
             if (params.fusion == FusionMode::Helios && uop->isMem() &&
@@ -673,8 +810,8 @@ Pipeline::aqInsertStage()
                 tryOracleFusion(uop)) {
                 // Tail disappears immediately (ideal hardware).
                 aq.pop_back();
-                inflight.erase(uop->seq);
-                counter("fusion.oracle_applied")++;
+                uopPool.release(inflightErase(uop->seq));
+                literalCounter("fusion.oracle_applied")++;
             }
         }
         decodePipe.pop_front();
@@ -743,7 +880,7 @@ Pipeline::addStoreSetDependency(Uop *uop)
         return;
     if (attachDependency(uop, store_seq, -1)) {
         uop->waitStoreSeq = store_seq;
-        counter("storeset.dependencies")++;
+        literalCounter("storeset.dependencies")++;
     }
 }
 
@@ -773,7 +910,7 @@ Pipeline::renameNormal(Uop *uop)
         uop->pairSeq = 0;
         helios_assert(pendingNcsf > 0, "pendingNcsf underflow");
         --pendingNcsf;
-        counter("fusion.fp_nest_limited")++;
+        literalCounter("fusion.fp_nest_limited")++;
         if (marker->profBreak == ProfBreak::None)
             marker->profBreak = ProfBreak::NestLimit;
         if (uop->profBreak == ProfBreak::None)
@@ -836,7 +973,7 @@ Pipeline::renameNormal(Uop *uop)
             storeSets.storeRenamed(uop->dyn.pc, uop->seq);
         if (previous < uop->seq &&
             attachDependency(uop, previous, -1))
-            counter("storeset.chained")++;
+            literalCounter("storeset.chained")++;
     }
 
     // ---- destinations & RAT ----
@@ -900,7 +1037,7 @@ Pipeline::renameMarker(Uop *marker)
     // the simulator computes its precise outcome with an exact walk.
     if (heliosDependent(head, marker)) {
         marker->mustUnfuse = true;
-        counter("fusion.unfuse_deadlock")++;
+        literalCounter("fusion.unfuse_deadlock")++;
         if (marker->profBreak == ProfBreak::None) {
             marker->profBreak = ProfBreak::Deadlock;
             if (profiler)
@@ -910,7 +1047,7 @@ Pipeline::renameMarker(Uop *marker)
     }
     if (head->isStore() && head->storeInCatalyst) {
         marker->mustUnfuse = true;
-        counter("fusion.unfuse_store_catalyst")++;
+        literalCounter("fusion.unfuse_store_catalyst")++;
         if (marker->profBreak == ProfBreak::None) {
             marker->profBreak = ProfBreak::StoreCatalyst;
             if (profiler)
@@ -920,7 +1057,7 @@ Pipeline::renameMarker(Uop *marker)
     }
     if (head->serializingInCatalyst) {
         marker->mustUnfuse = true;
-        counter("fusion.unfuse_serializing")++;
+        literalCounter("fusion.unfuse_serializing")++;
         if (marker->profBreak == ProfBreak::None) {
             marker->profBreak = ProfBreak::Serializing;
             if (profiler)
@@ -944,7 +1081,7 @@ Pipeline::renameMarker(Uop *marker)
     if (!marker->mustUnfuse &&
         tailDependsOnCatalystLoad(head, marker)) {
         marker->mustUnfuse = true;
-        counter("fusion.unfuse_late_raw")++;
+        literalCounter("fusion.unfuse_late_raw")++;
         if (marker->profBreak == ProfBreak::None) {
             marker->profBreak = ProfBreak::LateRaw;
             if (profiler)
@@ -983,7 +1120,7 @@ Pipeline::renameStage()
 {
     unsigned renamed = 0;
     if (aq.empty()) {
-        counter("rename.stall.aq_empty")++;
+        hot.renameAqEmpty++;
         return;
     }
     while (renamed < params.renameWidth && !aq.empty()) {
@@ -991,7 +1128,7 @@ Pipeline::renameStage()
         // up; physical registers must not be hoarded by µ-ops that
         // cannot dispatch yet.
         if (renamedQueue.size() >= 2 * params.dispatchWidth) {
-            counter("rename.stall.dispatch_backlog")++;
+            hot.renameBacklog++;
             return;
         }
         Uop *uop = aq.front();
@@ -1004,7 +1141,7 @@ Pipeline::renameStage()
                 ++dests;
             if (allocatedRegs + dests >
                 params.numPhysRegs - numArchRegs) {
-                counter("rename.stall.prf")++;
+                literalCounter("rename.stall.prf")++;
                 return;
             }
             renameNormal(uop);
@@ -1014,7 +1151,7 @@ Pipeline::renameStage()
         aq.pop_front();
         renamedQueue.push_back(uop);
         ++renamed;
-        counter("rename.uops")++;
+        hot.renameUops++;
     }
 }
 
@@ -1035,15 +1172,16 @@ Pipeline::unfuseInPlace(Uop *head)
         --head->numDests;
         --allocatedRegs;
     }
-    counter("fusion.unfused")++;
+    literalCounter("fusion.unfused")++;
 }
 
 void
 Pipeline::maybeReady(Uop *uop)
 {
     if (uop->dispatched && uop->ncsReady && !uop->issued &&
-        !uop->done && uop->notReady == 0 && !uop->isTailMarker)
-        readySet.emplace(uop->seq, uop);
+        !uop->done && uop->notReady == 0 && !uop->isTailMarker &&
+        !uop->inReadyList)
+        readyInsert(uop);
 }
 
 void
@@ -1063,25 +1201,25 @@ Pipeline::dispatchStage()
                 if (slots < 2)
                     return;
                 if (rob.size() >= params.robSize) {
-                    counter("dispatch.stall.rob")++;
+                    literalCounter("dispatch.stall.rob")++;
                     return;
                 }
                 if (iqCount >= params.iqSize) {
-                    counter("dispatch.stall.iq")++;
+                    literalCounter("dispatch.stall.iq")++;
                     return;
                 }
                 if (uop->dyn.isLoad() && lqList.size() >= params.lqSize) {
-                    counter("dispatch.stall.lq")++;
+                    literalCounter("dispatch.stall.lq")++;
                     return;
                 }
                 if (uop->dyn.isStore() &&
                     sqList.size() + drainQueue.size() >= params.sqSize) {
-                    counter("dispatch.stall.sq")++;
+                    literalCounter("dispatch.stall.sq")++;
                     return;
                 }
                 if (allocatedRegs + 1 >
                     params.numPhysRegs - numArchRegs) {
-                    counter("dispatch.stall.prf")++;
+                    literalCounter("dispatch.stall.prf")++;
                     return;
                 }
 
@@ -1090,7 +1228,7 @@ Pipeline::dispatchStage()
                 maybeReady(head);
                 if (head->fpPred.valid)
                     fusionPred->resolve(head->fpPred, false);
-                counter("fusion.mispredicts")++;
+                literalCounter("fusion.mispredicts")++;
                 if (head->profBreak == ProfBreak::None)
                     head->profBreak = uop->profBreak;
                 if (profiler)
@@ -1158,30 +1296,30 @@ Pipeline::dispatchStage()
             }
             head->ncsReady = true;
             maybeReady(head);
-            counter("fusion.validated")++;
+            literalCounter("fusion.validated")++;
             renamedQueue.pop_front();
             AUDIT_HOOK(onTailAbsorbed(uop->seq, head->seq, cycle));
-            inflight.erase(uop->seq);
+            uopPool.release(inflightErase(uop->seq));
             --slots;
             continue;
         }
 
         // ---- regular µ-op ----
         if (rob.size() >= params.robSize) {
-            counter("dispatch.stall.rob")++;
+            literalCounter("dispatch.stall.rob")++;
             return;
         }
         if (iqCount >= params.iqSize) {
-            counter("dispatch.stall.iq")++;
+            literalCounter("dispatch.stall.iq")++;
             return;
         }
         if (uop->isLoad() && lqList.size() >= params.lqSize) {
-            counter("dispatch.stall.lq")++;
+            literalCounter("dispatch.stall.lq")++;
             return;
         }
         if (uop->isStore() &&
             sqList.size() + drainQueue.size() >= params.sqSize) {
-            counter("dispatch.stall.sq")++;
+            literalCounter("dispatch.stall.sq")++;
             return;
         }
 
@@ -1197,7 +1335,7 @@ Pipeline::dispatchStage()
         maybeReady(uop);
         renamedQueue.pop_front();
         --slots;
-        counter("dispatch.uops")++;
+        hot.dispatchUops++;
     }
 }
 
@@ -1223,39 +1361,43 @@ Pipeline::loadHalfLatency(uint64_t load_seq, uint64_t begin,
     // and its tail nucleus may be younger than the load.
     StoreNucleus forwarder;
     bool have_forwarder = false;
-    auto consider = [&](const Uop *store) {
-        StoreNucleus nuclei[2];
-        const int count = storeNuclei(*store, nuclei);
-        for (int n = 0; n < count; ++n) {
-            if (nuclei[n].seq >= load_seq)
-                continue;
-            if (!rangesOverlap(nuclei[n].begin, nuclei[n].end, begin,
-                               end))
-                continue;
-            if (!have_forwarder || nuclei[n].seq > forwarder.seq) {
-                forwarder = nuclei[n];
-                have_forwarder = true;
+    // The filter covers every addrKnown SQ entry and the whole drain
+    // queue: a miss proves neither scan can find an overlap.
+    if (storeFilter.mayOverlap(begin, end)) {
+        auto consider = [&](const Uop *store) {
+            StoreNucleus nuclei[2];
+            const int count = storeNuclei(*store, nuclei);
+            for (int n = 0; n < count; ++n) {
+                if (nuclei[n].seq >= load_seq)
+                    continue;
+                if (!rangesOverlap(nuclei[n].begin, nuclei[n].end,
+                                   begin, end))
+                    continue;
+                if (!have_forwarder || nuclei[n].seq > forwarder.seq) {
+                    forwarder = nuclei[n];
+                    have_forwarder = true;
+                }
             }
+        };
+        for (const Uop *store : sqList) {
+            if (store->seq >= load_seq)
+                break;
+            if (store->addrKnown)
+                consider(store);
         }
-    };
-    for (const Uop *store : sqList) {
-        if (store->seq >= load_seq)
-            break;
-        if (store->addrKnown)
-            consider(store);
-    }
-    if (!have_forwarder) {
-        for (const auto &entry : drainQueue)
-            consider(entry.uop.get());
+        if (!have_forwarder) {
+            for (const Uop *store : drainQueue)
+                consider(store);
+        }
     }
     if (have_forwarder) {
         const bool full =
             forwarder.begin <= begin && end <= forwarder.end;
         if (full) {
-            counter("stlf.forwards")++;
+            hot.stlfForwards++;
             return params.forwardLatency;
         }
-        counter("stlf.partial")++;
+        hot.stlfPartial++;
         return params.forwardLatency + 10;
     }
 
@@ -1265,7 +1407,7 @@ Pipeline::loadHalfLatency(uint64_t load_seq, uint64_t begin,
     if (last_line != first_line) {
         latency = std::max(latency, caches.dataAccess(last_line)) +
                   params.lineCrossPenalty;
-        counter("exec.line_crossers")++;
+        hot.lineCrossers++;
     }
     return latency;
 }
@@ -1275,10 +1417,12 @@ Pipeline::executeStore(Uop *uop)
 {
     uop->computeMemRange();
     uop->addrKnown = true;
-    unresolvedStores.erase(uop->seq);
+    storeFilter.add(uop->memBegin, uop->memEnd);
+    unresolvedKind[uop->seq & inflightMask] = unresolvedNone;
     if (uop->hasTail && uop->tailDyn.inst.isStore())
-        unresolvedStores.erase(uop->tailDyn.seq);
-    counter("exec.stores")++;
+        unresolvedKind[uop->tailDyn.seq & inflightMask] =
+            unresolvedNone;
+    hot.execStores++;
 
     // Memory-order violation: a younger load already executed against
     // stale data. Both sides are checked per nucleus (Section IV-B4):
@@ -1289,6 +1433,11 @@ Pipeline::executeStore(Uop *uop)
     // range and head position would flush it forever.
     StoreNucleus stores[2];
     const int num_stores = storeNuclei(*uop, stores);
+    // Every addrKnown LQ entry's combined range is in loadFilter, so
+    // a filter miss on the pair's combined range proves no executed
+    // load can overlap either store nucleus — skip the snoop.
+    if (!loadFilter.mayOverlap(uop->memBegin, uop->memEnd))
+        return 1;
     for (Uop *load : lqList) {
         if (!load->addrKnown || !load->issued)
             continue;
@@ -1313,7 +1462,7 @@ Pipeline::executeStore(Uop *uop)
         }
         if (violated) {
             storeSets.trainViolation(violator_pc, uop->dyn.pc);
-            counter("lsq.violations")++;
+            literalCounter("lsq.violations")++;
             // A violation caused by a hoisted fused pair is a fusion
             // misprediction: the store-set cannot protect a load
             // hoisted above a store that has not renamed yet, so the
@@ -1321,8 +1470,8 @@ Pipeline::executeStore(Uop *uop)
             if (load->fusion == FusionKind::NcsfMem &&
                 load->fpInitiated) {
                 fusionPred->resolve(load->fpPred, false);
-                counter("fusion.mispredicts")++;
-                counter("fusion.mispredict_violation")++;
+                literalCounter("fusion.mispredicts")++;
+                literalCounter("fusion.mispredict_violation")++;
                 if (profiler)
                     profiler->recordMispredict(load->tailDyn.pc);
             }
@@ -1388,8 +1537,12 @@ Pipeline::issueStage()
     unsigned store = params.storePorts;
     unsigned branch = params.branchPorts;
 
-    std::vector<uint64_t> issued;
-    for (auto &[seq, uop] : readySet) {
+    // Walk the intrusive ready list oldest-first. Scheduling never
+    // touches the list, so capturing `next` up front keeps the walk
+    // valid across the immediate readyRemove of an issued µ-op.
+    Uop *next = nullptr;
+    for (Uop *uop = readyHead; uop; uop = next) {
+        next = uop->readyNext;
         if (alu + mul + div + load + store + branch == 0)
             break;
 
@@ -1440,8 +1593,8 @@ Pipeline::issueStage()
             if (uop->fusion == FusionKind::NcsfMem && uop->fpInitiated &&
                 !validateFusedAddresses(uop)) {
                 fusionPred->resolve(uop->fpPred, false);
-                counter("fusion.mispredicts")++;
-                counter("fusion.mispredict_region")++;
+                literalCounter("fusion.mispredicts")++;
+                literalCounter("fusion.mispredict_region")++;
                 if (profiler)
                     profiler->recordMispredict(uop->tailDyn.pc);
                 if (flushRequestSeq == invalidSeq ||
@@ -1449,14 +1602,14 @@ Pipeline::issueStage()
                     flushRequestSeq = uop->seq;
                     flushReason = "fusion_region";
                 }
-                issued.push_back(seq);
+                readyRemove(uop);
                 // Keep the µ-op unissued; the flush below removes it.
                 uop->issued = true;
                 goto after_loop;
             }
             if (uop->fusion == FusionKind::NcsfMem && uop->fpInitiated) {
                 fusionPred->resolve(uop->fpPred, true);
-                counter("fusion.fp_correct")++;
+                literalCounter("fusion.fp_correct")++;
             }
             if (!is_load) {
                 latency = executeStore(uop);
@@ -1464,10 +1617,12 @@ Pipeline::issueStage()
             }
             uop->computeMemRange();
             uop->addrKnown = true;
-            unresolvedLoads.erase(uop->seq);
+            loadFilter.add(uop->memBegin, uop->memEnd);
+            unresolvedKind[uop->seq & inflightMask] = unresolvedNone;
             if (uop->hasTail && uop->tailDyn.inst.isLoad())
-                unresolvedLoads.erase(uop->tailDyn.seq);
-            counter("exec.loads")++;
+                unresolvedKind[uop->tailDyn.seq & inflightMask] =
+                    unresolvedNone;
+            hot.execLoads++;
             // Each nucleus forwards / accesses the cache and delivers
             // its destination independently (Section II-B).
             if (uop->hasTail && uop->dyn.inst.isMem() &&
@@ -1480,8 +1635,8 @@ Pipeline::issueStage()
                     uop->tailDyn.effAddr + uop->tailDyn.memSize());
                 scheduleSplitCompletion(uop, head_latency,
                                         tail_latency);
-                issued.push_back(seq);
-                counter("issue.uops")++;
+                readyRemove(uop);
+                hot.issueUops++;
                 continue;
             }
             latency =
@@ -1494,14 +1649,11 @@ Pipeline::issueStage()
         }
 
         scheduleCompletion(uop, latency);
-        issued.push_back(seq);
-        counter("issue.uops")++;
+        readyRemove(uop);
+        hot.issueUops++;
     }
 
   after_loop:
-    for (uint64_t seq : issued)
-        readySet.erase(seq);
-
     if (flushRequestSeq != invalidSeq) {
         const uint64_t target = flushRequestSeq;
         const char *reason = flushReason;
@@ -1593,12 +1745,12 @@ Pipeline::countFusedPair(const Uop *uop)
     // fused-pair count.
     switch (uop->fusion) {
       case FusionKind::CsfOther:
-        counter("pairs.csf_other")++;
+        literalCounter("pairs.csf_other")++;
         if (histPairDistance)
             histPairDistance->addSample(1);
         return;
       case FusionKind::CsfMem:
-        counter("pairs.csf_mem")++;
+        literalCounter("pairs.csf_mem")++;
         if (histPairDistance)
             histPairDistance->addSample(1);
         return;
@@ -1607,19 +1759,19 @@ Pipeline::countFusedPair(const Uop *uop)
         if (histPairDistance)
             histPairDistance->addSample(distance);
         if (distance == 1)
-            counter("pairs.csf_mem")++;
+            literalCounter("pairs.csf_mem")++;
         else
-            counter("pairs.ncsf")++;
-        counter("pairs.distance_sum") += distance;
+            literalCounter("pairs.ncsf")++;
+        literalCounter("pairs.distance_sum") += distance;
         if (uop->dyn.inst.baseReg() != uop->tailDyn.inst.baseReg())
-            counter("pairs.dbr")++;
+            literalCounter("pairs.dbr")++;
         const bool static_csf =
             distance == 1 &&
             isMemPairable(uop->dyn.inst, uop->tailDyn.inst, true);
         if (!static_csf)
-            counter("pairs.need_prediction")++;
+            literalCounter("pairs.need_prediction")++;
         if (uop->fpInitiated)
-            counter("pairs.fp_validated")++;
+            literalCounter("pairs.fp_validated")++;
         return;
       }
       default:
@@ -1676,11 +1828,14 @@ Pipeline::commitStage()
                   "cpi.* attributed twice in one cycle");
     lastCpiCycle = cycle;
     const char *category = "cpi.frontend";
-    if (commitsThisCycle > 0)
+    if (commitsThisCycle > 0) {
         category = "cpi.retiring";
-    else if (cpiBlockReason)
-        category = cpiBlockReason;
-    counter(category)++;
+        hot.cpiRetiring++;
+    } else {
+        if (cpiBlockReason)
+            category = cpiBlockReason;
+        literalCounter(category)++;
+    }
     if (profiler) {
         // Charge blocked-head cycles to the head µ-op's static PC.
         const bool blocked = commitsThisCycle == 0 &&
@@ -1698,28 +1853,28 @@ Pipeline::commitStageImpl()
         Uop *uop = rob.front();
         if (!uop->done) {
             if (!uop->dispatched) {
-                counter("commit.blocked.not_dispatched")++;
+                literalCounter("commit.blocked.not_dispatched")++;
                 cpiBlockReason = "cpi.backend.dispatch";
             } else if (!uop->ncsReady) {
-                counter("commit.blocked.ncs_pending")++;
+                literalCounter("commit.blocked.ncs_pending")++;
                 cpiBlockReason = "cpi.fusion.pending";
             } else if (!uop->issued && uop->notReady > 0) {
-                counter("commit.blocked.waiting_sources")++;
+                literalCounter("commit.blocked.waiting_sources")++;
                 cpiBlockReason = "cpi.backend.sources";
             } else if (!uop->issued) {
-                counter("commit.blocked.port_starved")++;
+                literalCounter("commit.blocked.port_starved")++;
                 cpiBlockReason = "cpi.backend.ports";
             } else if (uop->hasTail) {
-                counter("commit.blocked.executing_fused")++;
+                literalCounter("commit.blocked.executing_fused")++;
                 cpiBlockReason = "cpi.exec.fused";
             } else if (uop->isLoad()) {
-                counter("commit.blocked.executing_load")++;
+                literalCounter("commit.blocked.executing_load")++;
                 cpiBlockReason = "cpi.exec.load";
             } else if (uop->isStore()) {
-                counter("commit.blocked.executing_store")++;
+                literalCounter("commit.blocked.executing_store")++;
                 cpiBlockReason = "cpi.exec.store";
             } else {
-                counter("commit.blocked.executing")++;
+                literalCounter("commit.blocked.executing")++;
                 cpiBlockReason = "cpi.exec.other";
             }
             return;
@@ -1735,11 +1890,18 @@ Pipeline::commitStageImpl()
         // store's data can drain into the cache past it.
         if (uop->hasTail && uop->isMem() &&
             uop->tailDyn.seq > uop->seq + 1) {
-            const auto &pending =
-                uop->isLoad() ? unresolvedStores : unresolvedLoads;
-            auto it = pending.upper_bound(uop->seq);
-            if (it != pending.end() && *it < uop->tailDyn.seq) {
-                counter("commit.blocked.catalyst_unresolved")++;
+            const uint8_t wanted =
+                uop->isLoad() ? unresolvedStore : unresolvedLoad;
+            bool blocked = false;
+            // Catalyst window only (bounded by maxFusionDistance).
+            for (uint64_t s = uop->seq + 1; s < uop->tailDyn.seq; ++s) {
+                if (unresolvedKind[s & inflightMask] == wanted) {
+                    blocked = true;
+                    break;
+                }
+            }
+            if (blocked) {
+                literalCounter("commit.blocked.catalyst_unresolved")++;
                 return;
             }
         }
@@ -1752,12 +1914,12 @@ Pipeline::commitStageImpl()
         ++commitsThisCycle;
         if (params.traceOut)
             traceCommit(uop);
-        counter("commit.insts") += uop->archInsts();
-        counter("commit.uops")++;
+        hot.commitInsts += uop->archInsts();
+        hot.commitUops++;
         if (uop->isLoad()) {
-            counter("commit.loads") += uop->archInsts();
+            hot.commitLoads += uop->archInsts();
         } else if (uop->isStore()) {
-            counter("commit.stores") += uop->archInsts();
+            hot.commitStores += uop->archInsts();
         }
         if (uop->hasTail)
             countFusedPair(uop);
@@ -1772,7 +1934,7 @@ Pipeline::commitStageImpl()
                 uop->isLoad() ? uch.accessLoad(line, cn)
                               : uch.accessStore(line, cn);
             if (distance) {
-                counter("uch.matches")++;
+                literalCounter("uch.matches")++;
                 fusionPred->train(uop->dyn.pc, uop->fetchHistory,
                                  *distance);
             }
@@ -1788,17 +1950,19 @@ Pipeline::commitStageImpl()
             helios_assert(!lqList.empty() && lqList.front() == uop,
                           "LQ order mismatch");
             lqList.pop_front();
+            if (uop->addrKnown)
+                loadFilter.remove(uop->memBegin, uop->memEnd);
         }
         const uint64_t seq = uop->seq;
         if (uop->isStore()) {
             helios_assert(!sqList.empty() && sqList.front() == uop,
                           "SQ order mismatch");
             sqList.pop_front();
-            auto it = inflight.find(seq);
-            drainQueue.push_back({std::move(it->second)});
-            inflight.erase(it);
+            // The store stays in storeFilter until it drains: the
+            // drain queue is still scanned for forwarding.
+            drainQueue.push_back(inflightErase(seq));
         } else {
-            inflight.erase(seq);
+            uopPool.release(inflightErase(seq));
         }
         --slots;
     }
@@ -1809,15 +1973,17 @@ Pipeline::drainStores()
 {
     if (drainQueue.empty() || cycle < drainBusyUntil)
         return;
-    const Uop *store = drainQueue.front().uop.get();
+    Uop *store = drainQueue.front();
     const uint64_t first_line = store->memBegin / params.lineBytes;
     const uint64_t last_line = (store->memEnd - 1) / params.lineBytes;
     unsigned latency = caches.storeDrain(first_line);
     if (last_line != first_line)
         latency += caches.storeDrain(last_line);
     drainBusyUntil = cycle + latency;
-    counter("sq.drained")++;
+    literalCounter("sq.drained")++;
+    storeFilter.remove(store->memBegin, store->memEnd);
     drainQueue.pop_front();
+    uopPool.release(store);
 }
 
 // ---------------------------------------------------------------------
@@ -1833,11 +1999,9 @@ Pipeline::resumeFetchAfter(uint64_t delay)
 void
 Pipeline::squashFrom(uint64_t seq_min, const char *reason)
 {
-    // Dynamic name: go through the string-keyed StatGroup index, not
-    // counter(), whose pointer memoization must never see a
-    // temporary's c_str() (a recycled allocation would alias another
-    // counter).
-    statGroup.counter(strFormat("flush.%s", reason))++;
+    // Formatted flush reason: safe through counter() since the cache
+    // keys on content and views the name interned inside StatGroup.
+    counter(strFormat("flush.%s", reason))++;
     if (params.traceOut)
         *params.traceOut << "FLUSH  " << reason << " from seq "
                          << seq_min << " @" << cycle << '\n';
@@ -1847,9 +2011,8 @@ Pipeline::squashFrom(uint64_t seq_min, const char *reason)
     bool changed = true;
     while (changed) {
         changed = false;
-        for (const auto &[seq, up] : inflight) {
-            const Uop *uop = up.get();
-            if (uop->hasTail && !uop->isTailMarker &&
+        for (const Uop *uop : inflightSlots) {
+            if (uop && uop->hasTail && !uop->isTailMarker &&
                 uop->seq < seq_min && uop->tailDyn.seq >= seq_min) {
                 seq_min = uop->seq;
                 changed = true;
@@ -1857,14 +2020,59 @@ Pipeline::squashFrom(uint64_t seq_min, const char *reason)
         }
     }
 
-    // Collect replayed architectural instructions and squashed seqs.
-    std::map<uint64_t, DynInst> replay;
-    std::vector<uint64_t> squashed;
-    for (const auto &[seq, up] : inflight) {
-        if (seq < seq_min)
+    // Unlink the squashed suffix from every structure first; the
+    // records themselves are released in the sweep below.
+    while (readyTail && readyTail->seq >= seq_min)
+        readyRemove(readyTail);
+    auto chop = [seq_min](RingBuffer<Uop *> &ring) {
+        while (!ring.empty() && ring.back()->seq >= seq_min)
+            ring.pop_back();
+    };
+    chop(aq);
+    chop(renamedQueue);
+    chop(rob);
+    chop(lqList);
+    chop(sqList);
+    for (size_t g = decodePipe.size(); g-- > 0;) {
+        DecodeGroup &grp = decodePipe[g];
+        // Only the unconsumed suffix can hold squashed µ-ops: seqs
+        // ascend within a group and the consumed prefix is older.
+        while (grp.uops.size() > grp.consumed &&
+               grp.uops.back()->seq >= seq_min)
+            grp.uops.pop_back();
+    }
+    while (!decodePipe.empty() &&
+           decodePipe.back().uops.size() == decodePipe.back().consumed)
+        decodePipe.pop_back();
+    std::erase_if(activeNcsHeads, [seq_min](const Uop *uop) {
+        return uop->seq >= seq_min;
+    });
+
+    // Remove squashed seqs from survivors' wakeup lists (both halves:
+    // a stale tail-half entry would corrupt the notReady count of a
+    // refetched µ-op that reuses the squashed sequence number).
+    for (const Uop *survivor : inflightSlots) {
+        if (!survivor || survivor->seq >= seq_min)
             continue;
-        const Uop *uop = up.get();
-        squashed.push_back(seq);
+        Uop *uop = const_cast<Uop *>(survivor);
+        const auto stale = [seq_min](uint64_t dep) {
+            return dep >= seq_min;
+        };
+        std::erase_if(uop->dependents, stale);
+        std::erase_if(uop->dependentsTail, stale);
+    }
+
+    // Sweep the squashed seq range in ascending order: fire the
+    // hooks, collect the replayed architectural instructions, undo
+    // the resource accounting, and release the records.
+    replayScratch.clear();
+    uint64_t squashed_count = 0;
+    for (uint64_t s = seq_min; s <= maxFetchedSeq; ++s) {
+        unresolvedKind[s & inflightMask] = unresolvedNone;
+        Uop *uop = findInflight(s);
+        if (!uop)
+            continue;
+        ++squashed_count;
         AUDIT_HOOK(onSquash(*uop, cycle));
         if (tracer)
             tracer->recordSquash(*uop, cycle, reason);
@@ -1876,58 +2084,23 @@ Pipeline::squashFrom(uint64_t seq_min, const char *reason)
             // contributes the tail's dyn record itself.
             helios_assert(uop->pairSeq >= seq_min,
                           "marker survived its head's squash");
-            continue;
+        } else {
+            replayScratch.push_back(uop->dyn);
+            if (uop->hasTail)
+                replayScratch.push_back(uop->tailDyn);
+            if (uop->renamed)
+                allocatedRegs -= uop->numDests;
+            if (uop->inIq)
+                --iqCount;
+            if (uop->addrKnown) {
+                if (uop->isStore())
+                    storeFilter.remove(uop->memBegin, uop->memEnd);
+                else if (uop->isLoad())
+                    loadFilter.remove(uop->memBegin, uop->memEnd);
+            }
         }
-        replay.emplace(uop->dyn.seq, uop->dyn);
-        if (uop->hasTail)
-            replay.emplace(uop->tailDyn.seq, uop->tailDyn);
-        if (uop->renamed)
-            allocatedRegs -= uop->numDests;
-        if (uop->inIq)
-            --iqCount;
+        uopPool.release(inflightErase(s));
     }
-
-    auto is_squashed = [seq_min](const Uop *uop) {
-        return uop->seq >= seq_min;
-    };
-
-    // Filter every structure.
-    for (auto &grp : decodePipe)
-        std::erase_if(grp.uops, is_squashed);
-    std::erase_if(decodePipe,
-                  [](const DecodeGroup &g) { return g.uops.empty(); });
-    std::erase_if(aq, is_squashed);
-    std::erase_if(renamedQueue, is_squashed);
-    std::erase_if(rob, is_squashed);
-    std::erase_if(lqList, is_squashed);
-    std::erase_if(sqList, is_squashed);
-    std::erase_if(activeNcsHeads, is_squashed);
-    unresolvedLoads.erase(unresolvedLoads.lower_bound(seq_min),
-                          unresolvedLoads.end());
-    unresolvedStores.erase(unresolvedStores.lower_bound(seq_min),
-                           unresolvedStores.end());
-    for (auto it = readySet.begin(); it != readySet.end();) {
-        if (it->first >= seq_min)
-            it = readySet.erase(it);
-        else
-            ++it;
-    }
-
-    // Remove squashed seqs from survivors' wakeup lists (both halves:
-    // a stale tail-half entry would corrupt the notReady count of a
-    // refetched µ-op that reuses the squashed sequence number).
-    for (auto &[seq, up] : inflight) {
-        if (seq >= seq_min)
-            continue;
-        const auto stale = [seq_min](uint64_t dep) {
-            return dep >= seq_min;
-        };
-        std::erase_if(up->dependents, stale);
-        std::erase_if(up->dependentsTail, stale);
-    }
-
-    for (uint64_t seq : squashed)
-        inflight.erase(seq);
 
     // Rebuild the RAT from surviving renamed µ-ops in program order.
     for (RatEntry &entry : rat)
@@ -1955,20 +2128,26 @@ Pipeline::squashFrom(uint64_t seq_min, const char *reason)
 
     storeSets.squash(seq_min);
 
-    // Prepend replayed instructions (all older than anything already
-    // waiting in the replay queue).
-    helios_assert(replayQueue.empty() ||
-                      replay.empty() ||
-                      replay.rbegin()->first < replayQueue.front().seq,
+    // Prepend replayed instructions in program order (all older than
+    // anything already waiting in the replay queue). The sweep found
+    // heads in ascending seq order but emits a fused tail's record at
+    // its head's position, so sort by arch seq (all seqs distinct).
+    std::sort(replayScratch.begin(), replayScratch.end(),
+              [](const DynInst &a, const DynInst &b) {
+                  return a.seq < b.seq;
+              });
+    helios_assert(replayQueue.empty() || replayScratch.empty() ||
+                      replayScratch.back().seq <
+                          replayQueue.front().seq,
                   "replay order violated");
-    for (auto it = replay.rbegin(); it != replay.rend(); ++it)
-        replayQueue.push_front(it->second);
+    for (size_t i = replayScratch.size(); i-- > 0;)
+        replayQueue.push_front(replayScratch[i]);
 
     if (fetchStallSeq >= seq_min)
         fetchStallSeq = invalidSeq;
     lastFetchLine = ~0ULL;
     resumeFetchAfter(params.mispredictPenalty);
-    counter("flush.squashed_uops") += squashed.size();
+    literalCounter("flush.squashed_uops") += squashed_count;
 }
 
 // ---------------------------------------------------------------------
@@ -2010,13 +2189,14 @@ Pipeline::run()
             view.sq = &sqList;
             view.iqCount = iqCount;
             view.drainCount = drainQueue.size();
-            view.inflightCount = inflight.size();
+            view.inflightCount = inflightCount;
             view.allocatedRegs = allocatedRegs;
             auditor->onCycleEnd(view);
         }
 #endif
 
-        if (feedExhausted && replayQueue.empty() && inflight.empty() &&
+        if (feedExhausted && replayQueue.empty() &&
+            inflightCount == 0 &&
             drainQueue.empty() && decodePipe.empty() &&
             renamedQueue.empty() && aq.empty() && rob.empty()) {
             drained = true;
@@ -2044,7 +2224,7 @@ Pipeline::run()
         }
     }
 
-    if (feedExhausted && inflight.empty() && allocatedRegs != 0)
+    if (feedExhausted && inflightCount == 0 && allocatedRegs != 0)
         warn("PRF leak: %u registers still allocated at drain",
              allocatedRegs);
     AUDIT_HOOK(finalize(drained, cycle));
@@ -2055,7 +2235,7 @@ Pipeline::run()
     if (profiler)
         profiler->finalize(cycle);
 
-    counter("cycles") += cycle;
+    literalCounter("cycles") += cycle;
     PipelineResult result;
     result.cycles = cycle;
     result.instructions = statGroup.get("commit.insts");

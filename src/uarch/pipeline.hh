@@ -17,23 +17,26 @@
 #ifndef UARCH_PIPELINE_HH
 #define UARCH_PIPELINE_HH
 
+#include <array>
 #include <deque>
-#include <map>
 #include <memory>
 #include <queue>
-#include <set>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/ring.hh"
 #include "common/stats.hh"
 #include "fusion/fp_base.hh"
 #include "fusion/uch.hh"
 #include "sim/trace.hh"
 #include "uarch/branch_pred.hh"
 #include "uarch/cache.hh"
+#include "uarch/mem_filter.hh"
 #include "uarch/params.hh"
 #include "uarch/storeset.hh"
 #include "uarch/uop.hh"
+#include "uarch/uop_pool.hh"
 
 namespace helios
 {
@@ -135,29 +138,71 @@ class Pipeline
     void resumeFetchAfter(uint64_t delay);
 
     // ---- bookkeeping ----
-    Uop *findInflight(uint64_t seq) const;
+    /**
+     * O(1) in-flight lookup: seq & inflightMask picks the slot of a
+     * direct-mapped ring sized to at least twice the maximum number
+     * of in-flight sequence numbers, and the stored µ-op's own seq
+     * disambiguates — absent or long-retired seqs (e.g. a committed
+     * producer queried by sourceIsReady) miss on the compare.
+     */
+    Uop *
+    findInflight(uint64_t seq) const
+    {
+        Uop *uop = inflightSlots[seq & inflightMask];
+        return uop && uop->seq == seq ? uop : nullptr;
+    }
+
+    void inflightInsert(Uop *uop);
+    Uop *inflightErase(uint64_t seq);
     bool sourceIsReady(uint64_t producer_seq) const;
 
+    // ---- issue ready list (ascending seq, intrusive links) ----
+    void readyInsert(Uop *uop);
+    void readyRemove(Uop *uop);
+
     /**
-     * Hot-path counter access. Call sites must pass pointers with
-     * static storage duration (string literals): the pointer itself
-     * identifies the counter, so memoizing Stat addresses by pointer
-     * turns the per-event string-keyed lookup (~28% of simulation
-     * time) into a flat hash hit. Distinct literals with identical
-     * content coalesce onto one Stat through the content-hashed
-     * StatGroup index, paid once per pointer miss. Never pass a
-     * temporary's c_str() — a later allocation could reuse the
-     * address and alias a different counter; dynamic names go through
-     * statGroup.counter() directly (see squashFrom). Stat references
-     * are stable: StatGroup stores counters in a stable deque.
+     * Hot-path counter access, memoized by *content* in a
+     * string_view-keyed map: identical names from different call
+     * sites or translation units always coalesce onto one Stat, and
+     * temporaries (e.g. squashFrom's formatted flush reason) are safe
+     * because the cache key views the name interned inside StatGroup
+     * (stable for the group's lifetime), never the caller's storage.
+     * Stat references are stable: StatGroup stores counters in a
+     * deque. The per-µop hottest counters skip even this hash via the
+     * HotStats references bound at construction.
      */
     Stat &
-    counter(const char *name)
+    counter(std::string_view name)
     {
-        auto [it, fresh] = statCache.try_emplace(name, nullptr);
-        if (fresh)
-            it->second = &statGroup.counter(name);
-        return *it->second;
+        auto it = statCache.find(name);
+        if (it != statCache.end())
+            return *it->second;
+        auto [stable_name, stat] = statGroup.counterEntry(name);
+        statCache.emplace(std::string_view(*stable_name), stat);
+        return *stat;
+    }
+
+    /**
+     * Even cheaper counter access for call sites that pass *string
+     * literals*: a direct-mapped memo keyed on the literal's address
+     * skips the string hash entirely (one pointer compare on the hot
+     * path). Safe only because a literal's address is stable for the
+     * whole program; never call this with heap or stack storage (use
+     * counter() for formatted names). Misses — including the rare
+     * collision between two literals mapping to the same slot — fall
+     * back to the content-keyed counter(), so aliasing can never
+     * attribute an increment to the wrong Stat.
+     */
+    Stat &
+    literalCounter(const char *name)
+    {
+        auto &slot = literalStats[(reinterpret_cast<uintptr_t>(name) >>
+                                   3) % literalStats.size()];
+        if (slot.first != name) {
+            slot.first = name;
+            slot.second = &counter(name);
+        }
+        return *slot.second;
     }
 
     const CoreParams params;
@@ -171,7 +216,35 @@ class Pipeline
     std::unique_ptr<FusionProfiler> profiler;
 
     StatGroup statGroup;
-    std::unordered_map<const char *, Stat *> statCache;
+    std::unordered_map<std::string_view, Stat *> statCache;
+    /** literalCounter()'s direct-mapped address-keyed memo. */
+    std::array<std::pair<const char *, Stat *>, 64> literalStats{};
+
+    /** Per-µop / per-event counters hot enough to bypass even the
+     *  content-hashed cache: bound once in the constructor. */
+    struct HotStats
+    {
+        Stat &fetchUops;
+        Stat &fetchBlocked;
+        Stat &fetchMispredictStall;
+        Stat &renameUops;
+        Stat &renameAqEmpty;
+        Stat &renameBacklog;
+        Stat &dispatchUops;
+        Stat &issueUops;
+        Stat &execLoads;
+        Stat &execStores;
+        Stat &stlfForwards;
+        Stat &stlfPartial;
+        Stat &lineCrossers;
+        Stat &commitInsts;
+        Stat &commitUops;
+        Stat &commitLoads;
+        Stat &commitStores;
+        Stat &cpiRetiring;
+    };
+    static HotStats bindHotStats(StatGroup &group);
+    HotStats hot;
 
     // Telemetry histograms (live inside statGroup; non-null only when
     // CoreParams::sampleHistograms asked for per-cycle sampling).
@@ -196,43 +269,70 @@ class Pipeline
     uint64_t cycle = 0;
     bool feedExhausted = false;
 
-    // Master ownership of in-flight µ-ops.
-    std::unordered_map<uint64_t, std::unique_ptr<Uop>> inflight;
+    // Master index plus storage of in-flight µ-ops: records live in
+    // the slab pool, the seq-indexed ring gives O(1) lookup (see
+    // findInflight). maxFetchedSeq bounds squash sweeps.
+    UopPool uopPool;
+    std::vector<Uop *> inflightSlots;
+    uint64_t inflightMask = 0;
+    size_t inflightCount = 0;
+    uint64_t maxFetchedSeq = 0;
 
     // Replayed (squashed) instructions to refetch, in program order.
     std::deque<DynInst> replayQueue;
 
-    // Front end.
+    // Front end. Groups recycle in place (emplace_back hands back the
+    // slot, keeping the uops vector's capacity); `consumed` marks the
+    // prefix already moved into the AQ, `fused` that consecutive
+    // fusion already ran (it must run exactly once per group — a
+    // rerun on an AQ-stalled remainder could re-fuse an already-fused
+    // head and silently drop its absorbed tail).
     struct DecodeGroup
     {
         std::vector<Uop *> uops;
-        uint64_t readyCycle;
+        size_t consumed = 0;
+        uint64_t readyCycle = 0;
+        bool fused = false;
     };
-    std::deque<DecodeGroup> decodePipe;
+    RingBuffer<DecodeGroup> decodePipe;
+    std::vector<Uop *> fuseScratch; ///< applyConsecutiveFusion output
     uint64_t fetchBlockedUntil = 0;
     uint64_t fetchStallSeq = ~0ULL; ///< mispredicted branch in flight
     uint64_t lastFetchLine = ~0ULL;
 
-    // Allocation Queue, rename output, ROB.
-    std::deque<Uop *> aq;
-    std::deque<Uop *> renamedQueue;
-    std::deque<Uop *> rob;
+    // Allocation Queue, rename output, ROB: fixed-capacity rings (the
+    // structural limits are hard caps, so they never reallocate).
+    RingBuffer<Uop *> aq;
+    RingBuffer<Uop *> renamedQueue;
+    RingBuffer<Uop *> rob;
 
     // Load/store queues (program order; drainQueue holds committed
     // stores until they retire into the cache).
-    std::deque<Uop *> lqList;
-    std::deque<Uop *> sqList;
+    RingBuffer<Uop *> lqList;
+    RingBuffer<Uop *> sqList;
 
-    // Memory µ-ops whose effective address is still unknown, by seq.
-    // A fused pair commits at the head's ROB slot, hoisting its tail
-    // past the catalyst window — it must wait for every catalyst
-    // memory access to resolve first, or an alias could slip past the
-    // LQ/SQ snoops (which only cover pre-commit µ-ops).
-    std::set<uint64_t> unresolvedLoads;
-    std::set<uint64_t> unresolvedStores;
+    // Conservative byte-range filters over executed-but-not-retired
+    // memory µ-ops: loadFilter mirrors addrKnown LQ entries,
+    // storeFilter mirrors addrKnown SQ entries plus the drain queue.
+    // A miss proves no overlap, so the LQ snoop in executeStore and
+    // the SQ/drain forwarding scans in loadHalfLatency skip their
+    // linear walks in the common no-alias case.
+    MemRangeFilter loadFilter;
+    MemRangeFilter storeFilter;
 
-    // Issue bookkeeping.
-    std::map<uint64_t, Uop *> readySet; // ordered by age
+    // Memory µ-ops whose effective address is still unknown, indexed
+    // by seq on the same ring geometry as inflightSlots (0: resolved
+    // or not a memory op; 1: load pending; 2: store pending). A fused
+    // pair commits at the head's ROB slot, hoisting its tail past the
+    // catalyst window — it must wait for every catalyst memory access
+    // of the opposite kind to resolve first, or an alias could slip
+    // past the LQ/SQ snoops (which only cover pre-commit µ-ops).
+    std::vector<uint8_t> unresolvedKind;
+
+    // Issue bookkeeping: ready µ-ops chain through their intrusive
+    // readyPrev/readyNext links in ascending seq order.
+    Uop *readyHead = nullptr;
+    Uop *readyTail = nullptr;
     struct Event
     {
         uint64_t cycle;
@@ -254,12 +354,9 @@ class Pipeline
     uint64_t flushRequestSeq = ~0ULL;
     const char *flushReason = nullptr;
 
-    // Post-commit store drain.
-    struct DrainEntry
-    {
-        std::unique_ptr<Uop> uop;
-    };
-    std::deque<DrainEntry> drainQueue;
+    // Post-commit store drain (entries return to uopPool when the
+    // store retires into the cache).
+    RingBuffer<Uop *> drainQueue;
     uint64_t drainBusyUntil = 0;
 
     // Rename-side Helios state.
@@ -272,9 +369,7 @@ class Pipeline
     std::vector<Uop *> activeNcsHeads; ///< renamed, marker not yet
     unsigned pendingNcsf = 0;          ///< fused-in-AQ, marker pending
 
-    // Dyn records of arch instructions fetched so far (for squash
-    // replay we only need in-flight ones; committed are dropped).
-    uint64_t nextFetchSeq = 0;
+    std::vector<DynInst> replayScratch; ///< squashFrom working set
 };
 
 } // namespace helios

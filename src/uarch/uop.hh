@@ -105,6 +105,13 @@ struct Uop
     std::vector<uint64_t> dependentsTail; ///< woken by tail half
     uint64_t waitStoreSeq = ~0ULL;    ///< store-set dependence
 
+    // ---- issue ready list (intrusive, owned by Pipeline) ----
+    // Doubly linked in ascending seq order so issue walks exactly the
+    // ready µ-ops oldest-first, replacing the std::map rescan.
+    Uop *readyPrev = nullptr;
+    Uop *readyNext = nullptr;
+    bool inReadyList = false;
+
     // ---- pipeline state ----
     bool inAq = false;
     bool renamed = false;
@@ -126,6 +133,28 @@ struct Uop
     bool addrKnown = false;
     uint64_t memBegin = 0; ///< effective byte range (both nucleii)
     uint64_t memEnd = 0;
+
+    /**
+     * Reset to freshly-constructed state while keeping the heap
+     * capacity of the three dependency vectors, so a UopPool-recycled
+     * slot is indistinguishable from a new Uop but allocation-free in
+     * steady state. Exactness matters: pooled and heap-per-µ-op runs
+     * must be bit-identical (tests/test_perf_structures.cc).
+     */
+    void
+    recycle()
+    {
+        auto tail_producers = std::move(tailProducers);
+        auto deps_head = std::move(dependents);
+        auto deps_tail = std::move(dependentsTail);
+        tail_producers.clear();
+        deps_head.clear();
+        deps_tail.clear();
+        *this = Uop();
+        tailProducers = std::move(tail_producers);
+        dependents = std::move(deps_head);
+        dependentsTail = std::move(deps_tail);
+    }
 
     bool
     isLoad() const

@@ -348,7 +348,7 @@ TEST(AuditorCorruption, StructuralOverflowDetected)
 
     std::vector<Uop> storage;
     storage.reserve(params.robSize + 1);
-    std::deque<Uop *> rob;
+    RingBuffer<Uop *> rob(params.robSize + 1);
     for (uint64_t seq = 0; seq <= params.robSize; ++seq) {
         storage.push_back(makeUop(aluDyn(seq)));
         rob.push_back(&storage.back());
@@ -367,7 +367,9 @@ TEST(AuditorCorruption, LoadQueueDisorderDetected)
     PipelineAuditor auditor(CoreParams::icelake(FusionMode::Helios));
     Uop older = makeUop(memDyn(1, Op::Ld, 8, 0x2000));
     Uop younger = makeUop(memDyn(2, Op::Ld, 8, 0x2008));
-    std::deque<Uop *> lq = {&younger, &older}; // inverted
+    RingBuffer<Uop *> lq(2);
+    lq.push_back(&younger); // inverted
+    lq.push_back(&older);
 
     AuditView view;
     view.lq = &lq;

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -106,4 +107,65 @@ TEST(Cli, ProfileWritesSchemaV2WithProfileSection)
 TEST(Cli, UnknownOptionExitsTwo)
 {
     EXPECT_EQ(runCli("--no-such-flag"), 2);
+}
+
+namespace
+{
+
+/** Run helios_run with @a args, capturing stdout into @a out. */
+int
+runCliCapture(const std::string &args, std::string &out)
+{
+    const std::string path = tempPath("cli_stdout.txt");
+    const std::string command = std::string(HELIOS_RUN_BIN) + " " +
+                                DOTPROD_S + " --max-insts 2000 " +
+                                args + " > " + path + " 2>&1";
+    const int status = std::system(command.c_str());
+    EXPECT_TRUE(WIFEXITED(status)) << command;
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    out = text.str();
+    std::remove(path.c_str());
+    return WEXITSTATUS(status);
+}
+
+} // namespace
+
+TEST(Cli, TimeFlagPrintsSimulationSpeedLine)
+{
+    // One fixed-format line: wall seconds, host-MHz-equivalent
+    // (simulated cycles per host second), simulated µops per second.
+    std::string out;
+    ASSERT_EQ(runCliCapture("--time", out), 0);
+    double seconds = 0, mhz = 0, muops = 0;
+    const char *line = std::strstr(out.c_str(), "time: ");
+    ASSERT_NE(line, nullptr) << out;
+    ASSERT_EQ(std::sscanf(line,
+                          "time: %lf s wall, %lf MHz-equivalent, "
+                          "%lf Muops/s",
+                          &seconds, &mhz, &muops),
+              3)
+        << out;
+    EXPECT_GE(seconds, 0.0);
+    // A 2000-instruction run cannot take zero cycles or µops, so the
+    // rates are positive whenever the clock resolved at all.
+    if (seconds > 0) {
+        EXPECT_GT(mhz, 0.0);
+        EXPECT_GT(muops, 0.0);
+    }
+}
+
+TEST(Cli, TimeFlagWorksWithSweep)
+{
+    std::string out;
+    ASSERT_EQ(runCliCapture("--sweep --time --jobs 1", out), 0);
+    EXPECT_NE(out.find("time: "), std::string::npos) << out;
+}
+
+TEST(Cli, TimeFlagNeedsTimingModel)
+{
+    // fatal() exits 1: --functional has no cycle count to report.
+    std::string out;
+    EXPECT_EQ(runCliCapture("--functional --time", out), 1);
 }
