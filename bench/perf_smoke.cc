@@ -22,6 +22,25 @@
  *                         (default 3)
  *       --max-insts N     per-cell instruction budget
  *                         (default 300000)
+ *       --functional-insts N       instruction budget for the
+ *                         functional cells (default 2000000 — the
+ *                         functional engines are orders of magnitude
+ *                         faster than the cycle model, so they need a
+ *                         bigger budget for a stable wall-clock read)
+ *       --functional-tolerance PCT max allowed functional
+ *                         throughput drop vs the baseline (default 30)
+ *       --min-functional-speedup X fail (exit 1) unless the fast
+ *                         engine's geomean is at least X times the
+ *                         reference engine's in this very run
+ *                         (default 0 = disabled; CI passes a floor —
+ *                         the ratio of two same-host measurements is
+ *                         far less noisy than either absolute rate)
+ *
+ * Besides the cycle-model matrix, a functional section measures raw
+ * architectural instructions per host second on the same three
+ * workloads under both functional engines (the reference step() loop
+ * and the fast-forward decoder-cache engine), reporting per-cell
+ * rates, per-engine geomeans and the fast/reference speedup.
  *
  * The matrix is three workloads of deliberately different character
  * (605.mcf_s: pointer chasing and flushes; qsort: branchy integer
@@ -69,7 +88,9 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: perf_smoke [--out PATH] [--baseline PATH] "
-                 "[--tolerance PCT] [--runs N] [--max-insts N]\n");
+                 "[--tolerance PCT] [--runs N] [--max-insts N] "
+                 "[--functional-insts N] [--functional-tolerance PCT] "
+                 "[--min-functional-speedup X]\n");
 }
 
 std::string
@@ -77,6 +98,27 @@ cellKey(const Cell &cell)
 {
     return std::string(cell.workload) + "/" +
            fusionModeName(cell.mode);
+}
+
+struct FunctionalCell
+{
+    const char *workload;
+    bool fastPath;
+    double instsPerSec = 0.0; ///< best of N runs
+    uint64_t instructions = 0;
+};
+
+const char *
+engineName(bool fast_path)
+{
+    return fast_path ? "fast" : "reference";
+}
+
+std::string
+functionalKey(const FunctionalCell &cell)
+{
+    return std::string(cell.workload) + "/" +
+           engineName(cell.fastPath);
 }
 
 } // namespace
@@ -87,8 +129,11 @@ main(int argc, char **argv)
     std::string out_path;
     std::string baseline_path;
     double tolerance = 25.0;
+    double functional_tolerance = 30.0;
+    double min_functional_speedup = 0.0;
     int runs = 3;
     uint64_t max_insts = 300000;
+    uint64_t functional_insts = 2'000'000;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -109,12 +154,19 @@ main(int argc, char **argv)
             runs = std::atoi(value());
         } else if (arg == "--max-insts") {
             max_insts = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--functional-insts") {
+            functional_insts = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--functional-tolerance") {
+            functional_tolerance = std::strtod(value(), nullptr);
+        } else if (arg == "--min-functional-speedup") {
+            min_functional_speedup = std::strtod(value(), nullptr);
         } else {
             usage();
             return 2;
         }
     }
-    if (runs < 1 || tolerance < 0) {
+    if (runs < 1 || tolerance < 0 || functional_tolerance < 0 ||
+        min_functional_speedup < 0) {
         usage();
         return 2;
     }
@@ -162,6 +214,53 @@ main(int argc, char **argv)
     const double headline = geomean(rates);
     std::printf("\ngeomean: %.2f Muops/s\n", headline / 1e6);
 
+    // Functional section: raw architectural instructions per host
+    // second, reference step() loop vs fast-forward engine.
+    std::printf("\nfunctional engines — instructions per host second "
+                "(budget %llu)\n",
+                (unsigned long long)functional_insts);
+
+    std::vector<FunctionalCell> functional_cells = {
+        {"605.mcf_s", false}, {"605.mcf_s", true},
+        {"qsort", false},     {"qsort", true},
+        {"fft", false},       {"fft", true},
+    };
+
+    Table functional_table({"workload", "engine", "insts", "Minst/s"});
+    std::vector<double> reference_rates, fast_rates;
+    for (FunctionalCell &cell : functional_cells) {
+        const Workload &workload = findWorkload(cell.workload);
+        for (int attempt = 0; attempt < runs; ++attempt) {
+            Stopwatch timer;
+            const FunctionalResult result =
+                runFunctional(workload, functional_insts,
+                              cell.fastPath);
+            const double seconds = timer.seconds();
+            const double rate =
+                seconds > 0 ? double(result.instructions) / seconds
+                            : 0;
+            if (rate > cell.instsPerSec) {
+                cell.instsPerSec = rate;
+                cell.instructions = result.instructions;
+            }
+        }
+        (cell.fastPath ? fast_rates : reference_rates)
+            .push_back(cell.instsPerSec);
+        functional_table.addRow(
+            {cell.workload, engineName(cell.fastPath),
+             std::to_string(cell.instructions),
+             Table::num(cell.instsPerSec / 1e6, 2)});
+    }
+    functional_table.print();
+    const double reference_geomean = geomean(reference_rates);
+    const double fast_geomean = geomean(fast_rates);
+    const double speedup = reference_geomean > 0
+                               ? fast_geomean / reference_geomean
+                               : 0.0;
+    std::printf("\nfunctional geomean: reference %.2f Minst/s, "
+                "fast %.2f Minst/s, speedup %.1fx\n",
+                reference_geomean / 1e6, fast_geomean / 1e6, speedup);
+
     if (!out_path.empty()) {
         JsonValue root = JsonValue::object();
         root.set("generator", "perf_smoke");
@@ -179,6 +278,23 @@ main(int argc, char **argv)
             cell_array.push(std::move(entry));
         }
         root.set("cells", std::move(cell_array));
+        JsonValue functional = JsonValue::object();
+        functional.set("max_insts", functional_insts);
+        functional.set("geomean_reference_insts_per_sec",
+                       reference_geomean);
+        functional.set("geomean_fast_insts_per_sec", fast_geomean);
+        functional.set("speedup", speedup);
+        JsonValue functional_array = JsonValue::array();
+        for (const FunctionalCell &cell : functional_cells) {
+            JsonValue entry = JsonValue::object();
+            entry.set("workload", cell.workload);
+            entry.set("engine", engineName(cell.fastPath));
+            entry.set("instructions", cell.instructions);
+            entry.set("insts_per_sec", cell.instsPerSec);
+            functional_array.push(std::move(entry));
+        }
+        functional.set("cells", std::move(functional_array));
+        root.set("functional", std::move(functional));
         std::ofstream file(out_path);
         if (!file) {
             warn("perf_smoke: cannot write %s", out_path.c_str());
@@ -188,8 +304,17 @@ main(int argc, char **argv)
         std::printf("wrote %s\n", out_path.c_str());
     }
 
+    int failures = 0;
+    if (min_functional_speedup > 0 &&
+        speedup < min_functional_speedup) {
+        std::printf("\nfunctional fast-engine speedup %.1fx is below "
+                    "the required %.1fx\n",
+                    speedup, min_functional_speedup);
+        ++failures;
+    }
+
     if (baseline_path.empty())
-        return 0;
+        return failures > 0 ? 1 : 0;
 
     std::ifstream file(baseline_path);
     if (!file) {
@@ -241,11 +366,64 @@ main(int argc, char **argv)
                     "geomean", base_geomean / 1e6, headline / 1e6,
                     change);
     }
+
+    // Functional cells get their own tolerance: the engines are so
+    // much faster than the cycle model that the same absolute noise
+    // is a different relative wobble.
+    int functional_regressions = 0;
+    if (base.has("functional")) {
+        const JsonValue &base_functional_cells =
+            base.at("functional").at("cells");
+        for (const FunctionalCell &cell : functional_cells) {
+            const JsonValue *match = nullptr;
+            for (size_t i = 0; i < base_functional_cells.size();
+                 ++i) {
+                const JsonValue &entry = base_functional_cells.at(i);
+                if (entry.at("workload").asString() ==
+                        cell.workload &&
+                    entry.at("engine").asString() ==
+                        engineName(cell.fastPath)) {
+                    match = &entry;
+                    break;
+                }
+            }
+            if (!match) {
+                std::printf("  [new cell]  %s\n",
+                            functionalKey(cell).c_str());
+                continue;
+            }
+            const double before =
+                match->at("insts_per_sec").asDouble();
+            if (before <= 0)
+                continue;
+            const double change =
+                (cell.instsPerSec - before) / before * 100.0;
+            const bool bad = change < -functional_tolerance;
+            if (bad)
+                ++functional_regressions;
+            std::printf("  %-24s %8.2f -> %8.2f Minst/s (%+.1f%%)%s\n",
+                        functionalKey(cell).c_str(), before / 1e6,
+                        cell.instsPerSec / 1e6, change,
+                        bad ? "  REGRESSION" : "");
+        }
+    } else {
+        std::printf("  [new section]  functional\n");
+    }
+
     if (regressions > 0) {
         std::printf("\n%d cell(s) regressed more than %.0f%%\n",
                     regressions, tolerance);
-        return 1;
+        ++failures;
     }
-    std::printf("\nwithin %.0f%% of baseline\n", tolerance);
+    if (functional_regressions > 0) {
+        std::printf("\n%d functional cell(s) regressed more than "
+                    "%.0f%%\n",
+                    functional_regressions, functional_tolerance);
+        ++failures;
+    }
+    if (failures > 0)
+        return 1;
+    std::printf("\nwithin %.0f%% of baseline (functional: %.0f%%)\n",
+                tolerance, functional_tolerance);
     return 0;
 }

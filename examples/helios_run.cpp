@@ -35,8 +35,18 @@
  *                                          wall-clock seconds, host-
  *                                          MHz-equivalent (simulated
  *                                          cycles per host second) and
- *                                          simulated µops per second
- *       --functional                       skip the timing model
+ *                                          simulated µops per second;
+ *                                          with --functional the line
+ *                                          is wall seconds + Minst/s
+ *       --functional                       skip the timing model and
+ *                                          execute through the fast-
+ *                                          forward engine (decoder
+ *                                          cache + threaded dispatch)
+ *       --engine fast|reference            functional engine choice
+ *                                          (default fast; reference
+ *                                          is the step()-loop baseline
+ *                                          the fast engine is verified
+ *                                          against)
  *       --sweep                            run ALL configurations as a
  *                                          parallel matrix and print a
  *                                          comparison table
@@ -94,8 +104,8 @@ usage()
                  "[--max-insts N] [--trace FILE] [--pipeview] "
                  "[--stats] [--cpi-stack] [--report FILE] "
                  "[--profile FILE] [--window N] [--annotate] "
-                 "[--time] [--functional] [--sweep] [--jobs N] "
-                 "[--audit]\n");
+                 "[--time] [--functional] [--engine fast|reference] "
+                 "[--sweep] [--jobs N] [--audit]\n");
 }
 
 /**
@@ -322,6 +332,7 @@ main(int argc, char **argv)
     bool pipeview = false, dump_stats = false, functional_only = false;
     bool cpi_stack = false, sweep = false, audit = false;
     bool annotate = false, timing = false;
+    bool fast_engine = true, engine_chosen = false;
 
     // Options taking a value; missing values are a usage error (exit
     // 2), same as unknown options.
@@ -366,6 +377,21 @@ main(int argc, char **argv)
             timing = true;
         } else if (arg == "--functional") {
             functional_only = true;
+        } else if (arg == "--engine") {
+            const std::string engine = value_of(i, "--engine");
+            engine_chosen = true;
+            if (engine == "fast") {
+                fast_engine = true;
+            } else if (engine == "reference") {
+                fast_engine = false;
+            } else {
+                std::fprintf(stderr,
+                             "helios_run: unknown engine '%s' "
+                             "(fast|reference)\n",
+                             engine.c_str());
+                usage();
+                return 2;
+            }
         } else if (arg == "--sweep") {
             sweep = true;
         } else if (arg == "--audit") {
@@ -410,10 +436,13 @@ main(int argc, char **argv)
                   "--functional");
         if (functional_only &&
             (!trace_path.empty() || cpi_stack || pipeview ||
-             !profile_path.empty() || annotate || timing))
+             !profile_path.empty() || annotate))
             fatal("--trace/--cpi-stack/--pipeview/--profile/"
-                  "--annotate/--time need the timing model; drop "
+                  "--annotate need the timing model; drop "
                   "--functional");
+        if (engine_chosen && !functional_only)
+            fatal("--engine selects the functional execution engine; "
+                  "add --functional");
         if (sweep && !trace_path.empty())
             fatal("--trace records one run; pick a --config instead "
                   "of --sweep");
@@ -435,15 +464,29 @@ main(int argc, char **argv)
 
         Stopwatch timer;
         if (functional_only) {
-            const uint64_t executed = hart.run(max_insts);
+            const uint64_t executed = fast_engine
+                                          ? hart.runFast(max_insts)
+                                          : hart.run(max_insts);
             const double elapsed = timer.seconds();
-            std::printf("functional: %llu instructions in %.3f s "
-                        "(%.1f M inst/s, pre-decoded %zu static "
-                        "insts)\n",
-                        (unsigned long long)executed, elapsed,
-                        elapsed > 0 ? double(executed) / elapsed / 1e6
-                                    : 0.0,
-                        hart.decodeCacheSize());
+            const double minst_per_sec =
+                elapsed > 0 ? double(executed) / elapsed / 1e6 : 0.0;
+            if (fast_engine)
+                std::printf("functional: %llu instructions in %.3f s "
+                            "(%.1f M inst/s, fast engine: %zu cache "
+                            "entries, %zu fused pairs)\n",
+                            (unsigned long long)executed, elapsed,
+                            minst_per_sec, hart.fastCacheEntries(),
+                            hart.fastFusedPairs());
+            else
+                std::printf("functional: %llu instructions in %.3f s "
+                            "(%.1f M inst/s, reference engine, "
+                            "pre-decoded %zu static insts)\n",
+                            (unsigned long long)executed, elapsed,
+                            minst_per_sec, hart.decodeCacheSize());
+            if (timing)
+                std::printf("time: %.3f s wall, %.2f Minst/s "
+                            "(functional)\n",
+                            elapsed, minst_per_sec);
         } else {
             HartFeed feed(hart, max_insts);
             CoreParams params = CoreParams::icelake(mode);

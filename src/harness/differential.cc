@@ -5,6 +5,8 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "sim/hart.hh"
+#include "sim/memory.hh"
 #include "uarch/auditor.hh"
 
 namespace helios
@@ -161,6 +163,185 @@ runDifferentialAll(const DiffOptions &opts)
     for (const Workload &workload : allWorkloads())
         workloads.push_back(&workload);
     return runDifferential(workloads, opts);
+}
+
+std::string
+EngineDiffViolation::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"workload\":\"" << jsonEscape(workload) << "\""
+        << ",\"check\":\"" << jsonEscape(check) << "\""
+        << ",\"seq\":" << seq
+        << ",\"detail\":\"" << jsonEscape(detail) << "\"}";
+    return out.str();
+}
+
+std::string
+EngineDiffReport::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"ok\":" << (ok() ? "true" : "false")
+        << ",\"workloads\":" << workloads.size()
+        << ",\"traced_instructions\":" << tracedInstructions
+        << ",\"untraced_instructions\":" << untracedInstructions
+        << ",\"violations\":[";
+    for (size_t v = 0; v < violations.size(); ++v)
+        out << (v ? "," : "") << violations[v].toJson();
+    out << "]}";
+    return out.str();
+}
+
+const Workload &
+smcPatchWorkload()
+{
+    static const Workload workload = [] {
+        Workload w;
+        w.name = "smc_patch";
+        w.suite = Suite::MiBench;
+        w.description =
+            "self-modifying loop: rewrites its addi immediate in text "
+            "every iteration (decoder-cache invalidation stress)";
+        // Each iteration executes `addi t1, zero, <imm>`, folds t1
+        // into the checksum, then stores a freshly encoded word over
+        // that very addi, setting <imm> to the loop counter:
+        // (imm << 20) | (rd=t1 << 7) | 0x13.
+        w.source = R"(
+            li s0, 0
+            li s1, 64
+            la t0, patch
+        loop:
+        patch:
+            addi t1, zero, 0
+            add s0, s0, t1
+            slli t2, s1, 20
+            li t3, 0x313
+            or t2, t2, t3
+            sw t2, 0(t0)
+            addi s1, s1, -1
+            bnez s1, loop
+            mv a0, s0
+            li a7, 93
+            ecall
+        )";
+        w.reference = [] {
+            uint64_t sum = 0;
+            uint64_t imm = 0;
+            for (int i = 64; i >= 1; --i) {
+                sum += imm;
+                imm = uint64_t(i);
+            }
+            return sum;
+        };
+        return w;
+    }();
+    return workload;
+}
+
+EngineDiffReport
+runEngineDifferential(const std::vector<const Workload *> &workloads,
+                      uint64_t max_insts, uint64_t traced_insts)
+{
+    EngineDiffReport report;
+    for (const Workload *workload : workloads) {
+        report.workloads.push_back(workload->name);
+        const auto add = [&](const std::string &check,
+                             const std::string &detail,
+                             uint64_t seq = 0) {
+            report.violations.push_back(
+                {workload->name, check, detail, seq});
+        };
+        std::ostringstream detail;
+
+        // 1. Traced lockstep: the engines must emit byte-identical
+        // DynInst records in program order.
+        {
+            Memory ref_mem, fast_mem;
+            Hart ref(ref_mem), fast(fast_mem);
+            ref.reset(workload->program());
+            fast.reset(workload->program());
+            DynInst a, b;
+            for (uint64_t n = 0; n < traced_insts; ++n) {
+                const bool more_ref = ref.step(a);
+                const bool more_fast = fast.stepFast(b);
+                if (more_ref != more_fast) {
+                    detail.str("");
+                    detail << "after " << n << " records the "
+                           << (more_ref ? "fast" : "reference")
+                           << " engine exited first";
+                    add("trace_length", detail.str(), n);
+                    break;
+                }
+                if (!more_ref)
+                    break;
+                ++report.tracedInstructions;
+                if (a.seq != b.seq || a.pc != b.pc ||
+                    a.nextPc != b.nextPc || a.effAddr != b.effAddr ||
+                    a.taken != b.taken || a.inst.op != b.inst.op ||
+                    a.inst.rd != b.inst.rd ||
+                    a.inst.rs1 != b.inst.rs1 ||
+                    a.inst.rs2 != b.inst.rs2 ||
+                    a.inst.imm != b.inst.imm ||
+                    a.inst.raw != b.inst.raw) {
+                    detail.str("");
+                    detail << "DynInst diverges at seq " << a.seq
+                           << ": reference pc 0x" << std::hex << a.pc
+                           << " raw 0x" << a.inst.raw << ", fast pc 0x"
+                           << b.pc << " raw 0x" << b.inst.raw;
+                    add("dyninst_stream", detail.str(), a.seq);
+                    break;
+                }
+            }
+        }
+
+        // 2. Untraced end state: full-speed runs must land on the
+        // same architectural fingerprint.
+        const FunctionalResult ref_result =
+            runFunctional(*workload, max_insts, false);
+        const FunctionalResult fast_result =
+            runFunctional(*workload, max_insts, true);
+        report.untracedInstructions += ref_result.instructions;
+        if (ref_result.instructions != fast_result.instructions) {
+            detail.str("");
+            detail << "reference executed " << ref_result.instructions
+                   << " instructions, fast executed "
+                   << fast_result.instructions;
+            add("inst_count", detail.str());
+        }
+        if (ref_result.archChecksum != fast_result.archChecksum) {
+            detail.str("");
+            detail << "arch checksum 0x" << std::hex
+                   << ref_result.archChecksum << " vs 0x"
+                   << fast_result.archChecksum;
+            add("arch_state", detail.str());
+        }
+        if (ref_result.memChecksum != fast_result.memChecksum) {
+            detail.str("");
+            detail << "memory checksum 0x" << std::hex
+                   << ref_result.memChecksum << " vs 0x"
+                   << fast_result.memChecksum;
+            add("mem_state", detail.str());
+        }
+        if (ref_result.exited != fast_result.exited ||
+            ref_result.exitCode != fast_result.exitCode) {
+            detail.str("");
+            detail << "exit state (" << ref_result.exited << ", "
+                   << ref_result.exitCode << ") vs ("
+                   << fast_result.exited << ", "
+                   << fast_result.exitCode << ")";
+            add("exit_state", detail.str());
+        }
+    }
+    return report;
+}
+
+EngineDiffReport
+runEngineDifferentialAll(uint64_t max_insts, uint64_t traced_insts)
+{
+    std::vector<const Workload *> workloads;
+    for (const Workload &workload : allWorkloads())
+        workloads.push_back(&workload);
+    workloads.push_back(&smcPatchWorkload());
+    return runEngineDifferential(workloads, max_insts, traced_insts);
 }
 
 } // namespace helios

@@ -107,6 +107,73 @@ DiffReport runDifferential(const std::vector<const Workload *> &workloads,
 /** Convenience: the full workload suite. */
 DiffReport runDifferentialAll(const DiffOptions &opts = {});
 
+/** One fast-vs-reference engine equivalence failure. */
+struct EngineDiffViolation
+{
+    std::string workload;
+    std::string check;  ///< "dyninst_stream", "trace_length",
+                        ///< "inst_count", "arch_state", "mem_state"
+                        ///< or "exit_state"
+    std::string detail; ///< human-readable specifics
+    uint64_t seq = 0;   ///< first diverging sequence number (0 if n/a)
+
+    std::string toJson() const;
+};
+
+/** Result of a fast-vs-reference engine equivalence sweep. */
+struct EngineDiffReport
+{
+    std::vector<std::string> workloads;
+    std::vector<EngineDiffViolation> violations;
+    uint64_t tracedInstructions = 0;   ///< DynInsts compared in lockstep
+    uint64_t untracedInstructions = 0; ///< insts executed per engine
+
+    bool ok() const { return violations.empty(); }
+
+    /** Machine-readable report: {"ok":..., "violations":[...], ...}. */
+    std::string toJson() const;
+};
+
+/**
+ * Prove the fast-forward engine (Hart::runFast / Hart::stepFast)
+ * bit-identical to the reference engine (Hart::run / Hart::step).
+ * For each workload, two independent checks:
+ *
+ *  1. traced lockstep — step() and stepFast() advance private harts
+ *     side by side and every DynInst field (seq, pc, nextPc, decoded
+ *     instruction including the raw word, effective address, branch
+ *     outcome) is compared record by record for the first
+ *     @a traced_insts instructions;
+ *  2. untraced end state — run() and runFast() execute under
+ *     @a max_insts and the final Hart::archChecksum(),
+ *     Memory::checksum(), executed-instruction count and exit
+ *     status/code must all match.
+ */
+EngineDiffReport
+runEngineDifferential(const std::vector<const Workload *> &workloads,
+                      uint64_t max_insts = UINT64_MAX,
+                      uint64_t traced_insts = 20'000);
+
+/**
+ * Convenience: the full workload suite plus a self-modifying-code
+ * kernel (smcPatchWorkload()) that patches instruction words inside
+ * its own hot loop, exercising the decoder-cache invalidation path
+ * under both engines.
+ */
+EngineDiffReport
+runEngineDifferentialAll(uint64_t max_insts = UINT64_MAX,
+                         uint64_t traced_insts = 20'000);
+
+/**
+ * A self-checking kernel that stores into its own text segment every
+ * iteration (rewriting an addi immediate), so any stale decoder-cache
+ * entry or block descriptor shows up as a checksum divergence. Not
+ * part of allWorkloads() — the paper matrix never self-modifies — but
+ * appended by runEngineDifferentialAll() and usable directly in
+ * tests.
+ */
+const Workload &smcPatchWorkload();
+
 } // namespace helios
 
 #endif // HARNESS_DIFFERENTIAL_HH

@@ -162,6 +162,24 @@ runMatrix(const std::vector<MatrixCell> &cells, unsigned jobs)
     return results;
 }
 
+FunctionalResult
+runFunctional(const Workload &workload, uint64_t max_insts,
+              bool fast_path)
+{
+    Memory mem;
+    Hart hart(mem);
+    hart.reset(workload.program());
+
+    FunctionalResult result;
+    result.instructions =
+        fast_path ? hart.runFast(max_insts) : hart.run(max_insts);
+    result.archChecksum = hart.archChecksum();
+    result.memChecksum = mem.checksum();
+    result.exited = hart.exited();
+    result.exitCode = hart.exitCode();
+    return result;
+}
+
 std::vector<DynInst>
 functionalTrace(const Workload &workload, uint64_t max_insts)
 {

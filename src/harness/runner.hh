@@ -129,6 +129,27 @@ std::vector<RunResult> runMatrix(const std::vector<MatrixCell> &cells,
  */
 unsigned defaultJobCount();
 
+/** Final state of a functional-only (no timing model) run. */
+struct FunctionalResult
+{
+    uint64_t instructions = 0; ///< executed before exit/budget
+    uint64_t archChecksum = 0; ///< Hart::archChecksum()
+    uint64_t memChecksum = 0;  ///< Memory::checksum()
+    bool exited = false;
+    uint64_t exitCode = 0;
+};
+
+/**
+ * Functional-only run through either execution engine: the fast-
+ * forward engine (decoder cache + threaded dispatch, Hart::runFast)
+ * or the reference step() loop. The two must be bit-identical — the
+ * engine differential (runEngineDifferential) asserts it — so
+ * @a fast_path is purely a throughput choice.
+ */
+FunctionalResult runFunctional(const Workload &workload,
+                               uint64_t max_insts = UINT64_MAX,
+                               bool fast_path = true);
+
 /**
  * Functional-only run: execute the workload and return the dynamic
  * instruction stream facts needed by the analysis figures (2, 4, 5).

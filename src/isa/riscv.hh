@@ -267,6 +267,21 @@ isCondBranchOp(Op op)
     return op >= Op::Beq && op <= Op::Bgeu;
 }
 
+/**
+ * Does @a op end a basic block in the fast-forward engine? Control
+ * transfers leave the straight-line path, ecall can flip the hart
+ * into the exited state (or run an arbitrary system call), and
+ * ebreak/invalid fault — after any of these the dispatch loop must
+ * return to the block dispatcher. Fence is deliberately *not* a
+ * terminator: the functional model treats it as a nop.
+ */
+inline bool
+isBlockTerminatorOp(Op op)
+{
+    return isControlOp(op) || op == Op::Ecall || op == Op::Ebreak ||
+           op == Op::Invalid;
+}
+
 /** ABI name ("a0", "sp", ...) for a register index. */
 std::string regName(unsigned reg);
 

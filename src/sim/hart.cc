@@ -62,6 +62,7 @@ Hart::reset(const Program &prog)
     mem.loadProgram(prog);
 
     predecoded.clear();
+    fastCache.clear();
     textBase = prog.textBase;
     textLimit = prog.textBase + 4 * prog.code.size();
     if (cacheWanted) {
@@ -92,15 +93,18 @@ Hart::fetch(uint64_t pc, Instruction &scratch)
 void
 Hart::invalidateText(uint64_t addr, unsigned size)
 {
-    if (predecoded.empty() || addr >= textLimit ||
-        addr + size <= textBase)
+    if (addr >= textLimit || addr + size <= textBase)
         return;
     const uint64_t lo = std::max(addr, textBase);
     const uint64_t hi = std::min(addr + size - 1, textLimit - 1);
-    for (uint64_t word = (lo - textBase) >> 2;
-         word <= (hi - textBase) >> 2; ++word)
-        predecoded[word] = decode(
-            static_cast<uint32_t>(mem.read(textBase + 4 * word, 4)));
+    const uint64_t lo_word = (lo - textBase) >> 2;
+    const uint64_t hi_word = (hi - textBase) >> 2;
+    if (!predecoded.empty())
+        for (uint64_t word = lo_word; word <= hi_word; ++word)
+            predecoded[word] = decode(static_cast<uint32_t>(
+                mem.read(textBase + 4 * word, 4)));
+    if (fastCache.built())
+        fastCache.invalidate(mem, lo_word, hi_word);
 }
 
 uint64_t

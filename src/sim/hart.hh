@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "asm/program.hh"
+#include "sim/decoder_cache.hh"
 #include "sim/memory.hh"
 #include "sim/trace.hh"
 
@@ -43,6 +44,35 @@ class Hart
 
     /** Run to completion or until @a max_insts executed. */
     uint64_t run(uint64_t max_insts = UINT64_MAX);
+
+    /**
+     * Fast-forward run: same architectural semantics as run(), but
+     * executed through the flat decoder cache with threaded dispatch
+     * and basic-block stepping (src/sim/decoder_cache.{hh,cc}).
+     * Bit-identical to run() — same registers, memory, pc, seq, exit
+     * state and output — which the engine differential harness
+     * asserts across the whole workload suite. The one documented
+     * difference is fatal() paths (invalid/ebreak/unsupported ecall):
+     * the fault fires with an identical message and pc, but
+     * instsExecuted() is block-aligned rather than instruction-exact
+     * when the throw unwinds.
+     */
+    uint64_t runFast(uint64_t max_insts = UINT64_MAX);
+
+    /**
+     * Traced single-step through the fast engine's decoder cache:
+     * dispatches the pre-resolved entry (ignoring fused handlers) and
+     * produces a DynInst bit-identical to step()'s. Exists so the
+     * differential harness can prove stream equality between engines;
+     * for throughput use runFast().
+     */
+    bool stepFast(DynInst &out);
+
+    /** Fused entry pairs in the decoder cache (builds it if needed). */
+    size_t fastFusedPairs();
+
+    /** Static instruction slots in the decoder cache (ditto). */
+    size_t fastCacheEntries();
 
     bool exited() const { return hasExited; }
     uint64_t exitCode() const { return theExitCode; }
@@ -77,8 +107,16 @@ class Hart
     /** Fetch + decode at @a pc, through the pre-decoded cache. */
     const Instruction &fetch(uint64_t pc, Instruction &scratch);
 
-    /** Re-decode cached words touched by a store into [addr, addr+size). */
+    /**
+     * Re-decode cached words touched by a store into [addr,
+     * addr+size): repairs both the reference engine's pre-decoded
+     * cache and the fast engine's decoder cache (including block
+     * lengths and fused pairs spanning the patched words).
+     */
     void invalidateText(uint64_t addr, unsigned size);
+
+    /** Lazily build the fast engine's decoder cache. */
+    void ensureFastCache();
 
     void execute(const Instruction &inst, DynInst &rec);
     void doEcall();
@@ -99,6 +137,18 @@ class Hart
     std::vector<Instruction> predecoded;
     uint64_t textBase = 0;
     uint64_t textLimit = 0;
+
+    // Fast-forward engine state: built lazily on the first
+    // runFast()/stepFast() call, dropped at reset(), kept coherent
+    // with memory by invalidateText().
+    DecoderCache fastCache;
+
+    // runFast()'s dispatch table: the decoder cache translated to
+    // resolved handler pointers + packed operands. Tagged with the
+    // cache version it was translated from; runFast() re-translates
+    // whenever the version moves (rebuild or SMC invalidation).
+    std::vector<RunEntry> runEntries;
+    uint64_t runEntriesVersion = UINT64_MAX;
 };
 
 /** Feed adapter running a hart with an instruction budget. */

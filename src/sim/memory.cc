@@ -1,6 +1,7 @@
 #include "sim/memory.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -8,22 +9,24 @@
 namespace helios
 {
 
+Memory::Memory()
+    : arena(static_cast<uint8_t *>(std::calloc(arenaBytes, 1)))
+{
+    helios_assert(arena != nullptr, "memory arena allocation failed");
+}
+
 uint64_t
 Memory::read(uint64_t addr, unsigned size) const
 {
     helios_assert(size == 1 || size == 2 || size == 4 || size == 8,
                   "bad access size");
     uint64_t value = 0;
-    // Fast path: access within one page.
-    const uint64_t offset = addr & (pageSize - 1);
-    if (offset + size <= pageSize) {
-        const Page *page = findPage(addr);
-        if (!page)
-            return 0;
+    if (addr <= arenaBytes - size) {
         for (unsigned i = 0; i < size; ++i)
-            value |= uint64_t((*page)[offset + i]) << (8 * i);
+            value |= uint64_t(arena[addr + i]) << (8 * i);
         return value;
     }
+    // High pages and accesses straddling the arena edge: byte loop.
     for (unsigned i = 0; i < size; ++i)
         value |= uint64_t(readByte(addr + i)) << (8 * i);
     return value;
@@ -34,11 +37,14 @@ Memory::write(uint64_t addr, uint64_t value, unsigned size)
 {
     helios_assert(size == 1 || size == 2 || size == 4 || size == 8,
                   "bad access size");
-    const uint64_t offset = addr & (pageSize - 1);
-    if (offset + size <= pageSize) {
-        Page &page = touchPage(addr);
+    if (addr <= arenaBytes - size) {
         for (unsigned i = 0; i < size; ++i)
-            page[offset + i] = uint8_t(value >> (8 * i));
+            arena[addr + i] = uint8_t(value >> (8 * i));
+        const uint64_t first = addr >> pageBits;
+        const uint64_t last = (addr + size - 1) >> pageBits;
+        markResident(first);
+        if (last != first)
+            markResident(last);
         return;
     }
     for (unsigned i = 0; i < size; ++i)
@@ -50,12 +56,21 @@ Memory::writeBlock(uint64_t addr, const void *src, size_t len)
 {
     const auto *bytes = static_cast<const uint8_t *>(src);
     size_t done = 0;
+    if (addr < arenaBytes && len > 0) {
+        const size_t chunk =
+            std::min<uint64_t>(len, arenaBytes - addr);
+        std::memcpy(arena.get() + addr, bytes, chunk);
+        const uint64_t last = (addr + chunk - 1) >> pageBits;
+        for (uint64_t p = addr >> pageBits; p <= last; ++p)
+            markResident(p);
+        done = chunk;
+    }
     while (done < len) {
         const uint64_t offset = (addr + done) & (pageSize - 1);
         const size_t chunk =
             std::min<size_t>(len - done, pageSize - offset);
-        std::memcpy(touchPage(addr + done).data() + offset, bytes + done,
-                    chunk);
+        std::memcpy(touchHighPage(addr + done).data() + offset,
+                    bytes + done, chunk);
         done += chunk;
     }
 }
@@ -65,11 +80,17 @@ Memory::readBlock(uint64_t addr, void *dst, size_t len) const
 {
     auto *bytes = static_cast<uint8_t *>(dst);
     size_t done = 0;
+    if (addr < arenaBytes && len > 0) {
+        const size_t chunk =
+            std::min<uint64_t>(len, arenaBytes - addr);
+        std::memcpy(bytes, arena.get() + addr, chunk);
+        done = chunk;
+    }
     while (done < len) {
         const uint64_t offset = (addr + done) & (pageSize - 1);
         const size_t chunk =
             std::min<size_t>(len - done, pageSize - offset);
-        const Page *page = findPage(addr + done);
+        const Page *page = findHighPage(addr + done);
         if (page)
             std::memcpy(bytes + done, page->data() + offset, chunk);
         else
@@ -81,27 +102,41 @@ Memory::readBlock(uint64_t addr, void *dst, size_t len) const
 uint64_t
 Memory::checksum() const
 {
-    // Sort resident page indices so the hash does not depend on
+    uint64_t hash = 1469598103934665603ULL; // FNV offset basis
+    constexpr uint64_t prime = 1099511628211ULL;
+    const auto hash_page = [&](uint64_t index, const uint8_t *data) {
+        for (unsigned shift = 0; shift < 64; shift += 8) {
+            hash ^= (index >> shift) & 0xff;
+            hash *= prime;
+        }
+        for (size_t i = 0; i < pageSize; ++i) {
+            hash ^= data[i];
+            hash *= prime;
+        }
+    };
+
+    // Arena pages first (ascending by construction): their indices
+    // are all below any high page's, so the combined order is the
+    // same globally-ascending order the sparse representation hashed.
+    for (size_t w = 0; w < resident.size(); ++w) {
+        uint64_t bits = resident[w];
+        while (bits) {
+            const uint64_t index =
+                w * 64 + uint64_t(std::countr_zero(bits));
+            hash_page(index, arena.get() + (index << pageBits));
+            bits &= bits - 1;
+        }
+    }
+
+    // Sort high page indices so the hash does not depend on
     // unordered_map iteration order.
     std::vector<uint64_t> indices;
     indices.reserve(pages.size());
     for (const auto &[index, page] : pages)
         indices.push_back(index);
     std::sort(indices.begin(), indices.end());
-
-    uint64_t hash = 1469598103934665603ULL; // FNV offset basis
-    constexpr uint64_t prime = 1099511628211ULL;
-    for (uint64_t index : indices) {
-        for (unsigned shift = 0; shift < 64; shift += 8) {
-            hash ^= (index >> shift) & 0xff;
-            hash *= prime;
-        }
-        const Page &page = *pages.at(index);
-        for (uint8_t byte : page) {
-            hash ^= byte;
-            hash *= prime;
-        }
-    }
+    for (uint64_t index : indices)
+        hash_page(index, pages.at(index)->data());
     return hash;
 }
 

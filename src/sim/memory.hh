@@ -1,13 +1,31 @@
 /**
  * @file
- * Sparse byte-addressable 64-bit physical memory.
+ * Byte-addressable 64-bit physical memory.
+ *
+ * The low 128 MiB — everything the assembler ever lays out (text at
+ * 0x10000, data at 0x200000, stack below 0x7ff0000) — is backed by
+ * one contiguous lazily-committed arena (calloc, so the OS hands out
+ * zero pages on first touch), which makes a guest load a single
+ * bounds check plus one host load with no page-table walk at all.
+ * Addresses at or above the arena fall back to 4 KiB pages allocated
+ * on first touch in a hash map. Uninitialized memory reads as zero in
+ * both regions.
+ *
+ * Page residency is still tracked exactly — a bitmap for arena pages,
+ * the map itself for high pages — because numPages() and checksum()
+ * are architectural observables: the engine differential harness
+ * compares them across engines, so a store must "materialize" its
+ * page identically no matter which path executed it, and reads must
+ * never materialize anything.
  */
 
 #ifndef SIM_MEMORY_HH
 #define SIM_MEMORY_HH
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -18,8 +36,8 @@ namespace helios
 {
 
 /**
- * Sparse memory backed by 4 KiB pages allocated on first touch.
- * Uninitialized memory reads as zero.
+ * Contiguous-arena + sparse-page memory. Uninitialized memory reads
+ * as zero.
  */
 class Memory
 {
@@ -27,17 +45,26 @@ class Memory
     static constexpr uint64_t pageBits = 12;
     static constexpr uint64_t pageSize = 1ULL << pageBits;
 
+    Memory();
+
     uint8_t
     readByte(uint64_t addr) const
     {
-        const Page *page = findPage(addr);
+        if (addr < arenaBytes)
+            return arena[addr];
+        const Page *page = findHighPage(addr);
         return page ? (*page)[addr & (pageSize - 1)] : 0;
     }
 
     void
     writeByte(uint64_t addr, uint8_t value)
     {
-        touchPage(addr)[addr & (pageSize - 1)] = value;
+        if (addr < arenaBytes) {
+            markResident(addr >> pageBits);
+            arena[addr] = value;
+            return;
+        }
+        touchHighPage(addr)[addr & (pageSize - 1)] = value;
     }
 
     /** Little-endian multi-byte read of 1, 2, 4 or 8 bytes. */
@@ -45,6 +72,52 @@ class Memory
 
     /** Little-endian multi-byte write of 1, 2, 4 or 8 bytes. */
     void write(uint64_t addr, uint64_t value, unsigned size);
+
+    /**
+     * Compile-time-width load for the fast-forward engine: one bounds
+     * check plus a memcpy the compiler folds into a single
+     * zero-extending host load from the arena. Bit-identical to
+     * read(addr, N): absent pages read as zero without being
+     * materialized, and accesses outside the arena take the generic
+     * path.
+     */
+    template <unsigned N>
+    uint64_t
+    loadFast(uint64_t addr) const
+    {
+        static_assert(N == 1 || N == 2 || N == 4 || N == 8);
+        // The memcpy trick reuses the host byte order as the guest's.
+        static_assert(std::endian::native == std::endian::little,
+                      "fast path assumes a little-endian host");
+        if (addr <= arenaBytes - N) {
+            uint64_t value = 0;
+            std::memcpy(&value, arena.get() + addr, N);
+            return value;
+        }
+        return read(addr, N);
+    }
+
+    /**
+     * Compile-time-width store counterpart of loadFast(). Marks the
+     * touched page(s) resident exactly as write() would, so
+     * numPages() and checksum() cannot diverge between the engines.
+     */
+    template <unsigned N>
+    void
+    storeFast(uint64_t addr, uint64_t value)
+    {
+        static_assert(N == 1 || N == 2 || N == 4 || N == 8);
+        if (addr <= arenaBytes - N) {
+            std::memcpy(arena.get() + addr, &value, N);
+            const uint64_t first = addr >> pageBits;
+            const uint64_t last = (addr + N - 1) >> pageBits;
+            markResident(first);
+            if (last != first)
+                markResident(last);
+            return;
+        }
+        write(addr, value, N);
+    }
 
     /** Copy a block of bytes into memory. */
     void writeBlock(uint64_t addr, const void *src, size_t len);
@@ -56,57 +129,67 @@ class Memory
     void loadProgram(const Program &prog);
 
     /** Number of resident pages (for tests / footprint reporting). */
-    size_t numPages() const { return pages.size(); }
+    size_t
+    numPages() const
+    {
+        size_t count = pages.size();
+        for (uint64_t word : resident)
+            count += size_t(std::popcount(word));
+        return count;
+    }
 
     /**
      * Order-independent content checksum (FNV-1a over resident pages
      * in ascending address order). Two memories that compare equal
-     * byte-for-byte over touched pages produce the same value, so the
-     * differential harness can compare final states across runs.
+     * byte-for-byte over resident pages produce the same value, so
+     * the differential harness can compare final states across runs.
      */
     uint64_t checksum() const;
 
   private:
     using Page = std::array<uint8_t, pageSize>;
 
-    /**
-     * Direct-mapped fast path: every address the assembler lays out
-     * (text at 0x10000, data at 0x200000, stack below 0x7ff0000) sits
-     * under 128 MiB, so a flat 32 K-entry page-pointer vector turns
-     * the per-access hash lookup into one indexed load. Higher pages
-     * fall back to the hash map, which stays the owner of every page
-     * either way — numPages() and checksum() are unchanged.
-     */
-    static constexpr uint64_t flatPages = 1ULL << 15;
+    /** Arena size: covers every address the assembler lays out. */
+    static constexpr uint64_t arenaPages = 1ULL << 15;
+    static constexpr uint64_t arenaBytes = arenaPages << pageBits;
+
+    struct CallocDeleter
+    {
+        void operator()(uint8_t *p) const { std::free(p); }
+    };
+
+    void
+    markResident(uint64_t page_index)
+    {
+        resident[page_index >> 6] |= 1ULL << (page_index & 63);
+    }
 
     const Page *
-    findPage(uint64_t addr) const
+    findHighPage(uint64_t addr) const
     {
-        const uint64_t index = addr >> pageBits;
-        if (index < flatPages)
-            return flat[index];
-        auto it = pages.find(index);
+        auto it = pages.find(addr >> pageBits);
         return it == pages.end() ? nullptr : it->second.get();
     }
 
     Page &
-    touchPage(uint64_t addr)
+    touchHighPage(uint64_t addr)
     {
-        const uint64_t index = addr >> pageBits;
-        if (index < flatPages && flat[index])
-            return *flat[index];
-        std::unique_ptr<Page> &slot = pages[index];
+        std::unique_ptr<Page> &slot = pages[addr >> pageBits];
         if (!slot) {
             slot = std::make_unique<Page>();
             slot->fill(0);
-            if (index < flatPages)
-                flat[index] = slot.get();
         }
         return *slot;
     }
 
+    /** The low-128 MiB arena (lazily committed zero pages). */
+    std::unique_ptr<uint8_t[], CallocDeleter> arena;
+
+    /** One bit per arena page: has any store touched it? */
+    std::array<uint64_t, arenaPages / 64> resident{};
+
+    /** Pages at or above arenaBytes, allocated on first store. */
     std::unordered_map<uint64_t, std::unique_ptr<Page>> pages;
-    std::vector<Page *> flat = std::vector<Page *>(flatPages, nullptr);
 };
 
 } // namespace helios

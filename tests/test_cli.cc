@@ -163,9 +163,31 @@ TEST(Cli, TimeFlagWorksWithSweep)
     EXPECT_NE(out.find("time: "), std::string::npos) << out;
 }
 
-TEST(Cli, TimeFlagNeedsTimingModel)
+TEST(Cli, TimeFlagWorksWithFunctional)
 {
-    // fatal() exits 1: --functional has no cycle count to report.
+    // Functional mode has no cycles, so the line reports wall time
+    // and retired instructions per second instead.
     std::string out;
-    EXPECT_EQ(runCliCapture("--functional --time", out), 1);
+    ASSERT_EQ(runCliCapture("--functional --time", out), 0);
+    double seconds = 0, minst = 0;
+    const char *line = std::strstr(out.c_str(), "time: ");
+    ASSERT_NE(line, nullptr) << out;
+    ASSERT_EQ(std::sscanf(line,
+                          "time: %lf s wall, %lf Minst/s (functional)",
+                          &seconds, &minst),
+              2)
+        << out;
+    EXPECT_GE(seconds, 0.0);
+    if (seconds > 0)
+        EXPECT_GT(minst, 0.0);
+}
+
+TEST(Cli, TimeFlagWorksWithFunctionalReferenceEngine)
+{
+    std::string out;
+    ASSERT_EQ(
+        runCliCapture("--functional --engine reference --time", out),
+        0);
+    EXPECT_NE(out.find("Minst/s (functional)"), std::string::npos)
+        << out;
 }

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Fast-forward functional engine tests: Hart::runFast()/stepFast()
+ * must be bit-identical to the reference Hart::run()/step() across
+ * the decoder cache's edge cases — self-modifying code, instruction
+ * budgets expiring mid-block, ecall handling inside blocks, indirect
+ * jumps leaving the text segment, and fused handlers sitting at the
+ * very end of text. Suite-wide equivalence runs through the engine
+ * differential harness (harness/differential.hh); a smoke subset is
+ * tier-1 here and the full suite rides test_differential_full's slow
+ * label via runEngineDifferentialAll in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "harness/differential.hh"
+#include "sim/hart.hh"
+#include "sim/memory.hh"
+
+using namespace helios;
+
+namespace
+{
+
+std::vector<const Workload *>
+pick(std::initializer_list<const char *> names)
+{
+    std::vector<const Workload *> workloads;
+    for (const char *name : names)
+        workloads.push_back(&findWorkload(name));
+    return workloads;
+}
+
+/** Run @a source to completion on both engines and assert they agree
+ *  on every architectural observable; returns the exit code. */
+uint64_t
+runBothEngines(const std::string &source,
+               uint64_t max_insts = 1'000'000)
+{
+    const Program prog = assemble(source);
+
+    Memory ref_mem;
+    Hart ref(ref_mem);
+    ref.reset(prog);
+    const uint64_t ref_insts = ref.run(max_insts);
+
+    Memory fast_mem;
+    Hart fast(fast_mem);
+    fast.reset(prog);
+    const uint64_t fast_insts = fast.runFast(max_insts);
+
+    EXPECT_EQ(ref_insts, fast_insts);
+    EXPECT_EQ(ref.instsExecuted(), fast.instsExecuted());
+    EXPECT_EQ(ref.pc(), fast.pc());
+    EXPECT_EQ(ref.exited(), fast.exited());
+    EXPECT_EQ(ref.exitCode(), fast.exitCode());
+    EXPECT_EQ(ref.output(), fast.output());
+    EXPECT_EQ(ref.archChecksum(), fast.archChecksum());
+    EXPECT_EQ(ref_mem.checksum(), fast_mem.checksum());
+    EXPECT_TRUE(fast.exited()) << "program did not exit";
+    return fast.exitCode();
+}
+
+} // namespace
+
+TEST(FastEngine, SmokeSubsetBitIdentical)
+{
+    // Traced lockstep plus untraced end-state over kernels covering
+    // the fused idioms: mcf (pointer chase), qsort (scan loops), fft
+    // (butterfly address gen), crc32 (table lookups).
+    const EngineDiffReport report = runEngineDifferential(
+        pick({"605.mcf_s", "qsort", "fft", "crc32"}), 50'000, 5'000);
+    EXPECT_TRUE(report.ok()) << report.toJson();
+    EXPECT_GT(report.tracedInstructions, 0u);
+    EXPECT_GT(report.untracedInstructions, 0u);
+}
+
+TEST(FastEngine, AllWorkloadsWithSmcBitIdentical)
+{
+    // The whole suite plus the self-modifying kernel, budgeted so the
+    // sanitizer trees stay fast; the perf job's bench cells rerun the
+    // hot kernels at full depth on both engines.
+    const EngineDiffReport report =
+        runEngineDifferentialAll(100'000, 2'000);
+    ASSERT_EQ(report.workloads.size(), allWorkloads().size() + 1);
+    EXPECT_EQ(report.workloads.back(), "smc_patch");
+    EXPECT_TRUE(report.ok()) << report.toJson();
+}
+
+TEST(FastEngine, SmcWorkloadBitIdentical)
+{
+    // The self-modifying kernel rewrites an addi immediate in its own
+    // hot loop every iteration; any stale decoder-cache entry or
+    // block descriptor diverges the checksums immediately.
+    const Workload &smc = smcPatchWorkload();
+    const EngineDiffReport report =
+        runEngineDifferential({&smc}, UINT64_MAX, UINT64_MAX);
+    EXPECT_TRUE(report.ok()) << report.toJson();
+
+    Memory mem;
+    Hart hart(mem);
+    hart.reset(smc.program());
+    hart.runFast();
+    ASSERT_TRUE(hart.exited());
+    EXPECT_EQ(hart.exitCode(), smc.reference());
+}
+
+TEST(FastEngine, SmcRewritesTerminatorIntoStraightLine)
+{
+    // The store turns a block *terminator* (beq) into a nop, merging
+    // two basic blocks: block lengths and any fusion spanning the old
+    // boundary must be rebuilt, and the next iteration has to fall
+    // through into the previously skipped add.
+    const std::string source = R"(
+        li s0, 0
+        li s1, 6
+        la t0, spot
+    outer:
+    spot:
+        beq zero, zero, skip
+        addi s0, s0, 100
+    skip:
+        addi s0, s0, 1
+        li t1, 0x13        # addi zero, zero, 0 (nop)
+        sw t1, 0(t0)
+        addi s1, s1, -1
+        bnez s1, outer
+        mv a0, s0
+        li a7, 93
+        ecall
+    )";
+    // Iteration 1 takes the branch (skips the +100); the store then
+    // nops it out, so iterations 2..6 fall through: 1 + 5 * 101.
+    EXPECT_EQ(runBothEngines(source), 506u);
+}
+
+TEST(FastEngine, MaxInstsExpiresMidBlockAndResumes)
+{
+    // One long straight-line block (16 addis) inside a loop: every
+    // budget from 1 up cuts the block at a different interior point.
+    // The fast engine must stop on the exact instruction, agree on
+    // pc/seq/state, and resume cleanly from mid-block.
+    std::string source = "li s0, 0\nli s1, 3\nloop:\n";
+    for (int i = 0; i < 16; ++i)
+        source += "addi s0, s0, 1\n";
+    source += R"(
+        addi s1, s1, -1
+        bnez s1, loop
+        mv a0, s0
+        li a7, 93
+        ecall
+    )";
+    const Program prog = assemble(source);
+
+    for (uint64_t budget = 1; budget <= 60; ++budget) {
+        Memory ref_mem, fast_mem;
+        Hart ref(ref_mem), fast(fast_mem);
+        ref.reset(prog);
+        fast.reset(prog);
+        EXPECT_EQ(ref.run(budget), fast.runFast(budget))
+            << "budget " << budget;
+        EXPECT_EQ(ref.instsExecuted(), fast.instsExecuted())
+            << "budget " << budget;
+        EXPECT_EQ(ref.pc(), fast.pc()) << "budget " << budget;
+        EXPECT_EQ(ref.archChecksum(), fast.archChecksum())
+            << "budget " << budget;
+
+        // Resume from wherever the budget expired.
+        ref.run();
+        fast.runFast();
+        ASSERT_TRUE(fast.exited()) << "budget " << budget;
+        EXPECT_EQ(ref.exitCode(), fast.exitCode());
+        EXPECT_EQ(fast.exitCode(), 48u) << "budget " << budget;
+        EXPECT_EQ(ref.archChecksum(), fast.archChecksum())
+            << "budget " << budget;
+    }
+}
+
+TEST(FastEngine, WriteEcallInsideBlockContinues)
+{
+    // A non-exit ecall (write) in the middle of the program: the fast
+    // engine leaves the dispatch loop, services the call with the pc
+    // pinned to the ecall, and re-enters mid-stream. Output and the
+    // post-call register state (a0 = bytes written) must match.
+    const std::string source = R"(
+        .data
+    msg:
+        .asciz "hi"
+        .text
+        li a0, 1
+        la a1, msg
+        li a2, 2
+        li a7, 64
+        ecall
+        addi s0, a0, 40    # a0 holds the write's return value
+        mv a0, s0
+        li a7, 93
+        ecall
+    )";
+    Memory mem;
+    Hart hart(mem);
+    hart.reset(assemble(source));
+    EXPECT_EQ(runBothEngines(source), 42u);
+    hart.runFast();
+    EXPECT_EQ(hart.output(), "hi");
+}
+
+TEST(FastEngine, JalrToNonTextTargetFaultsIdentically)
+{
+    // An indirect jump into .data lands on a zero word -> invalid
+    // instruction. Both engines must throw FatalError with the same
+    // message (same raw word, same faulting pc).
+    const std::string source = R"(
+        .data
+    pool:
+        .dword 0
+        .text
+        la t0, pool
+        jalr ra, 0(t0)
+    )";
+    const Program prog = assemble(source);
+
+    std::string ref_what, fast_what;
+    {
+        Memory mem;
+        Hart hart(mem);
+        hart.reset(prog);
+        try {
+            hart.run();
+            FAIL() << "reference engine did not fault";
+        } catch (const FatalError &err) {
+            ref_what = err.what();
+        }
+    }
+    {
+        Memory mem;
+        Hart hart(mem);
+        hart.reset(prog);
+        try {
+            hart.runFast();
+            FAIL() << "fast engine did not fault";
+        } catch (const FatalError &err) {
+            fast_what = err.what();
+        }
+    }
+    EXPECT_NE(ref_what.find("invalid instruction"), std::string::npos)
+        << ref_what;
+    EXPECT_EQ(ref_what, fast_what);
+}
+
+TEST(FastEngine, FusedPairAtEndOfTextTakesBranch)
+{
+    // The final two text words form a fuseable addi+bne whose taken
+    // edge is the only way out; the not-taken fall-through would run
+    // off the end of text. The fused handler's branch target must win
+    // over the text-end sentinel.
+    const std::string source = R"(
+        li s0, 0
+        li s1, 5
+        j tail
+    done:
+        mv a0, s0
+        li a7, 93
+        ecall
+    tail:
+        addi s0, s0, 3
+        addi s1, s1, -1
+        beq s1, zero, done
+        addi s0, s0, 0
+        bne s1, zero, tail
+    )";
+    EXPECT_EQ(runBothEngines(source), 15u);
+}
+
+TEST(FastEngine, StraightLineOffTextEndFaultsIdentically)
+{
+    // Straight-line code running past the last text word: the fast
+    // engine's text-end sentinel must route to the same
+    // invalid-instruction fault the reference engine raises when it
+    // fetches the zero word past text.
+    const std::string source = R"(
+        li s0, 7
+        addi s0, s0, 1
+    )";
+    const Program prog = assemble(source);
+
+    std::string ref_what, fast_what;
+    {
+        Memory mem;
+        Hart hart(mem);
+        hart.reset(prog);
+        try {
+            hart.run();
+            FAIL() << "reference engine did not fault";
+        } catch (const FatalError &err) {
+            ref_what = err.what();
+        }
+    }
+    {
+        Memory mem;
+        Hart hart(mem);
+        hart.reset(prog);
+        try {
+            hart.runFast();
+            FAIL() << "fast engine did not fault";
+        } catch (const FatalError &err) {
+            fast_what = err.what();
+        }
+    }
+    EXPECT_NE(ref_what.find("invalid instruction"), std::string::npos)
+        << ref_what;
+    EXPECT_EQ(ref_what, fast_what);
+}
+
+TEST(FastEngine, JumpIntoFusedTailExecutesStandalone)
+{
+    // Fusion only re-points the *head* entry; a branch landing on the
+    // pair's tail must execute the tail's own unfused semantics. The
+    // loop back-edge targets the second instruction of an addi+addi
+    // pair the matcher fuses on entry.
+    const std::string source = R"(
+        li s0, 0
+        li s1, 4
+        addi s0, s0, 100   # fused head, executed once
+    tail:
+        addi s0, s0, 1     # fused tail, also the loop target
+        addi s1, s1, -1
+        bnez s1, tail
+        mv a0, s0
+        li a7, 93
+        ecall
+    )";
+    EXPECT_EQ(runBothEngines(source), 104u);
+}
+
+TEST(FastEngine, DecoderCacheIntrospection)
+{
+    // The cache covers every static instruction and the hot kernels
+    // actually fuse (the perf claim rests on it).
+    const Workload &workload = findWorkload("qsort");
+    Memory mem;
+    Hart hart(mem);
+    hart.reset(workload.program());
+    EXPECT_EQ(hart.fastCacheEntries(), workload.program().code.size());
+    EXPECT_GT(hart.fastFusedPairs(), 0u);
+}
+
+TEST(FastEngine, TracedStepMatchesReferenceThroughSmc)
+{
+    // stepFast() must replay the exact reference DynInst stream even
+    // while the program patches its own text under the stepper.
+    const Workload &smc = smcPatchWorkload();
+    Memory ref_mem, fast_mem;
+    Hart ref(ref_mem), fast(fast_mem);
+    ref.reset(smc.program());
+    fast.reset(smc.program());
+
+    DynInst a, b;
+    uint64_t steps = 0;
+    for (;;) {
+        const bool more_ref = ref.step(a);
+        const bool more_fast = fast.stepFast(b);
+        ASSERT_EQ(more_ref, more_fast) << "at step " << steps;
+        if (!more_ref)
+            break;
+        ASSERT_EQ(a.pc, b.pc) << "at seq " << a.seq;
+        ASSERT_EQ(a.nextPc, b.nextPc) << "at seq " << a.seq;
+        ASSERT_EQ(a.inst.raw, b.inst.raw) << "at seq " << a.seq;
+        ASSERT_EQ(a.effAddr, b.effAddr) << "at seq " << a.seq;
+        ASSERT_EQ(a.taken, b.taken) << "at seq " << a.seq;
+        ++steps;
+    }
+    EXPECT_EQ(ref.exitCode(), fast.exitCode());
+    EXPECT_EQ(fast.exitCode(), smc.reference());
+}
