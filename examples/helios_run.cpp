@@ -3,6 +3,22 @@
  * Command-line driver: assemble and simulate a RISC-V assembly file.
  *
  *   $ ./examples/helios_run program.s [options]
+ *   $ ./examples/helios_run --elf program.elf [options]
+ *       --elf FILE                         run a statically linked
+ *                                          RV64IM ELF64 executable
+ *                                          instead of assembling a .s
+ *                                          file (conflicts with a
+ *                                          positional source path);
+ *                                          the guest exit code is
+ *                                          propagated for single runs
+ *       --argv ARG...                      remaining arguments become
+ *                                          the guest argv[1..]
+ *                                          (argv[0] is the ELF path);
+ *                                          only valid with --elf
+ *       --emit-elf FILE                    assemble the .s input, pack
+ *                                          it into a static ELF64
+ *                                          image at FILE and exit
+ *                                          without simulating
  *       --config <NoFusion|RISCVFusion|CSF-SBR|RISCVFusion++|
  *                 Helios|OracleFusion>     (default Helios)
  *       --max-insts N                      instruction budget
@@ -76,14 +92,18 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <sstream>
 
 #include "asm/assembler.hh"
+#include "common/bits.hh"
 #include "common/logging.hh"
+#include "harness/elf_image.hh"
 #include "harness/differential.hh"
 #include "harness/report.hh"
 #include "harness/run_report.hh"
 #include "harness/runner.hh"
+#include "sim/elf_loader.hh"
 #include "sim/hart.hh"
 #include "telemetry/annotate.hh"
 #include "telemetry/lifecycle.hh"
@@ -105,7 +125,9 @@ usage()
                  "[--stats] [--cpi-stack] [--report FILE] "
                  "[--profile FILE] [--window N] [--annotate] "
                  "[--time] [--functional] [--engine fast|reference] "
-                 "[--sweep] [--jobs N] [--audit]\n");
+                 "[--sweep] [--jobs N] [--audit] [--emit-elf FILE]\n"
+                 "       helios_run --elf <file.elf> [options] "
+                 "[--argv ARG...]\n");
 }
 
 /**
@@ -177,19 +199,11 @@ printTimeLine(double seconds, uint64_t cycles, uint64_t uops)
  * cross-configuration state and per-run invariants are checked too.
  */
 int
-runSweep(const std::string &path, const std::string &source,
-         uint64_t max_insts, unsigned jobs, bool audit, bool dump_stats,
-         bool cpi_stack, bool timing, const std::string &report_path,
+runSweep(const Workload &workload, uint64_t max_insts, unsigned jobs,
+         bool audit, bool dump_stats, bool cpi_stack, bool timing,
+         const std::string &report_path,
          const std::string &profile_path, uint64_t window_cycles)
 {
-    // Wrap the assembled file as an ad-hoc workload so it can ride
-    // the same matrix machinery as the paper sweeps.
-    Workload workload;
-    workload.name = path;
-    workload.suite = Suite::MiBench;
-    workload.description = "user program";
-    workload.source = source;
-
     const FusionMode modes[] = {FusionMode::None,
                                 FusionMode::RiscvFusion,
                                 FusionMode::CsfSbr,
@@ -322,6 +336,9 @@ main(int argc, char **argv)
     }
 
     std::string path;
+    std::string elf_path;
+    std::string emit_elf_path;
+    std::vector<std::string> guest_argv;
     std::string trace_path;
     std::string report_path;
     std::string profile_path;
@@ -348,7 +365,16 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--config") {
+        if (arg == "--elf") {
+            elf_path = value_of(i, "--elf");
+        } else if (arg == "--emit-elf") {
+            emit_elf_path = value_of(i, "--emit-elf");
+        } else if (arg == "--argv") {
+            // Everything after --argv belongs to the guest program.
+            for (int j = i + 1; j < argc; ++j)
+                guest_argv.push_back(argv[j]);
+            i = argc;
+        } else if (arg == "--config") {
             mode = fusionModeFromName(value_of(i, "--config"));
         } else if (arg == "--max-insts") {
             max_insts =
@@ -405,7 +431,25 @@ main(int argc, char **argv)
             path = arg;
         }
     }
-    if (path.empty()) {
+    if (!elf_path.empty() && !path.empty()) {
+        std::fprintf(stderr,
+                     "helios_run: --elf conflicts with assembly input "
+                     "'%s'; pick one program\n", path.c_str());
+        return 2;
+    }
+    if (!guest_argv.empty() && elf_path.empty()) {
+        std::fprintf(stderr,
+                     "helios_run: --argv passes arguments to an ELF "
+                     "guest; add --elf\n");
+        return 2;
+    }
+    if (!emit_elf_path.empty() && !elf_path.empty()) {
+        std::fprintf(stderr,
+                     "helios_run: --emit-elf packs assembly input; it "
+                     "cannot re-emit an --elf image\n");
+        return 2;
+    }
+    if (path.empty() && elf_path.empty()) {
         usage();
         return 2;
     }
@@ -413,20 +457,76 @@ main(int argc, char **argv)
     requireWritable(trace_path, "--trace");
     requireWritable(report_path, "--report");
     requireWritable(profile_path, "--profile");
+    requireWritable(emit_elf_path, "--emit-elf");
 
-    std::ifstream file(path);
-    if (!file) {
-        std::fprintf(stderr, "helios_run: cannot open '%s'\n",
-                     path.c_str());
-        return 2;
+    // Read the input up front so a missing file is a usage error
+    // (exit 2), distinct from a malformed program (exit 1 below).
+    std::string source;
+    std::vector<uint8_t> elf_image;
+    if (!elf_path.empty()) {
+        std::ifstream file(elf_path, std::ios::binary);
+        if (!file) {
+            std::fprintf(stderr, "helios_run: cannot open '%s'\n",
+                         elf_path.c_str());
+            return 2;
+        }
+        elf_image.assign(std::istreambuf_iterator<char>(file),
+                         std::istreambuf_iterator<char>());
+    } else {
+        std::ifstream file(path);
+        if (!file) {
+            std::fprintf(stderr, "helios_run: cannot open '%s'\n",
+                         path.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << file.rdbuf();
+        source = text.str();
     }
-    std::ostringstream text;
-    text << file.rdbuf();
 
     try {
-        const Program program = assemble(text.str());
-        std::printf("assembled %zu instructions, %zu data bytes\n",
-                    program.numInsts(), program.data.size());
+        // Wrap the input as an ad-hoc workload so both frontends ride
+        // the same runner/matrix machinery as the paper sweeps.
+        Workload workload;
+        workload.suite = Suite::MiBench;
+        workload.description = "user program";
+        if (!elf_path.empty()) {
+            workload.name = elf_path;
+            workload.makeProgram = [&elf_image, &elf_path,
+                                    &guest_argv] {
+                Program prog = loadElf(elf_image);
+                prog.argv.assign(1, elf_path);
+                prog.argv.insert(prog.argv.end(), guest_argv.begin(),
+                                 guest_argv.end());
+                return prog;
+            };
+        } else {
+            workload.name = path;
+            workload.source = source;
+        }
+
+        const Program program = workload.program();
+        if (!elf_path.empty())
+            std::printf("elf: %s: %zu instructions, %zu segment(s), "
+                        "entry 0x%llx, hash 0x%016llx\n",
+                        elf_path.c_str(), program.numInsts(),
+                        program.segments.size() + 1,
+                        (unsigned long long)program.entry,
+                        (unsigned long long)program.sourceHash);
+        else
+            std::printf("assembled %zu instructions, %zu data bytes\n",
+                        program.numInsts(), program.data.size());
+
+        if (!emit_elf_path.empty()) {
+            const std::vector<uint8_t> image = buildElfImage(program);
+            writeElfFile(emit_elf_path, program);
+            std::printf("emitted ELF image -> %s (%zu bytes, "
+                        "hash 0x%016llx)\n",
+                        emit_elf_path.c_str(), image.size(),
+                        (unsigned long long)fnv1a(image.data(),
+                                                  image.size()));
+            return 0;
+        }
 
         if (audit && !auditHooksCompiled())
             fatal("--audit needs the pipeline audit hooks; rebuild "
@@ -454,7 +554,7 @@ main(int argc, char **argv)
                   "harness; drop --audit or --sweep");
 
         if (sweep)
-            return runSweep(path, text.str(), max_insts, jobs, audit,
+            return runSweep(workload, max_insts, jobs, audit,
                             dump_stats, cpi_stack, timing, report_path,
                             profile_path, window_cycles);
 
@@ -538,6 +638,7 @@ main(int argc, char **argv)
                 run.hartInstructions = hart.instsExecuted();
                 run.exited = hart.exited();
                 run.exitCode = hart.exitCode();
+                run.programHash = program.sourceHash;
                 if (audit) {
                     run.audited = true;
                     run.auditChecks = auditor.checksPerformed();
@@ -588,6 +689,13 @@ main(int argc, char **argv)
                         (unsigned long long)hart.exitCode());
         else
             std::printf("stopped before exit (budget reached)\n");
+
+        // Real-binary runs behave like a shell command: the guest's
+        // exit status becomes ours (truncated to 8 bits, as the OS
+        // would). Assembly kernels keep the historical behaviour of
+        // reporting the checksum without failing the invocation.
+        if (!elf_path.empty() && hart.exited())
+            return int(hart.exitCode() & 0xff);
     } catch (const FatalError &error) {
         std::fprintf(stderr, "helios_run: %s\n", error.what());
         return 1;

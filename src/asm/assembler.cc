@@ -637,7 +637,12 @@ class Assembler
 Program
 assemble(const std::string &source)
 {
-    return Assembler().run(source);
+    Program prog = Assembler().run(source);
+    // Fingerprint the source so run reports can record exactly which
+    // program produced a result (ELF images hash their raw bytes the
+    // same way in loadElf()).
+    prog.sourceHash = fnv1a(source.data(), source.size());
+    return prog;
 }
 
 } // namespace helios

@@ -1,5 +1,7 @@
 #include "asm/program.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace helios
@@ -12,6 +14,17 @@ Program::symbol(const std::string &name) const
     if (it == symbols.end())
         fatal("undefined symbol '%s'", name.c_str());
     return it->second;
+}
+
+uint64_t
+Program::imageEnd() const
+{
+    uint64_t end = textBase + 4 * code.size();
+    if (!data.empty())
+        end = std::max(end, dataBase + data.size());
+    for (const Segment &seg : segments)
+        end = std::max(end, seg.vaddr + seg.memSize);
+    return end;
 }
 
 } // namespace helios

@@ -21,7 +21,20 @@ constexpr uint64_t defaultDataBase = 0x200000;
 constexpr uint64_t defaultStackTop = 0x7ff0000;
 
 /**
- * The output of the assembler and the input of the loader.
+ * Every loadable byte of a guest image must sit below this limit:
+ * the simulator backs guest memory with a contiguous 128 MiB arena
+ * (sim/memory.hh) and the top of it is reserved for the stack
+ * (defaultStackTop and down) plus a guard gap. The ELF loader rejects
+ * segments reaching past it and the brk shim refuses to grow the heap
+ * across it — both with explicit diagnostics — so a guest address can
+ * never silently fall into the sparse high-page map, whose different
+ * performance characteristics would skew timing results.
+ */
+constexpr uint64_t guestImageLimit = 0x7000000;
+
+/**
+ * The output of the assembler / ELF loader and the input of the
+ * memory loader and hart reset.
  */
 struct Program
 {
@@ -35,6 +48,51 @@ struct Program
     /** Initialized data bytes, dataBase-relative. */
     std::vector<uint8_t> data;
 
+    /**
+     * One loadable non-text segment of an ELF image. bytes holds the
+     * file-backed content; the zero-initialized tail (bss) extends
+     * the segment to memSize bytes in guest memory.
+     */
+    struct Segment
+    {
+        uint64_t vaddr = 0;
+        std::vector<uint8_t> bytes;
+        uint64_t memSize = 0;
+    };
+
+    /** Extra loadable segments (ELF images; empty for assembled
+     *  programs, whose data blob lives in `data` above). */
+    std::vector<Segment> segments;
+
+    /**
+     * Linux user-ABI process start: when set, Hart::reset() builds
+     * the standard initial stack (argc / argv pointers / NULL envp /
+     * minimal auxv, strings copied below the stack top) and points sp
+     * at argc. Assembled kernels leave it false and keep the bare
+     * sp = defaultStackTop contract.
+     */
+    bool linuxAbi = false;
+
+    /** Guest argv (used when linuxAbi is set). */
+    std::vector<std::string> argv;
+
+    /** Bytes the read(2) shim serves from fd 0 (EOF when drained). */
+    std::string stdinData;
+
+    /**
+     * Initial program break for the brk shim. 0 means "derive at
+     * reset": one page above the highest loaded byte.
+     */
+    uint64_t brkBase = 0;
+
+    /**
+     * FNV-1a fingerprint of the image this program was built from:
+     * the assembly source text (assemble()) or the raw ELF bytes
+     * (loadElf()). Recorded in run reports so results are traceable
+     * to the exact program that produced them.
+     */
+    uint64_t sourceHash = 0;
+
     /** Label name to absolute address. */
     std::map<std::string, uint64_t> symbols;
 
@@ -43,6 +101,10 @@ struct Program
 
     /** Total number of instructions. */
     size_t numInsts() const { return code.size(); }
+
+    /** Highest mapped guest address + 1 across text, data and
+     *  segments (the natural brk floor). */
+    uint64_t imageEnd() const;
 };
 
 } // namespace helios

@@ -42,6 +42,18 @@ mask(unsigned hi, unsigned lo)
     return bits(~0ULL, hi - lo, 0) << lo;
 }
 
+/** FNV-1a over a byte range (program images, source text). */
+inline uint64_t
+fnv1a(const void *data, size_t len, uint64_t hash = 1469598103934665603ULL)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
 /** True if @a value is a power of two (zero excluded). */
 constexpr bool
 isPowerOf2(uint64_t value)

@@ -3,8 +3,10 @@
 #include <cmath>
 #include <sstream>
 
+#include "asm/assembler.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "harness/elf_image.hh"
 #include "sim/hart.hh"
 #include "sim/memory.hh"
 #include "uarch/auditor.hh"
@@ -334,6 +336,67 @@ runEngineDifferential(const std::vector<const Workload *> &workloads,
     return report;
 }
 
+const Workload &
+elfChecksumWorkload()
+{
+    static const Workload workload = [] {
+        // The kernel is assembled in-process, packed into a static
+        // ELF64 image and re-loaded through the real ELF frontend, so
+        // the differential sweeps cover the loader + Linux-ABI start
+        // stack + ecall shim exactly the way `helios_run --elf` does.
+        // It exercises write(2) to the captured stdout, brk(2) heap
+        // growth with stores/loads through the new break, and a
+        // checksum loop whose result is the exit code.
+        const Program prog = assemble(R"(
+            la a1, msg
+            li a7, 64
+            li a0, 1
+            li a2, 4
+            ecall            # write "elf\n" -> 4
+
+            li a7, 214
+            li a0, 0
+            ecall            # query the current program break
+            mv s2, a0
+            addi a0, a0, 1024
+            li a7, 214
+            ecall            # grow the heap by 1 KiB
+
+            li s0, 0
+            li s1, 32
+            mv t1, s2
+        loop:
+            slli t2, s1, 3
+            add t3, t2, s1   # value = 9 * i
+            sd t3, 0(t1)
+            ld t4, 0(t1)
+            add s0, s0, t4
+            addi t1, t1, 8
+            addi s1, s1, -1
+            bnez s1, loop
+            mv a0, s0
+            li a7, 93
+            ecall
+            .data
+        msg:
+            .asciz "elf\n"
+        )");
+        Workload w = makeElfWorkload(
+            "elf_checksum",
+            "ELF-loaded kernel: write + brk ecalls feeding a heap "
+            "checksum loop (loader/shim differential coverage)",
+            buildElfImage(prog));
+        w.reference = [] {
+            uint64_t sum = 0;
+            for (uint64_t i = 1; i <= 32; ++i)
+                sum += 9 * i;
+            return sum;
+        };
+        return w;
+    }();
+    return workload;
+}
+
 EngineDiffReport
 runEngineDifferentialAll(uint64_t max_insts, uint64_t traced_insts)
 {
@@ -341,6 +404,7 @@ runEngineDifferentialAll(uint64_t max_insts, uint64_t traced_insts)
     for (const Workload &workload : allWorkloads())
         workloads.push_back(&workload);
     workloads.push_back(&smcPatchWorkload());
+    workloads.push_back(&elfChecksumWorkload());
     return runEngineDifferential(workloads, max_insts, traced_insts);
 }
 

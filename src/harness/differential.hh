@@ -158,7 +158,9 @@ runEngineDifferential(const std::vector<const Workload *> &workloads,
  * Convenience: the full workload suite plus a self-modifying-code
  * kernel (smcPatchWorkload()) that patches instruction words inside
  * its own hot loop, exercising the decoder-cache invalidation path
- * under both engines.
+ * under both engines, plus an ELF-loaded kernel
+ * (elfChecksumWorkload()) that routes the real-binary frontend and
+ * the Linux ecall shim through the same lockstep checks.
  */
 EngineDiffReport
 runEngineDifferentialAll(uint64_t max_insts = UINT64_MAX,
@@ -173,6 +175,17 @@ runEngineDifferentialAll(uint64_t max_insts = UINT64_MAX,
  * tests.
  */
 const Workload &smcPatchWorkload();
+
+/**
+ * A self-checking kernel assembled in-process, packed into a static
+ * ELF64 image (harness/elf_image.hh) and re-loaded through the real
+ * ELF frontend. Runs under the Linux ABI start stack and exercises
+ * the ecall shim (write to captured stdout, brk heap growth) before
+ * exiting with a heap checksum. Appended by
+ * runEngineDifferentialAll(); also usable directly in fusion-config
+ * differentials.
+ */
+const Workload &elfChecksumWorkload();
 
 } // namespace helios
 

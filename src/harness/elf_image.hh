@@ -1,0 +1,54 @@
+/**
+ * @file
+ * In-repo ELF64 image builder.
+ *
+ * The build container has no RISC-V cross-compiler, so the repo
+ * cannot test the ELF frontend against toolchain-emitted binaries.
+ * This builder closes the loop hermetically: it packs the output of
+ * our own assembler into a valid statically-linked ELF64 executable
+ * (ELF header + one RX text PT_LOAD + RW PT_LOADs for the data blob
+ * and any extra segments), which the loader (sim/elf_loader.hh) then
+ * maps back. loadElf(buildElfImage(p)) reproduces p's text, data and
+ * entry exactly — tests assert it — and the same builder generates
+ * the RV64IM conformance corpus (tests/test_conformance.cc) and the
+ * fuzz seeds (tests/test_elf_loader.cc).
+ */
+
+#ifndef HARNESS_ELF_IMAGE_HH
+#define HARNESS_ELF_IMAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+#include "workloads/workloads.hh"
+
+namespace helios
+{
+
+/**
+ * Pack an assembled Program into a valid ELF64 RISC-V executable
+ * image: text (RX) at prog.textBase, the data blob (RW) at
+ * prog.dataBase when present, and every prog.segments entry as a
+ * further RW PT_LOAD. fatal() when the program has no code.
+ */
+std::vector<uint8_t> buildElfImage(const Program &prog);
+
+/** buildElfImage() and write the bytes to @a path (fatal on I/O). */
+void writeElfFile(const std::string &path, const Program &prog);
+
+/**
+ * Wrap an ELF image as a Workload so it rides every existing harness
+ * (runOne, runMatrix, the differential sweeps): program() loads the
+ * image through loadElf() with @a argv and @a stdin_data applied.
+ */
+Workload makeElfWorkload(const std::string &name,
+                         const std::string &description,
+                         std::vector<uint8_t> image,
+                         std::vector<std::string> argv = {},
+                         std::string stdin_data = {});
+
+} // namespace helios
+
+#endif // HARNESS_ELF_IMAGE_HH

@@ -109,6 +109,7 @@ RunReport::toJson() const
     value.set("hart_instructions", JsonValue(hartInstructions));
     value.set("exited", JsonValue(exited));
     value.set("exit_code", JsonValue(exitCode));
+    value.set("program_hash", JsonValue(programHash));
 
     value.set("audited", JsonValue(audited));
     value.set("audit_checks", JsonValue(auditChecks));
@@ -155,6 +156,9 @@ RunReport::fromJson(const JsonValue &value)
     report.hartInstructions = value.at("hart_instructions").asUint();
     report.exited = value.at("exited").asBool();
     report.exitCode = value.at("exit_code").asUint();
+    // Additive in schema v2: absent from pre-ELF-frontend files.
+    if (value.has("program_hash"))
+        report.programHash = value.at("program_hash").asUint();
 
     report.audited = value.at("audited").asBool();
     report.auditChecks = value.at("audit_checks").asUint();
@@ -183,6 +187,7 @@ RunReport::operator==(const RunReport &other) const
         memChecksum != other.memChecksum ||
         hartInstructions != other.hartInstructions ||
         exited != other.exited || exitCode != other.exitCode ||
+        programHash != other.programHash ||
         audited != other.audited || auditChecks != other.auditChecks ||
         auditViolations != other.auditViolations ||
         profiled != other.profiled || !(profile == other.profile))
@@ -217,6 +222,7 @@ makeRunReport(const RunResult &result, uint64_t max_insts)
     report.hartInstructions = result.hartInstructions;
     report.exited = result.exited;
     report.exitCode = result.exitCode;
+    report.programHash = result.programHash;
     report.audited = result.audited;
     report.auditChecks = result.auditChecks;
     report.auditViolations = result.auditViolations.size();

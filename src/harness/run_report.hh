@@ -38,8 +38,10 @@ struct DiffReport;
  *
  *  v2 adds an optional per-run "profile" section (per-PC fusion-site
  *  counters, missed-opportunity attribution and windowed time-series
- *  samples; see OBSERVABILITY.md). The addition is backward
- *  compatible: v1 files parse unchanged. */
+ *  samples; see OBSERVABILITY.md) and an optional "program_hash"
+ *  field (FNV-1a fingerprint of the program image the run executed;
+ *  ELF frontend). Both additions are backward compatible: v1 files
+ *  parse unchanged. */
 constexpr unsigned kRunReportVersion = 2;
 
 /** One (workload, configuration) run, ready for serialization. */
@@ -62,6 +64,7 @@ struct RunReport
     uint64_t hartInstructions = 0;
     bool exited = false;
     uint64_t exitCode = 0;
+    uint64_t programHash = 0; ///< Program::sourceHash fingerprint
 
     // Audit outcome (meaningful when audited is true).
     bool audited = false;

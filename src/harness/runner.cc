@@ -50,7 +50,8 @@ runOne(const Workload &workload, const CoreParams &params,
 {
     Memory mem;
     Hart hart(mem);
-    hart.reset(workload.program());
+    const Program prog = workload.program();
+    hart.reset(prog);
     HartFeed feed(hart, max_insts);
 
     Pipeline pipeline(params, feed);
@@ -73,6 +74,7 @@ runOne(const Workload &workload, const CoreParams &params,
     result.hartInstructions = hart.instsExecuted();
     result.exited = hart.exited();
     result.exitCode = hart.exitCode();
+    result.programHash = prog.sourceHash;
     if (auditor) {
         result.audited = true;
         result.auditChecks = auditor->checksPerformed();
@@ -168,7 +170,8 @@ runFunctional(const Workload &workload, uint64_t max_insts,
 {
     Memory mem;
     Hart hart(mem);
-    hart.reset(workload.program());
+    const Program prog = workload.program();
+    hart.reset(prog);
 
     FunctionalResult result;
     result.instructions =
@@ -177,6 +180,7 @@ runFunctional(const Workload &workload, uint64_t max_insts,
     result.memChecksum = mem.checksum();
     result.exited = hart.exited();
     result.exitCode = hart.exitCode();
+    result.programHash = prog.sourceHash;
     return result;
 }
 

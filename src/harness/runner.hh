@@ -49,6 +49,7 @@ struct RunResult
     uint64_t hartInstructions = 0; ///< instructions the hart executed
     bool exited = false;           ///< program reached its exit ecall
     uint64_t exitCode = 0;
+    uint64_t programHash = 0;      ///< Program::sourceHash fingerprint
 
     // Audit outcome; filled when CoreParams::audit was set.
     bool audited = false;
@@ -137,6 +138,7 @@ struct FunctionalResult
     uint64_t memChecksum = 0;  ///< Memory::checksum()
     bool exited = false;
     uint64_t exitCode = 0;
+    uint64_t programHash = 0;  ///< Program::sourceHash fingerprint
 };
 
 /**

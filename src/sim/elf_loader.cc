@@ -1,0 +1,271 @@
+#include "sim/elf_loader.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace helios
+{
+
+namespace
+{
+
+// The ELF64 constants the loader checks, spelled out locally so the
+// parser has no host-header dependencies (guest and host ELF must not
+// be conflated).
+constexpr uint8_t elfClass64 = 2;
+constexpr uint8_t elfDataLsb = 1;
+constexpr uint16_t elfTypeRel = 1;
+constexpr uint16_t elfTypeExec = 2;
+constexpr uint16_t elfTypeDyn = 3;
+constexpr uint16_t elfMachineRiscv = 243;
+constexpr uint32_t phTypeLoad = 1;
+constexpr uint32_t phTypeDynamic = 2;
+constexpr uint32_t phTypeInterp = 3;
+constexpr uint32_t phFlagExec = 1;
+constexpr uint64_t ehdrSize = 64;
+constexpr uint64_t phentSize = 56;
+constexpr uint64_t maxPhnum = 64;
+
+/** The lowest vaddr a segment may map (no zero-page mappings). */
+constexpr uint64_t minSegmentVaddr = 0x1000;
+
+/** Bounds-checked little-endian field readers. */
+struct ImageReader
+{
+    const std::vector<uint8_t> &image;
+
+    uint64_t
+    field(uint64_t offset, unsigned size, const char *what) const
+    {
+        if (offset > image.size() || image.size() - offset < size)
+            fatal("ELF: truncated image (%zu bytes) reading %s at "
+                  "offset 0x%llx",
+                  image.size(), what, (unsigned long long)offset);
+        uint64_t value = 0;
+        for (unsigned i = 0; i < size; ++i)
+            value |= uint64_t(image[offset + i]) << (8 * i);
+        return value;
+    }
+
+    uint16_t u16(uint64_t off, const char *what) const
+    { return uint16_t(field(off, 2, what)); }
+    uint32_t u32(uint64_t off, const char *what) const
+    { return uint32_t(field(off, 4, what)); }
+    uint64_t u64(uint64_t off, const char *what) const
+    { return field(off, 8, what); }
+};
+
+/** One parsed PT_LOAD, before conversion into the Program. */
+struct LoadSegment
+{
+    uint64_t vaddr = 0;
+    uint64_t filesz = 0;
+    uint64_t memsz = 0;
+    uint64_t offset = 0;
+    bool exec = false;
+};
+
+} // namespace
+
+Program
+loadElf(const std::vector<uint8_t> &image)
+{
+    const ImageReader r{image};
+
+    if (image.size() < ehdrSize)
+        fatal("ELF: image too small (%zu bytes) for an ELF64 header",
+              image.size());
+    if (image[0] != 0x7f || image[1] != 'E' || image[2] != 'L' ||
+        image[3] != 'F')
+        fatal("ELF: bad magic (not an ELF image)");
+    if (image[4] != elfClass64)
+        fatal("ELF: not a 64-bit image (EI_CLASS=%u)", image[4]);
+    if (image[5] != elfDataLsb)
+        fatal("ELF: not little-endian (EI_DATA=%u)", image[5]);
+
+    const uint16_t type = r.u16(16, "e_type");
+    const uint16_t machine = r.u16(18, "e_machine");
+    if (machine != elfMachineRiscv)
+        fatal("ELF: machine %u is not RISC-V (EM_RISCV=%u)", machine,
+              elfMachineRiscv);
+    if (type == elfTypeDyn)
+        fatal("ELF: PIE/shared object not supported; link statically "
+              "with -static (and -no-pie)");
+    if (type == elfTypeRel)
+        fatal("ELF: relocatable object not supported; link it into a "
+              "static executable");
+    if (type != elfTypeExec)
+        fatal("ELF: unsupported e_type %u (want ET_EXEC)", type);
+
+    const uint64_t entry = r.u64(24, "e_entry");
+    const uint64_t phoff = r.u64(32, "e_phoff");
+    const uint16_t phentsize = r.u16(54, "e_phentsize");
+    const uint16_t phnum = r.u16(56, "e_phnum");
+    if (phentsize != phentSize)
+        fatal("ELF: e_phentsize %u (want %llu)", phentsize,
+              (unsigned long long)phentSize);
+    if (phnum == 0)
+        fatal("ELF: no program headers (nothing to load)");
+    if (phnum > maxPhnum)
+        fatal("ELF: %u program headers (limit %llu)", phnum,
+              (unsigned long long)maxPhnum);
+    if (phoff > image.size() ||
+        image.size() - phoff < uint64_t(phnum) * phentSize)
+        fatal("ELF: program header table [0x%llx, +%u*%llu) runs past "
+              "the image (%zu bytes)",
+              (unsigned long long)phoff, phnum,
+              (unsigned long long)phentSize, image.size());
+
+    std::vector<LoadSegment> segs;
+    for (uint16_t i = 0; i < phnum; ++i) {
+        const uint64_t ph = phoff + uint64_t(i) * phentSize;
+        const uint32_t p_type = r.u32(ph, "p_type");
+        if (p_type == phTypeInterp)
+            fatal("ELF: dynamically linked (PT_INTERP present); link "
+                  "with -static");
+        if (p_type == phTypeDynamic)
+            fatal("ELF: PT_DYNAMIC present; link statically");
+        if (p_type != phTypeLoad)
+            continue;
+
+        LoadSegment seg;
+        seg.exec = (r.u32(ph + 4, "p_flags") & phFlagExec) != 0;
+        seg.offset = r.u64(ph + 8, "p_offset");
+        seg.vaddr = r.u64(ph + 16, "p_vaddr");
+        seg.filesz = r.u64(ph + 32, "p_filesz");
+        seg.memsz = r.u64(ph + 40, "p_memsz");
+        if (seg.memsz == 0)
+            continue;
+        if (seg.filesz > seg.memsz)
+            fatal("ELF: segment %u has p_filesz 0x%llx > p_memsz "
+                  "0x%llx",
+                  i, (unsigned long long)seg.filesz,
+                  (unsigned long long)seg.memsz);
+        if (seg.offset > image.size() ||
+            image.size() - seg.offset < seg.filesz)
+            fatal("ELF: segment %u file range [0x%llx, +0x%llx) runs "
+                  "past the image (%zu bytes)",
+                  i, (unsigned long long)seg.offset,
+                  (unsigned long long)seg.filesz, image.size());
+        if (seg.vaddr < minSegmentVaddr)
+            fatal("ELF: segment %u maps 0x%llx below the minimum "
+                  "guest address 0x%llx",
+                  i, (unsigned long long)seg.vaddr,
+                  (unsigned long long)minSegmentVaddr);
+        if (seg.vaddr > guestImageLimit ||
+            guestImageLimit - seg.vaddr < seg.memsz)
+            fatal("ELF: segment %u [0x%llx, +0x%llx) reaches beyond "
+                  "the guest image limit 0x%llx — the simulator backs "
+                  "guest memory with a contiguous 128 MiB arena and "
+                  "reserves its top for the stack and heap, so "
+                  "segments must not spill into the sparse high-page "
+                  "map",
+                  i, (unsigned long long)seg.vaddr,
+                  (unsigned long long)seg.memsz,
+                  (unsigned long long)guestImageLimit);
+        segs.push_back(seg);
+    }
+    if (segs.empty())
+        fatal("ELF: no loadable PT_LOAD segments");
+
+    std::sort(segs.begin(), segs.end(),
+              [](const LoadSegment &a, const LoadSegment &b) {
+                  return a.vaddr < b.vaddr;
+              });
+    for (size_t i = 1; i < segs.size(); ++i)
+        if (segs[i].vaddr < segs[i - 1].vaddr + segs[i - 1].memsz)
+            fatal("ELF: PT_LOAD segments overlap (0x%llx..0x%llx vs "
+                  "0x%llx..)",
+                  (unsigned long long)segs[i - 1].vaddr,
+                  (unsigned long long)(segs[i - 1].vaddr +
+                                       segs[i - 1].memsz),
+                  (unsigned long long)segs[i].vaddr);
+
+    const LoadSegment *text = nullptr;
+    for (const LoadSegment &seg : segs) {
+        if (!seg.exec)
+            continue;
+        if (text)
+            fatal("ELF: multiple executable segments (0x%llx and "
+                  "0x%llx); the frontend supports one text segment",
+                  (unsigned long long)text->vaddr,
+                  (unsigned long long)seg.vaddr);
+        text = &seg;
+    }
+    if (!text)
+        fatal("ELF: no executable PT_LOAD segment");
+    if (text->filesz % 4 != 0)
+        fatal("ELF: text segment size 0x%llx is not a multiple of 4 "
+              "(RV64IM has no compressed instructions)",
+              (unsigned long long)text->filesz);
+    if (text->filesz == 0)
+        fatal("ELF: text segment has no file-backed instructions");
+    if (entry < text->vaddr || entry >= text->vaddr + text->filesz)
+        fatal("ELF: entry point 0x%llx falls outside the text segment "
+              "[0x%llx, 0x%llx)",
+              (unsigned long long)entry,
+              (unsigned long long)text->vaddr,
+              (unsigned long long)(text->vaddr + text->filesz));
+    if (entry % 4 != 0)
+        fatal("ELF: entry point 0x%llx is not 4-byte aligned",
+              (unsigned long long)entry);
+
+    Program prog;
+    prog.textBase = text->vaddr;
+    prog.entry = entry;
+    prog.dataBase = 0;
+    prog.linuxAbi = true;
+    prog.argv = {"a.out"};
+    prog.sourceHash = fnv1a(image.data(), image.size());
+
+    prog.code.reserve(text->filesz / 4);
+    for (uint64_t off = 0; off < text->filesz; off += 4) {
+        uint32_t word;
+        std::memcpy(&word, image.data() + text->offset + off, 4);
+        prog.code.push_back(word);
+    }
+
+    uint64_t image_end = text->vaddr + text->memsz;
+    for (const LoadSegment &seg : segs) {
+        if (&seg != text) {
+            Program::Segment out;
+            out.vaddr = seg.vaddr;
+            out.bytes.assign(image.begin() + long(seg.offset),
+                             image.begin() + long(seg.offset) +
+                                 long(seg.filesz));
+            out.memSize = seg.memsz;
+            prog.segments.push_back(std::move(out));
+        }
+        image_end = std::max(image_end, seg.vaddr + seg.memsz);
+    }
+    // A bss tail inside the text segment (memsz > filesz) becomes a
+    // zero-filled data segment so memory sees it; the text words stay
+    // exactly the file-backed range.
+    if (text->memsz > text->filesz) {
+        Program::Segment bss;
+        bss.vaddr = text->vaddr + text->filesz;
+        bss.memSize = text->memsz - text->filesz;
+        prog.segments.push_back(std::move(bss));
+    }
+
+    prog.brkBase = alignUp(image_end, 0x1000);
+    return prog;
+}
+
+Program
+loadElfFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open ELF file '%s'", path.c_str());
+    std::vector<uint8_t> image(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    return loadElf(image);
+}
+
+} // namespace helios

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal static ELF64 loader: the real-binary frontend.
+ *
+ * Parses a statically-linked RV64 ELF executable image and converts
+ * its PT_LOAD segments into a Program the existing loader/hart
+ * machinery runs: the (single) executable segment becomes the text
+ * words, every other segment rides along as a Program::Segment, the
+ * entry point comes from e_entry, and the brk floor is placed one
+ * page above the highest loaded byte. The resulting Program has
+ * linuxAbi set, so Hart::reset() builds the standard Linux process
+ * start stack (argc/argv/envp/auxv) and the ecall shim
+ * (sim/syscalls.hh) serves the system-call surface.
+ *
+ * Everything unsupported is a clear FatalError, never a crash or a
+ * silent misload: dynamic/relocatable/PIE objects, non-RISC-V
+ * machines, truncated or overlapping headers, and any segment that
+ * reaches beyond the guest low arena (guestImageLimit) are all
+ * rejected with messages naming the offending field. The loader is
+ * pure parsing — it touches no simulator state — so it is safe to
+ * fuzz (tests/test_elf_loader.cc does, seeded, in the sanitizer
+ * trees).
+ */
+
+#ifndef SIM_ELF_LOADER_HH
+#define SIM_ELF_LOADER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+
+namespace helios
+{
+
+/**
+ * Parse @a image as a statically-linked RV64 ELF executable.
+ * FatalError on anything malformed or unsupported. The returned
+ * program's argv defaults to {"a.out"}; callers (CLI, workload
+ * wrappers) usually overwrite it.
+ */
+Program loadElf(const std::vector<uint8_t> &image);
+
+/** Read @a path and loadElf() it; FatalError when unreadable. */
+Program loadElfFile(const std::string &path);
+
+} // namespace helios
+
+#endif // SIM_ELF_LOADER_HH

@@ -1,6 +1,7 @@
 #include "sim/hart.hh"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/bits.hh"
 #include "common/logging.hh"
@@ -61,6 +62,18 @@ Hart::reset(const Program &prog)
     theOutput.clear();
     mem.loadProgram(prog);
 
+    // The heap floor: where the ELF loader placed it, or one page
+    // above the highest loaded byte for assembled kernels. The shim
+    // refuses to grow brk past guestImageLimit (the stack reserve).
+    const uint64_t brk_base = prog.brkBase
+                                  ? prog.brkBase
+                                  : alignUp(prog.imageEnd(),
+                                            Memory::pageSize);
+    sys.reset(brk_base, guestImageLimit);
+    sys.setStdin(prog.stdinData);
+    if (prog.linuxAbi)
+        setupStartStack(prog);
+
     predecoded.clear();
     fastCache.clear();
     textBase = prog.textBase;
@@ -91,7 +104,64 @@ Hart::fetch(uint64_t pc, Instruction &scratch)
 }
 
 void
-Hart::invalidateText(uint64_t addr, unsigned size)
+Hart::setupStartStack(const Program &prog)
+{
+    // The Linux process start contract (System V gABI as the RISC-V
+    // kernel implements it): sp points at argc; above it the argv
+    // pointer array (NULL-terminated), the (empty) envp array's NULL,
+    // and the auxiliary vector; the strings and the AT_RANDOM bytes
+    // live higher still, below the stack top. Everything written
+    // here is deterministic, so engine/config differentials see
+    // identical memory.
+    uint64_t sp = regs[RegSp];
+
+    std::vector<uint64_t> arg_ptrs;
+    for (const std::string &arg : prog.argv) {
+        sp -= arg.size() + 1;
+        mem.writeBlock(sp, arg.c_str(), arg.size() + 1);
+        arg_ptrs.push_back(sp);
+    }
+
+    // 16 deterministic bytes for AT_RANDOM (musl seeds its stack
+    // protector from these).
+    static const uint8_t at_random[16] = {0x68, 0x65, 0x6c, 0x69,
+                                          0x6f, 0x73, 0x2d, 0x61,
+                                          0x74, 0x2d, 0x72, 0x6e,
+                                          0x64, 0x30, 0x31, 0x36};
+    sp -= sizeof(at_random);
+    const uint64_t random_ptr = sp;
+    mem.writeBlock(sp, at_random, sizeof(at_random));
+
+    // auxv: AT_PAGESZ, AT_RANDOM, AT_NULL.
+    const uint64_t auxv[] = {6, Memory::pageSize, 25, random_ptr, 0, 0};
+    const size_t words = 1 + arg_ptrs.size() + 1 // argc, argv, NULL
+                         + 1                     // envp: NULL
+                         + std::size(auxv);
+    sp = (sp - 8 * words) & ~uint64_t(15);
+
+    uint64_t slot = sp;
+    const auto push = [&](uint64_t value) {
+        mem.write(slot, value, 8);
+        slot += 8;
+    };
+    push(arg_ptrs.size());
+    for (uint64_t ptr : arg_ptrs)
+        push(ptr);
+    push(0);
+    push(0);
+    for (uint64_t value : auxv)
+        push(value);
+
+    regs[RegSp] = sp;
+    // Mirror argc/argv into a0/a1: Linux leaves registers undefined
+    // and crt0 reads the stack, but newlib-style bare entry points
+    // take them as arguments; serving both costs nothing.
+    regs[RegA0] = arg_ptrs.size();
+    regs[RegA1] = sp + 8;
+}
+
+void
+Hart::invalidateText(uint64_t addr, uint64_t size)
 {
     if (addr >= textLimit || addr + size <= textBase)
         return;
@@ -363,25 +433,16 @@ Hart::execute(const Instruction &inst, DynInst &rec)
 void
 Hart::doEcall()
 {
-    const uint64_t call = regs[RegA7];
-    switch (call) {
-      case 93: // exit
+    const SyscallResult res = sys.handle(regs, mem, thePc, theOutput);
+    if (res.exited) {
         hasExited = true;
-        theExitCode = regs[RegA0];
-        break;
-      case 64: { // write(fd, buf, len)
-        const uint64_t buf = regs[RegA1];
-        const uint64_t len = regs[RegA2];
-        for (uint64_t i = 0; i < len; ++i)
-            theOutput += static_cast<char>(mem.readByte(buf + i));
-        regs[RegA0] = len;
-        break;
-      }
-      default:
-        fatal("unsupported ecall %llu at pc 0x%llx",
-              static_cast<unsigned long long>(call),
-              static_cast<unsigned long long>(thePc));
+        theExitCode = res.exitCode;
     }
+    // A syscall that wrote guest memory (read(2), stat/clock stubs)
+    // may have overwritten text: keep the decoder caches coherent
+    // exactly as a store would.
+    if (res.writeLen)
+        invalidateText(res.writeAddr, res.writeLen);
 }
 
 } // namespace helios

@@ -15,6 +15,7 @@
 #include "asm/program.hh"
 #include "sim/decoder_cache.hh"
 #include "sim/memory.hh"
+#include "sim/syscalls.hh"
 #include "sim/trace.hh"
 
 namespace helios
@@ -23,9 +24,15 @@ namespace helios
 /**
  * Architectural state and functional execution.
  *
- * System interaction follows the Linux RISC-V user ABI subset used by
- * the workloads: ecall with a7=93 exits (a0 = exit value) and a7=64
- * writes bytes to the collected output string.
+ * System interaction goes through the Linux user-mode ecall shim
+ * (sim/syscalls.hh): exit/exit_group end the run, write/writev
+ * append to the collected output string, read serves the program's
+ * stdin buffer, brk grows the heap inside the low arena, and the
+ * remaining stubs are deterministic. For a Program with linuxAbi set
+ * (ELF images), reset() additionally builds the standard process
+ * start stack — argc, argv pointers, NULL envp, minimal auxv, with
+ * the strings copied below the stack top — and mirrors argc/argv
+ * into a0/a1 for bare-metal style entry points.
  */
 class Hart
 {
@@ -108,18 +115,22 @@ class Hart
     const Instruction &fetch(uint64_t pc, Instruction &scratch);
 
     /**
-     * Re-decode cached words touched by a store into [addr,
-     * addr+size): repairs both the reference engine's pre-decoded
-     * cache and the fast engine's decoder cache (including block
-     * lengths and fused pairs spanning the patched words).
+     * Re-decode cached words touched by a store (or a syscall that
+     * wrote guest memory) into [addr, addr+size): repairs both the
+     * reference engine's pre-decoded cache and the fast engine's
+     * decoder cache (including block lengths and fused pairs
+     * spanning the patched words).
      */
-    void invalidateText(uint64_t addr, unsigned size);
+    void invalidateText(uint64_t addr, uint64_t size);
 
     /** Lazily build the fast engine's decoder cache. */
     void ensureFastCache();
 
     void execute(const Instruction &inst, DynInst &rec);
     void doEcall();
+
+    /** Build the Linux process start stack (linuxAbi programs). */
+    void setupStartStack(const Program &prog);
 
     Memory &mem;
     uint64_t regs[numArchRegs] = {};
@@ -128,6 +139,7 @@ class Hart
     bool hasExited = false;
     uint64_t theExitCode = 0;
     std::string theOutput;
+    SyscallEmulator sys;
 
     // Pre-decoded program cache: each static instruction in
     // [textBase, textLimit) is decoded exactly once at reset() and

@@ -147,6 +147,25 @@ Memory::loadProgram(const Program &prog)
         write(prog.textBase + i * 4, prog.code[i], 4);
     if (!prog.data.empty())
         writeBlock(prog.dataBase, prog.data.data(), prog.data.size());
+    for (const Program::Segment &seg : prog.segments) {
+        if (!seg.bytes.empty())
+            writeBlock(seg.vaddr, seg.bytes.data(), seg.bytes.size());
+        // The zero-initialized tail (bss) is written explicitly so a
+        // reused Memory holds no stale bytes and the pages count as
+        // resident identically across engines and configurations.
+        uint64_t addr = seg.vaddr + seg.bytes.size();
+        uint64_t left = seg.memSize > seg.bytes.size()
+                            ? seg.memSize - seg.bytes.size()
+                            : 0;
+        static const uint8_t zeros[4096] = {};
+        while (left > 0) {
+            const size_t chunk =
+                size_t(std::min<uint64_t>(left, sizeof(zeros)));
+            writeBlock(addr, zeros, chunk);
+            addr += chunk;
+            left -= chunk;
+        }
+    }
 }
 
 } // namespace helios

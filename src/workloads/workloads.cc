@@ -9,6 +9,8 @@ namespace helios
 Program
 Workload::program() const
 {
+    if (makeProgram)
+        return makeProgram();
     return assemble(source);
 }
 

@@ -43,7 +43,17 @@ struct Workload
     /** C++ reference computing the expected exit checksum. */
     std::function<uint64_t()> reference;
 
-    /** Assemble the kernel. */
+    /**
+     * Alternative program factory: when set, program() calls this
+     * instead of assembling `source`. ELF-loaded workloads
+     * (harness/elf_image.hh: makeElfWorkload) use it to ride every
+     * harness — runOne, runMatrix, the differential sweeps — without
+     * the harness knowing where the program came from. Last member so
+     * the suite's positional aggregate initializers stay valid.
+     */
+    std::function<Program()> makeProgram;
+
+    /** Assemble the kernel (or run makeProgram when set). */
     Program program() const;
 };
 

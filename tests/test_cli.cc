@@ -191,3 +191,135 @@ TEST(Cli, TimeFlagWorksWithFunctionalReferenceEngine)
     EXPECT_NE(out.find("Minst/s (functional)"), std::string::npos)
         << out;
 }
+
+// ---------------------------------------------------------------------
+// Real-binary (--elf) frontend
+
+namespace
+{
+
+/** Run helios_run with a raw argument string (no implicit input). */
+int
+runRaw(const std::string &args, std::string &out)
+{
+    const std::string path = tempPath("cli_raw_stdout.txt");
+    const std::string command = std::string(HELIOS_RUN_BIN) + " " +
+                                args + " > " + path + " 2>&1";
+    const int status = std::system(command.c_str());
+    EXPECT_TRUE(WIFEXITED(status)) << command;
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    out = text.str();
+    std::remove(path.c_str());
+    return WEXITSTATUS(status);
+}
+
+/** Emit an ELF image for a tiny exit-with-7 kernel; returns its path. */
+std::string
+makeExitSevenElf()
+{
+    const std::string asm_path = tempPath("cli_exit7.s");
+    const std::string elf_path = tempPath("cli_exit7.elf");
+    {
+        std::ofstream out(asm_path);
+        out << "li a0, 7\nli a7, 93\necall\n";
+    }
+    std::string text;
+    EXPECT_EQ(runRaw(asm_path + " --emit-elf " + elf_path, text), 0)
+        << text;
+    return elf_path;
+}
+
+} // namespace
+
+TEST(Cli, ElfMissingFileExitsTwo)
+{
+    std::string out;
+    EXPECT_EQ(runRaw("--elf " + unwritablePath("missing.elf"), out),
+              2);
+    EXPECT_NE(out.find("cannot open"), std::string::npos) << out;
+}
+
+TEST(Cli, ElfConflictsWithAssemblyInputExitsTwo)
+{
+    std::string out;
+    EXPECT_EQ(runRaw(std::string(DOTPROD_S) + " --elf whatever.elf",
+                     out),
+              2);
+    EXPECT_NE(out.find("conflicts"), std::string::npos) << out;
+}
+
+TEST(Cli, ArgvWithoutElfExitsTwo)
+{
+    std::string out;
+    EXPECT_EQ(runRaw(std::string(DOTPROD_S) + " --argv x y", out), 2);
+    EXPECT_NE(out.find("--elf"), std::string::npos) << out;
+}
+
+TEST(Cli, MalformedElfExitsOne)
+{
+    const std::string path = tempPath("cli_garbage.elf");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not an ELF image at all................";
+    }
+    std::string out;
+    EXPECT_EQ(runRaw("--elf " + path, out), 1);
+    EXPECT_NE(out.find("ELF"), std::string::npos) << out;
+    std::remove(path.c_str());
+}
+
+TEST(Cli, EmitElfThenRunPropagatesGuestExitCode)
+{
+    const std::string elf_path = makeExitSevenElf();
+    std::string out;
+    EXPECT_EQ(runRaw("--elf " + elf_path + " --functional", out), 7)
+        << out;
+    EXPECT_NE(out.find("exit code (a0): 7"), std::string::npos) << out;
+    // The frontend banner names the image and its fingerprint.
+    EXPECT_NE(out.find("elf: "), std::string::npos) << out;
+    EXPECT_NE(out.find("hash 0x"), std::string::npos) << out;
+    std::remove(elf_path.c_str());
+}
+
+TEST(Cli, ElfTimingRunAlsoPropagatesExitCode)
+{
+    const std::string elf_path = makeExitSevenElf();
+    std::string out;
+    EXPECT_EQ(runRaw("--elf " + elf_path + " --config Helios", out),
+              7)
+        << out;
+    std::remove(elf_path.c_str());
+}
+
+TEST(Cli, ElfSweepReportRecordsProgramHash)
+{
+    const std::string elf_path = makeExitSevenElf();
+    const std::string report_path = tempPath("cli_elf_report.json");
+    std::remove(report_path.c_str());
+
+    std::string out;
+    // --sweep compares configurations; it must not propagate the
+    // guest exit code, so a clean sweep exits 0.
+    EXPECT_EQ(runRaw("--elf " + elf_path + " --sweep --jobs 1 "
+                     "--report " + report_path,
+                     out),
+              0)
+        << out;
+
+    std::ifstream in(report_path);
+    ASSERT_TRUE(in.good()) << report_path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const JsonValue report = JsonValue::parse(text.str());
+    ASSERT_GT(report.at("runs").size(), 0u);
+    for (size_t i = 0; i < report.at("runs").size(); ++i) {
+        const JsonValue &run = report.at("runs").at(i);
+        ASSERT_TRUE(run.has("program_hash"));
+        EXPECT_NE(run.at("program_hash").asUint(), 0u);
+        EXPECT_EQ(run.at("exit_code").asUint(), 7u);
+    }
+    std::remove(report_path.c_str());
+    std::remove(elf_path.c_str());
+}

@@ -95,6 +95,40 @@ TEST(Differential, ViolationPathProducesReport)
     EXPECT_NE(json.find("crc32"), std::string::npos) << json;
 }
 
+TEST(Differential, ElfWorkloadAgreesAcrossEngines)
+{
+    // The ELF-loaded kernel routes the real-binary loader, the Linux
+    // ABI start stack and the ecall shim (write + brk) through the
+    // DynInst-lockstep and end-state engine comparison.
+    const EngineDiffReport report =
+        runEngineDifferential({&elfChecksumWorkload()});
+    EXPECT_TRUE(report.ok()) << report.toJson();
+    EXPECT_GT(report.tracedInstructions, 0u);
+    EXPECT_GT(report.untracedInstructions, 0u);
+}
+
+TEST(Differential, ElfWorkloadAgreesAcrossFusionConfigs)
+{
+    DiffOptions opts;
+    opts.maxInsts = smokeBudget;
+    // The kernel retires a few hundred instructions, so its IPC is
+    // dominated by pipeline fill and the regression heuristic is
+    // noise; this test is about architectural agreement.
+    opts.ipcTolerance = 1.0;
+    const DiffReport report =
+        runDifferential({&elfChecksumWorkload()}, opts);
+    EXPECT_TRUE(report.ok()) << report.toJson();
+
+    ASSERT_FALSE(report.results.empty());
+    for (const RunResult &result : report.results) {
+        EXPECT_TRUE(result.exited) << result.workload;
+        EXPECT_EQ(result.exitCode,
+                  elfChecksumWorkload().reference());
+        // The report carries the image fingerprint for provenance.
+        EXPECT_NE(result.programHash, 0u);
+    }
+}
+
 TEST(Differential, RejectsDegenerateOptions)
 {
     DiffOptions opts;

@@ -82,13 +82,16 @@ TEST(FastEngine, SmokeSubsetBitIdentical)
 
 TEST(FastEngine, AllWorkloadsWithSmcBitIdentical)
 {
-    // The whole suite plus the self-modifying kernel, budgeted so the
-    // sanitizer trees stay fast; the perf job's bench cells rerun the
-    // hot kernels at full depth on both engines.
+    // The whole suite plus the self-modifying kernel and the
+    // ELF-loaded syscall kernel, budgeted so the sanitizer trees stay
+    // fast; the perf job's bench cells rerun the hot kernels at full
+    // depth on both engines.
     const EngineDiffReport report =
         runEngineDifferentialAll(100'000, 2'000);
-    ASSERT_EQ(report.workloads.size(), allWorkloads().size() + 1);
-    EXPECT_EQ(report.workloads.back(), "smc_patch");
+    ASSERT_EQ(report.workloads.size(), allWorkloads().size() + 2);
+    EXPECT_EQ(report.workloads[report.workloads.size() - 2],
+              "smc_patch");
+    EXPECT_EQ(report.workloads.back(), "elf_checksum");
     EXPECT_TRUE(report.ok()) << report.toJson();
 }
 
