@@ -25,6 +25,12 @@
  *     one site losing its fusion to another site gaining);
  *   - the current file reports no differential-harness verdicts.
  *
+ * The schema-v3 `host` section (host telemetry: build stamp, phase
+ * wall-clock, peak RSS, throughput) describes the machine that
+ * produced a report, never the simulated result, so comparisons
+ * ignore it entirely — two reports that differ only in `host` are
+ * clean.
+ *
  * A regressing pair additionally prints the top counter deltas
  * between the two runs, so the first diagnostic step — which counter
  * moved — needs no second tool.

@@ -103,6 +103,7 @@ main()
         file.generator = "fig10_ipc";
         for (const RunResult &result : results)
             file.add(result, budget);
+        attachHostSection(file);
         file.save(report_path);
         std::printf("report: %zu runs -> %s\n", file.runs.size(),
                     report_path);

@@ -42,6 +42,29 @@
  *       --window N                         profiler time-series window
  *                                          in cycles (default 10000;
  *                                          0 disables windowed samples)
+ *       --log-level LEVEL                  logger threshold: trace,
+ *                                          debug, info, warn, error or
+ *                                          off (default info; env
+ *                                          HELIOS_LOG)
+ *       --log-json FILE                    mirror every log record as
+ *                                          a JSON-lines object to FILE
+ *                                          (env HELIOS_LOG_JSON)
+ *       --host-trace FILE                  harness span trace: Chrome
+ *                                          trace_event JSON of host
+ *                                          phases (assemble,
+ *                                          functional, detailed-sim,
+ *                                          report-write) and per-cell
+ *                                          sweep-worker spans, written
+ *                                          at exit (env
+ *                                          HELIOS_HOST_TRACE)
+ *       --metrics FILE                     host metrics (per-phase
+ *                                          wall-clock, peak RSS, guest
+ *                                          and cell throughput, build
+ *                                          stamp) in Prometheus text
+ *                                          format, written at exit
+ *                                          (env HELIOS_METRICS); also
+ *                                          stamps the `host` section
+ *                                          into --report files
  *       --annotate                         profile the run and print
  *                                          annotated disassembly
  *                                          (execs / coverage / stalls
@@ -106,6 +129,8 @@
 #include "sim/elf_loader.hh"
 #include "sim/hart.hh"
 #include "telemetry/annotate.hh"
+#include "telemetry/host_metrics.hh"
+#include "telemetry/host_trace.hh"
 #include "telemetry/lifecycle.hh"
 #include "telemetry/profiler.hh"
 #include "uarch/auditor.hh"
@@ -125,7 +150,9 @@ usage()
                  "[--stats] [--cpi-stack] [--report FILE] "
                  "[--profile FILE] [--window N] [--annotate] "
                  "[--time] [--functional] [--engine fast|reference] "
-                 "[--sweep] [--jobs N] [--audit] [--emit-elf FILE]\n"
+                 "[--sweep] [--jobs N] [--audit] [--emit-elf FILE] "
+                 "[--log-level LEVEL] [--log-json FILE] "
+                 "[--host-trace FILE] [--metrics FILE]\n"
                  "       helios_run --elf <file.elf> [options] "
                  "[--argv ARG...]\n");
 }
@@ -217,6 +244,8 @@ runSweep(const Workload &workload, uint64_t max_insts, unsigned jobs,
     const DiffReport *diff = nullptr;
     DiffReport report;
     Stopwatch timer;
+    HostSpan sweep_span("sweep");
+    sweep_span.arg("workload", workload.name);
     if (audit) {
         DiffOptions opts;
         opts.modes.assign(std::begin(modes), std::end(modes));
@@ -239,6 +268,7 @@ runSweep(const Workload &workload, uint64_t max_insts, unsigned jobs,
         }
         results = runMatrix(cells, jobs);
     }
+    sweep_span.end();
     const double elapsed = timer.seconds();
 
     const double base = results[0].ipc();
@@ -276,6 +306,7 @@ runSweep(const Workload &workload, uint64_t max_insts, unsigned jobs,
     }
 
     if (!report_path.empty() || !profile_path.empty()) {
+        HostSpan report_span("report-write");
         RunReportFile file;
         file.generator = "helios_run --sweep";
         if (diff)
@@ -283,6 +314,7 @@ runSweep(const Workload &workload, uint64_t max_insts, unsigned jobs,
         else
             for (const RunResult &result : results)
                 file.add(result, max_insts);
+        attachHostSection(file);
         if (!report_path.empty()) {
             file.save(report_path);
             std::printf("report: %zu runs, %zu verdicts -> %s\n",
@@ -342,6 +374,10 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string report_path;
     std::string profile_path;
+    std::string log_level;
+    std::string log_json_path;
+    std::string host_trace_path;
+    std::string metrics_path;
     FusionMode mode = FusionMode::Helios;
     uint64_t max_insts = UINT64_MAX;
     uint64_t window_cycles = 10000;
@@ -391,6 +427,14 @@ main(int argc, char **argv)
         } else if (arg == "--window") {
             window_cycles =
                 std::strtoull(value_of(i, "--window"), nullptr, 0);
+        } else if (arg == "--log-level") {
+            log_level = value_of(i, "--log-level");
+        } else if (arg == "--log-json") {
+            log_json_path = value_of(i, "--log-json");
+        } else if (arg == "--host-trace") {
+            host_trace_path = value_of(i, "--host-trace");
+        } else if (arg == "--metrics") {
+            metrics_path = value_of(i, "--metrics");
         } else if (arg == "--annotate") {
             annotate = true;
         } else if (arg == "--pipeview") {
@@ -458,6 +502,29 @@ main(int argc, char **argv)
     requireWritable(report_path, "--report");
     requireWritable(profile_path, "--profile");
     requireWritable(emit_elf_path, "--emit-elf");
+    requireWritable(log_json_path, "--log-json");
+    requireWritable(host_trace_path, "--host-trace");
+    requireWritable(metrics_path, "--metrics");
+
+    // Host telemetry: a bad level name is a usage error (exit 2) like
+    // any other malformed option; the sinks flush at process exit so
+    // every return path below still produces the files.
+    if (!log_level.empty()) {
+        try {
+            Logger::global().setLevel(logLevelFromName(log_level));
+        } catch (const FatalError &error) {
+            std::fprintf(stderr, "helios_run: %s\n", error.what());
+            usage();
+            return 2;
+        }
+    }
+    if (!log_json_path.empty())
+        Logger::global().openJsonSink(log_json_path);
+    initHostTelemetryFromEnv();
+    if (!host_trace_path.empty())
+        writeHostTraceAtExit(host_trace_path);
+    if (!metrics_path.empty())
+        writeHostMetricsAtExit(metrics_path);
 
     // Read the input up front so a missing file is a usage error
     // (exit 2), distinct from a malformed program (exit 1 below).
@@ -505,7 +572,10 @@ main(int argc, char **argv)
             workload.source = source;
         }
 
+        HostSpan assemble_span(elf_path.empty() ? "assemble"
+                                                : "elf-load");
         const Program program = workload.program();
+        assemble_span.end();
         if (!elf_path.empty())
             std::printf("elf: %s: %zu instructions, %zu segment(s), "
                         "entry 0x%llx, hash 0x%016llx\n",
@@ -564,9 +634,15 @@ main(int argc, char **argv)
 
         Stopwatch timer;
         if (functional_only) {
+            HostSpan functional_span("functional");
+            functional_span.arg("engine",
+                                fast_engine ? "fast" : "reference");
             const uint64_t executed = fast_engine
                                           ? hart.runFast(max_insts)
                                           : hart.run(max_insts);
+            functional_span.end();
+            if (HostMetrics::global().enabled())
+                HostMetrics::global().recordGuestWork(executed, 0);
             const double elapsed = timer.seconds();
             const double minst_per_sec =
                 elapsed > 0 ? double(executed) / elapsed / 1e6 : 0.0;
@@ -603,7 +679,13 @@ main(int argc, char **argv)
             PipelineAuditor auditor(params);
             if (audit)
                 pipeline.attachAuditor(&auditor);
+            HostSpan sim_span("detailed-sim");
+            sim_span.arg("config", fusionModeName(mode));
             const PipelineResult result = pipeline.run();
+            sim_span.end();
+            if (HostMetrics::global().enabled())
+                HostMetrics::global().recordGuestWork(
+                    result.instructions, result.uops);
             const double elapsed = timer.seconds();
             std::printf("%s: %llu instructions in %llu cycles "
                         "(IPC %.3f) [%.3f s wall, %.1f K cycles/s]\n",
@@ -623,9 +705,12 @@ main(int argc, char **argv)
                                .cpiStack(result.cycles)
                                .toString().c_str(),
                            stdout);
-            if (!trace_path.empty())
+            if (!trace_path.empty()) {
+                HostSpan span("trace-write");
                 writeTraces(tracer, trace_path);
+            }
             if (!report_path.empty() || !profile_path.empty()) {
+                HostSpan report_span("report-write");
                 RunResult run;
                 run.workload = path;
                 run.mode = mode;
@@ -653,6 +738,7 @@ main(int argc, char **argv)
                 report_file.generator = "helios_run";
                 report_file.add(run, max_insts == UINT64_MAX
                                          ? 0 : max_insts);
+                attachHostSection(report_file);
                 if (!report_path.empty()) {
                     report_file.save(report_path);
                     std::printf("report: 1 run -> %s\n",

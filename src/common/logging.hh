@@ -1,18 +1,32 @@
 /**
  * @file
- * Error-reporting helpers in the spirit of gem5's logging.hh.
+ * Error reporting and structured host-side logging.
  *
- * panic() signals an internal simulator bug (aborts); fatal() signals a
- * user/configuration error (throws so harnesses and tests can recover);
- * warn()/inform() report status without stopping the simulation.
+ * Two layers share this header. The classic gem5-spirit helpers:
+ * panic() signals an internal simulator bug (aborts); fatal() signals
+ * a user/configuration error (throws so harnesses and tests can
+ * recover); warn()/inform() report status without stopping the
+ * simulation. And the structured logger underneath them: every
+ * warn()/inform() (plus the new logTrace/logDebug/logError) is routed
+ * through the process-wide thread-safe Logger, which serializes
+ * output so parallel runMatrix workers can never interleave partial
+ * lines, filters by severity (HELIOS_LOG / helios_run --log-level),
+ * attaches per-thread context fields (matrix cell id, workload,
+ * config — see LogContext), and optionally mirrors every record to a
+ * JSON-lines sink (HELIOS_LOG_JSON / --log-json) for machine
+ * consumption. See OBSERVABILITY.md, "Host telemetry".
  */
 
 #ifndef COMMON_LOGGING_HH
 #define COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
+#include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace helios
 {
@@ -38,11 +52,23 @@ std::string strFormat(const char *fmt, ...)
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Report suspicious but survivable behaviour. */
+/** Report suspicious but survivable behaviour (LogLevel::Warn). */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Report normal operating status. */
+/** Report normal operating status (LogLevel::Info). */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Fine-grained harness tracing (LogLevel::Trace). */
+void logTrace(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Diagnostic detail (LogLevel::Debug). */
+void logDebug(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** A definite problem that does not stop the run (LogLevel::Error). */
+void logError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
 
 /** panic() unless @a cond holds. */
 #define helios_assert(cond, ...)                                          \
@@ -50,6 +76,127 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
         if (!(cond))                                                      \
             ::helios::panic("assertion '" #cond "' failed: " __VA_ARGS__);\
     } while (0)
+
+// ---------------------------------------------------------------------
+// Structured leveled logging
+// ---------------------------------------------------------------------
+
+/** Severity, least to most severe; Off suppresses everything. */
+enum class LogLevel
+{
+    Trace,
+    Debug,
+    Info,
+    Warn,
+    Error,
+    Off,
+};
+
+/** Lower-case level name ("trace" ... "error", "off"). */
+const char *logLevelName(LogLevel level);
+
+/** Parse a level name (case-insensitive); fatal() on unknown names. */
+LogLevel logLevelFromName(const std::string &name);
+
+/**
+ * The process-wide logger. All helpers above route through
+ * Logger::global(), whose construction reads the environment once:
+ * HELIOS_LOG=<level> sets the threshold (default info) and
+ * HELIOS_LOG_JSON=<path> opens the JSON-lines sink.
+ *
+ * Thread safety: one mutex serializes every emitted record, and each
+ * record is written with a single stream operation, so concurrent
+ * workers cannot interleave partial lines (tier-1 regression-tested).
+ * The severity check itself is a lock-free atomic load, so disabled
+ * levels cost one branch.
+ */
+class Logger
+{
+  public:
+    static Logger &global();
+
+    void setLevel(LogLevel level);
+    LogLevel level() const;
+
+    /** True when records at @a level pass the threshold. */
+    bool
+    enabled(LogLevel level) const
+    {
+        return int(level) >= threshold.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Mirror every record (any level that passes the threshold) to a
+     * JSON-lines file: one object per line with ts (seconds since
+     * logger construction), level, msg, thread, and one key per
+     * active LogContext field. fatal() when the path cannot be
+     * opened.
+     */
+    void openJsonSink(const std::string &path);
+    void closeJsonSink();
+    bool jsonSinkOpen() const;
+
+    /**
+     * Redirect the text output (normally stdout for trace/debug/info,
+     * stderr for warn/error) into @a sink; nullptr restores the
+     * defaults. For tests.
+     */
+    void captureText(std::ostream *sink);
+
+    /** Emit a preformatted message at @a level. */
+    void log(LogLevel level, const std::string &message);
+
+    /** printf-style emit. */
+    void logf(LogLevel level, const char *fmt, ...)
+        __attribute__((format(printf, 3, 4)));
+    void vlogf(LogLevel level, const char *fmt, va_list args);
+
+    /**
+     * Rewrite-in-place progress line (no newline, leading carriage
+     * return) on stderr — the TTY sweep-progress display. A regular
+     * record emitted while a progress line is pending clears the line
+     * first, so progress and logs never collide.
+     */
+    void progress(const std::string &line);
+
+    /** Erase a pending progress line (end of sweep). */
+    void clearProgress();
+
+    Logger(const Logger &) = delete;
+    Logger &operator=(const Logger &) = delete;
+
+  private:
+    Logger();
+    ~Logger();
+
+    struct Impl;
+    Impl *impl;
+    std::atomic<int> threshold;
+};
+
+/**
+ * RAII per-thread context fields: while alive, every record emitted
+ * from this thread carries the given (key, value) pairs — appended to
+ * the text line as [k=v ...] and merged into JSON-lines objects.
+ * Contexts nest; destruction pops this frame's fields.
+ *
+ * runMatrix workers wrap each cell in a LogContext naming the cell
+ * index, workload and configuration, so a warn() fired deep inside
+ * the pipeline identifies its cell even in a 192-way sweep.
+ */
+class LogContext
+{
+  public:
+    explicit LogContext(
+        std::vector<std::pair<std::string, std::string>> fields);
+    ~LogContext();
+
+    LogContext(const LogContext &) = delete;
+    LogContext &operator=(const LogContext &) = delete;
+
+  private:
+    size_t count;
+};
 
 } // namespace helios
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "telemetry/host_trace.hh"
 
 namespace helios
 {
@@ -68,6 +69,9 @@ void
 printBenchHeader(const std::string &title,
                  const std::string &description)
 {
+    // Every bench prints this header first, so it doubles as the
+    // hook that arms HELIOS_HOST_TRACE / HELIOS_METRICS collection.
+    initHostTelemetryFromEnv();
     std::printf("==================================================\n");
     std::printf("%s\n", title.c_str());
     std::printf("%s\n", description.c_str());

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "harness/differential.hh"
+#include "telemetry/host_metrics.hh"
 #include "uarch/params.hh"
 
 namespace helios
@@ -311,6 +312,11 @@ RunReportFile::toJson() const
     for (const ReportVerdict &verdict : verdicts)
         verdict_array.push(verdict.toJson());
     value.set("verdicts", std::move(verdict_array));
+
+    // Schema v3: host telemetry is optional so reports produced with
+    // host metrics off serialize exactly as v2 did (minus the stamp).
+    if (!host.isNull())
+        value.set("host", host);
     return value;
 }
 
@@ -337,6 +343,11 @@ RunReportFile::fromJson(const JsonValue &value)
     for (size_t i = 0; i < verdict_array.size(); ++i)
         file.verdicts.push_back(
             ReportVerdict::fromJson(verdict_array.at(i)));
+
+    // Additive in schema v3; carried opaquely (the host section
+    // describes the producing machine, not the simulated result).
+    if (value.has("host"))
+        file.host = value.at("host");
     return file;
 }
 
@@ -378,7 +389,15 @@ bool
 RunReportFile::operator==(const RunReportFile &other) const
 {
     return version == other.version && generator == other.generator &&
-           runs == other.runs && verdicts == other.verdicts;
+           runs == other.runs && verdicts == other.verdicts &&
+           host == other.host;
+}
+
+void
+attachHostSection(RunReportFile &file)
+{
+    if (HostMetrics::global().enabled())
+        file.host = HostMetrics::global().toJson();
 }
 
 } // namespace helios

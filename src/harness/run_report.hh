@@ -40,9 +40,16 @@ struct DiffReport;
  *  counters, missed-opportunity attribution and windowed time-series
  *  samples; see OBSERVABILITY.md) and an optional "program_hash"
  *  field (FNV-1a fingerprint of the program image the run executed;
- *  ELF frontend). Both additions are backward compatible: v1 files
+ *  ELF frontend).
+ *
+ *  v3 adds an optional top-level "host" section (host telemetry:
+ *  build provenance, per-phase wall-clock, peak RSS, guest and cell
+ *  throughput; see telemetry/host_metrics.hh). Host data describes
+ *  the machine the report was produced on, never the simulated
+ *  result, so baseline comparisons (bench/compare_reports) ignore it
+ *  entirely. All additions are backward compatible: v1/v2 files
  *  parse unchanged. */
-constexpr unsigned kRunReportVersion = 2;
+constexpr unsigned kRunReportVersion = 3;
 
 /** One (workload, configuration) run, ready for serialization. */
 struct RunReport
@@ -121,6 +128,11 @@ struct RunReportFile
     std::vector<RunReport> runs;
     std::vector<ReportVerdict> verdicts;
 
+    /** Host-telemetry section (schema v3). Null when the producing
+     *  process ran without host metrics; carried opaquely so files
+     *  round-trip losslessly, ignored by report comparisons. */
+    JsonValue host;
+
     void add(const RunResult &result, uint64_t max_insts = 0);
 
     /** Fold a differential report in: every cell result plus every
@@ -149,6 +161,14 @@ struct RunReportFile
 
     bool operator==(const RunReportFile &other) const;
 };
+
+/**
+ * Stamp the current host-metrics snapshot into @a file's `host`
+ * section when host metrics collection is enabled (--metrics /
+ * HELIOS_METRICS); a no-op otherwise. Producers call this right
+ * before save() so the report records the cost of making it.
+ */
+void attachHostSection(RunReportFile &file);
 
 } // namespace helios
 

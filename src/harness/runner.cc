@@ -3,16 +3,23 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
 
+#include <unistd.h>
+
 #include "common/logging.hh"
 #include "sim/hart.hh"
+#include "telemetry/host_metrics.hh"
+#include "telemetry/host_trace.hh"
 #include "uarch/auditor.hh"
+#include "uarch/params.hh"
 #include "uarch/pipeline.hh"
 
 namespace helios
@@ -41,6 +48,89 @@ parsePositiveEnv(const char *name, const char *text)
         fatal("%s must be a positive integer (got '%s')", name, text);
     return value;
 }
+
+/**
+ * Sweep progress feedback, fed by workers as cells complete. Two
+ * modes, both off the results path (pure observer):
+ *
+ *  - stderr is a TTY: a throttled rewrite-in-place progress line with
+ *    completion percentage, cell rate and ETA (HELIOS_PROGRESS=0
+ *    disables);
+ *  - otherwise: a periodic heartbeat through the structured logger at
+ *    info level, every HELIOS_HEARTBEAT seconds (default 30; 0
+ *    disables) — so a multi-hour redirected sweep still shows a
+ *    pulse in its log.
+ */
+class MatrixProgress
+{
+  public:
+    explicit MatrixProgress(size_t total_cells)
+        : total(total_cells),
+          start(std::chrono::steady_clock::now())
+    {
+        const char *env = std::getenv("HELIOS_PROGRESS");
+        tty = isatty(fileno(stderr)) &&
+              !(env && std::string(env) == "0");
+        heartbeatSeconds = 30.0;
+        if (const char *beat = std::getenv("HELIOS_HEARTBEAT"))
+            heartbeatSeconds = std::strtod(beat, nullptr);
+    }
+
+    ~MatrixProgress()
+    {
+        if (shown)
+            Logger::global().clearProgress();
+    }
+
+    void
+    cellDone()
+    {
+        const size_t done = completed.fetch_add(1) + 1;
+        const double elapsed = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   start)
+                                   .count();
+        if (tty) {
+            std::lock_guard<std::mutex> lock(mutex);
+            // Throttle redraws; always draw the final cell so the
+            // line ends at 100%.
+            if (elapsed - lastUpdate < 0.1 && done != total)
+                return;
+            lastUpdate = elapsed;
+            shown = true;
+            Logger::global().progress(render(done, elapsed));
+        } else if (heartbeatSeconds > 0) {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (elapsed - lastUpdate < heartbeatSeconds)
+                return;
+            lastUpdate = elapsed;
+            inform("[matrix] %s", render(done, elapsed).c_str());
+        }
+    }
+
+  private:
+    std::string
+    render(size_t done, double elapsed) const
+    {
+        const double rate = elapsed > 0 ? double(done) / elapsed : 0.0;
+        const double eta =
+            rate > 0 ? double(total - done) / rate : 0.0;
+        return strFormat("%zu/%zu cells (%.0f%%), %.1f cells/s, "
+                         "ETA %.1fs",
+                         done, total, 100.0 * double(done) /
+                                          double(total),
+                         rate, eta);
+    }
+
+    const size_t total;
+    const std::chrono::steady_clock::time_point start;
+    std::atomic<size_t> completed{0};
+    std::mutex mutex;
+    double lastUpdate = 0.0;
+    double heartbeatSeconds = 30.0;
+    bool tty = false;
+    bool shown = false;
+};
 
 } // namespace
 
@@ -120,10 +210,44 @@ runMatrix(const std::vector<MatrixCell> &cells, unsigned jobs)
         jobs = defaultJobCount();
     jobs = std::min<size_t>(jobs, cells.size());
 
+    MatrixProgress progress(cells.size());
+
+    // One cell, fully observed: a host-trace span on the worker's
+    // track, log-context fields so any warn() fired inside the
+    // pipeline names its cell, and guest-throughput accounting. All
+    // of it reads the finished result — nothing feeds back into the
+    // simulation, so telemetry on/off cannot move a counter (tier-1
+    // guarded).
+    auto run_cell = [&](size_t index) {
+        const MatrixCell &cell = cells[index];
+        const std::string mode = fusionModeName(cell.params.fusion);
+        LogContext context({{"cell", std::to_string(index)},
+                            {"workload", cell.workload->name},
+                            {"config", mode}});
+        HostSpan span(strFormat("cell %zu %s/%s", index,
+                                cell.workload->name.c_str(),
+                                mode.c_str()),
+                      "cell");
+        span.arg("workload", cell.workload->name);
+        span.arg("config", mode);
+        results[index] =
+            runOne(*cell.workload, cell.params, cell.maxInsts);
+        span.end();
+        logDebug("cell done: %llu cycles, %llu insts, IPC %.3f",
+                 (unsigned long long)results[index].cycles,
+                 (unsigned long long)results[index].instructions,
+                 results[index].ipc());
+        if (HostMetrics::global().enabled()) {
+            HostMetrics::global().recordGuestWork(
+                results[index].instructions, results[index].uops);
+            HostMetrics::global().recordCellCompleted();
+        }
+        progress.cellDone();
+    };
+
     if (jobs <= 1) {
         for (size_t i = 0; i < cells.size(); ++i)
-            results[i] = runOne(*cells[i].workload, cells[i].params,
-                                cells[i].maxInsts);
+            run_cell(i);
         return results;
     }
 
@@ -131,18 +255,20 @@ runMatrix(const std::vector<MatrixCell> &cells, unsigned jobs)
     // private Memory/Hart/Pipeline state, so the claim order cannot
     // affect any result and output order is the input order.
     std::atomic<size_t> next{0};
+    std::atomic<unsigned> worker_id{0};
     std::mutex error_mutex;
     std::exception_ptr error;
 
     auto worker = [&] {
+        if (HostTracer::global().enabled())
+            HostTracer::global().setThreadName(strFormat(
+                "worker-%u", worker_id.fetch_add(1)));
         for (;;) {
             const size_t index = next.fetch_add(1);
             if (index >= cells.size())
                 return;
             try {
-                const MatrixCell &cell = cells[index];
-                results[index] = runOne(*cell.workload, cell.params,
-                                        cell.maxInsts);
+                run_cell(index);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (!error)

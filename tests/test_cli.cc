@@ -1,14 +1,19 @@
 /**
  * @file
- * helios_run command-line contract.
+ * Command-line contracts of the report tool chain.
  *
  * The exit-status rules a scripted caller (CI, bench drivers) relies
  * on: output paths that cannot be opened for writing fail fast with
  * exit 2 — before the simulation runs — and never silently succeed;
- * a writable path produces the promised artifact and exit 0.
+ * a writable path produces the promised artifact and exit 0. The same
+ * contract is pinned for compare_reports (0 clean / 1 regression /
+ * 2 usage or file error) and helios_annotate (0 ok / 1 malformed
+ * input / 2 usage or unwritable --out), and the host-telemetry flags
+ * (--log-level/--log-json/--host-trace/--metrics) are checked to be
+ * pure observers: they change no simulated number.
  *
- * Drives the real binary (HELIOS_RUN_BIN, injected by CMake) through
- * std::system.
+ * Drives the real binaries (HELIOS_RUN_BIN, COMPARE_REPORTS_BIN,
+ * HELIOS_ANNOTATE_BIN, injected by CMake) through std::system.
  */
 
 #include <gtest/gtest.h>
@@ -23,6 +28,7 @@
 #include <sys/wait.h>
 
 #include "common/json.hh"
+#include "harness/run_report.hh"
 
 using namespace helios;
 
@@ -87,7 +93,7 @@ TEST(Cli, WritableReportSucceeds)
     std::remove(path.c_str());
 }
 
-TEST(Cli, ProfileWritesSchemaV2WithProfileSection)
+TEST(Cli, ProfileWritesReportWithProfileSection)
 {
     const std::string path = tempPath("cli_profile.json");
     std::remove(path.c_str());
@@ -98,7 +104,7 @@ TEST(Cli, ProfileWritesSchemaV2WithProfileSection)
     std::ostringstream text;
     text << in.rdbuf();
     const JsonValue report = JsonValue::parse(text.str());
-    EXPECT_EQ(report.at("version").asUint(), 2u);
+    EXPECT_EQ(report.at("version").asUint(), kRunReportVersion);
     ASSERT_GT(report.at("runs").size(), 0u);
     EXPECT_TRUE(report.at("runs").at(0).has("profile"));
     std::remove(path.c_str());
@@ -291,6 +297,344 @@ TEST(Cli, ElfTimingRunAlsoPropagatesExitCode)
               7)
         << out;
     std::remove(elf_path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Host telemetry flags (--log-level/--log-json/--host-trace/--metrics)
+
+namespace
+{
+
+/** Read a whole file into a string; empty when unreadable. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+} // namespace
+
+TEST(CliTelemetry, BadLogLevelExitsTwo)
+{
+    EXPECT_EQ(runCli("--log-level shouting"), 2);
+}
+
+TEST(CliTelemetry, UnwritableTelemetryPathsExitTwo)
+{
+    EXPECT_EQ(runCli("--log-json " + unwritablePath("l.jsonl")), 2);
+    EXPECT_EQ(runCli("--host-trace " + unwritablePath("t.json")), 2);
+    EXPECT_EQ(runCli("--metrics " + unwritablePath("m.prom")), 2);
+}
+
+TEST(CliTelemetry, HostTraceIsWellFormedChromeTrace)
+{
+    const std::string path = tempPath("cli_host_trace.json");
+    std::remove(path.c_str());
+    ASSERT_EQ(runCli("--host-trace " + path), 0);
+
+    const JsonValue trace = JsonValue::parse(slurp(path));
+    ASSERT_TRUE(trace.has("traceEvents"));
+    bool saw_sim_span = false;
+    for (size_t i = 0; i < trace.at("traceEvents").size(); ++i) {
+        const JsonValue &event = trace.at("traceEvents").at(i);
+        if (event.at("ph").asString() == "X" &&
+            event.at("name").asString() == "detailed-sim")
+            saw_sim_span = true;
+    }
+    EXPECT_TRUE(saw_sim_span) << slurp(path);
+    std::remove(path.c_str());
+}
+
+TEST(CliTelemetry, MetricsFileIsWellFormedPrometheusText)
+{
+    const std::string path = tempPath("cli_metrics.prom");
+    std::remove(path.c_str());
+    ASSERT_EQ(runCli("--metrics " + path), 0);
+
+    const std::string text = slurp(path);
+    EXPECT_NE(text.find("helios_build_info{"), std::string::npos);
+    EXPECT_NE(text.find("helios_peak_rss_bytes "), std::string::npos);
+    EXPECT_NE(text.find("helios_guest_instructions_total "),
+              std::string::npos);
+    // Every line is a comment or "name[{labels}] value".
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        EXPECT_EQ(line.compare(0, 7, "helios_"), 0) << line;
+        char *end = nullptr;
+        std::strtod(line.c_str() + space + 1, &end);
+        EXPECT_EQ(*end, '\0') << line;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CliTelemetry, JsonLogSinkEmitsParsableRecords)
+{
+    const std::string path = tempPath("cli_log.jsonl");
+    std::remove(path.c_str());
+    ASSERT_EQ(runCli("--log-level trace --log-json " + path +
+                     " --sweep --jobs 2"),
+              0);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::string line;
+    size_t records = 0;
+    while (std::getline(in, line)) {
+        const JsonValue record = JsonValue::parse(line);
+        EXPECT_TRUE(record.has("ts")) << line;
+        EXPECT_TRUE(record.has("level")) << line;
+        EXPECT_TRUE(record.has("msg")) << line;
+        EXPECT_TRUE(record.has("thread")) << line;
+        ++records;
+    }
+    EXPECT_GT(records, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(CliTelemetry, TelemetryChangesNoTimingResult)
+{
+    // The determinism guard for the whole host-telemetry stack: a
+    // sweep with every flag armed must produce bit-identical runs and
+    // verdicts; only the (additive, host-only) extras may differ.
+    const std::string plain_path = tempPath("cli_det_plain.json");
+    const std::string telem_path = tempPath("cli_det_telem.json");
+    ASSERT_EQ(runCli("--sweep --jobs 2 --report " + plain_path), 0);
+    ASSERT_EQ(runCli("--sweep --jobs 2 --report " + telem_path +
+                     " --log-level trace --log-json " +
+                     tempPath("cli_det.jsonl") + " --host-trace " +
+                     tempPath("cli_det_trace.json") + " --metrics " +
+                     tempPath("cli_det.prom")),
+              0);
+
+    const RunReportFile plain = RunReportFile::load(plain_path);
+    const RunReportFile telem = RunReportFile::load(telem_path);
+    EXPECT_EQ(telem.version, kRunReportVersion);
+    EXPECT_TRUE(plain.host.isNull());
+    EXPECT_FALSE(telem.host.isNull());
+    EXPECT_TRUE(plain.runs == telem.runs);
+    EXPECT_TRUE(plain.verdicts == telem.verdicts);
+
+    for (const char *name : {"cli_det_plain.json", "cli_det_telem.json",
+                             "cli_det.jsonl", "cli_det_trace.json",
+                             "cli_det.prom"})
+        std::remove(tempPath(name).c_str());
+}
+
+TEST(CliTelemetry, TelemetryChangesNoFunctionalResult)
+{
+    // Both functional engines, with and without telemetry: identical
+    // instruction count and guest-visible result lines.
+    for (const char *engine : {"fast", "reference"}) {
+        std::string plain, telem;
+        ASSERT_EQ(runCliCapture(std::string("--functional --engine ") +
+                                    engine,
+                                plain),
+                  0);
+        ASSERT_EQ(runCliCapture(std::string("--functional --engine ") +
+                                    engine +
+                                    " --log-level trace --host-trace " +
+                                    tempPath("cli_det_func.json") +
+                                    " --metrics " +
+                                    tempPath("cli_det_func.prom"),
+                                telem),
+                  0);
+        unsigned long long plain_insts = 0, telem_insts = 0;
+        ASSERT_EQ(std::sscanf(std::strstr(plain.c_str(), "functional:"),
+                              "functional: %llu", &plain_insts),
+                  1)
+            << plain;
+        ASSERT_EQ(std::sscanf(std::strstr(telem.c_str(), "functional:"),
+                              "functional: %llu", &telem_insts),
+                  1)
+            << telem;
+        EXPECT_EQ(plain_insts, telem_insts) << engine;
+        EXPECT_EQ(plain.find("exit code") != std::string::npos,
+                  telem.find("exit code") != std::string::npos);
+    }
+    std::remove(tempPath("cli_det_func.json").c_str());
+    std::remove(tempPath("cli_det_func.prom").c_str());
+}
+
+// ---------------------------------------------------------------------
+// compare_reports exit-status contract (0 clean / 1 regression /
+// 2 usage or file error)
+
+namespace
+{
+
+/** Run an arbitrary tool binary with @a args, capturing all output. */
+int
+runTool(const char *bin, const std::string &args, std::string &out)
+{
+    const std::string path = tempPath("cli_tool_stdout.txt");
+    const std::string command = std::string(bin) + " " + args + " > " +
+                                path + " 2>&1";
+    const int status = std::system(command.c_str());
+    EXPECT_TRUE(WIFEXITED(status)) << command;
+    out = slurp(path);
+    std::remove(path.c_str());
+    return WEXITSTATUS(status);
+}
+
+/** Write @a text to a temp file named @a name; returns the path. */
+std::string
+writeTemp(const char *name, const std::string &text)
+{
+    const std::string path = tempPath(name);
+    std::ofstream out(path);
+    out << text;
+    return path;
+}
+
+} // namespace
+
+TEST(CompareReports, MissingArgumentsExitTwo)
+{
+    std::string out;
+    EXPECT_EQ(runTool(COMPARE_REPORTS_BIN, "", out), 2);
+    EXPECT_NE(out.find("usage:"), std::string::npos) << out;
+    EXPECT_EQ(runTool(COMPARE_REPORTS_BIN, "only_one.json", out), 2);
+}
+
+TEST(CompareReports, UnknownOptionExitsTwo)
+{
+    std::string out;
+    EXPECT_EQ(runTool(COMPARE_REPORTS_BIN,
+                      "a.json b.json --frobnicate", out),
+              2);
+    EXPECT_NE(out.find("usage:"), std::string::npos) << out;
+}
+
+TEST(CompareReports, MissingFileExitsTwo)
+{
+    std::string out;
+    EXPECT_EQ(runTool(COMPARE_REPORTS_BIN,
+                      unwritablePath("base.json") + " " +
+                          unwritablePath("cur.json"),
+                      out),
+              2);
+    EXPECT_NE(out.find("compare_reports:"), std::string::npos) << out;
+}
+
+TEST(CompareReports, MalformedJsonExitsTwo)
+{
+    const std::string path =
+        writeTemp("cli_broken.json", "{\"runs\": [");
+    std::string out;
+    EXPECT_EQ(runTool(COMPARE_REPORTS_BIN, path + " " + path, out), 2);
+    EXPECT_NE(out.find("compare_reports:"), std::string::npos) << out;
+    std::remove(path.c_str());
+}
+
+TEST(CompareReports, SelfCompareIsCleanAndIgnoresHostSection)
+{
+    // Two reports of the same run, one carrying a host section: the
+    // host data describes the producing machine, not the simulation,
+    // so the comparison must be clean.
+    const std::string plain_path = tempPath("cli_cmp_plain.json");
+    const std::string telem_path = tempPath("cli_cmp_telem.json");
+    ASSERT_EQ(runCli("--report " + plain_path), 0);
+    ASSERT_EQ(runCli("--report " + telem_path + " --metrics " +
+                     tempPath("cli_cmp.prom")),
+              0);
+
+    std::string out;
+    EXPECT_EQ(runTool(COMPARE_REPORTS_BIN,
+                      plain_path + " " + telem_path, out),
+              0)
+        << out;
+    EXPECT_NE(out.find("0 regression(s)"), std::string::npos) << out;
+
+    std::remove(plain_path.c_str());
+    std::remove(telem_path.c_str());
+    std::remove(tempPath("cli_cmp.prom").c_str());
+}
+
+// ---------------------------------------------------------------------
+// helios_annotate exit-status contract (0 ok / 1 malformed input /
+// 2 usage or unwritable --out)
+
+TEST(Annotate, MissingArgumentsExitTwo)
+{
+    std::string out;
+    EXPECT_EQ(runTool(HELIOS_ANNOTATE_BIN, "", out), 2);
+    EXPECT_NE(out.find("usage:"), std::string::npos) << out;
+    EXPECT_EQ(runTool(HELIOS_ANNOTATE_BIN, "only_report.json", out), 2);
+}
+
+TEST(Annotate, UnknownOptionExitsTwo)
+{
+    std::string out;
+    EXPECT_EQ(runTool(HELIOS_ANNOTATE_BIN,
+                      std::string("r.json p.s --frobnicate"), out),
+              2);
+    EXPECT_NE(out.find("unknown option"), std::string::npos) << out;
+}
+
+TEST(Annotate, MissingReportExitsOne)
+{
+    std::string out;
+    EXPECT_EQ(runTool(HELIOS_ANNOTATE_BIN,
+                      unwritablePath("r.json") + " " + DOTPROD_S, out),
+              1);
+    EXPECT_NE(out.find("helios_annotate:"), std::string::npos) << out;
+}
+
+TEST(Annotate, MalformedJsonExitsOne)
+{
+    const std::string path =
+        writeTemp("cli_ann_broken.json", "not json at all");
+    std::string out;
+    EXPECT_EQ(runTool(HELIOS_ANNOTATE_BIN,
+                      path + " " + DOTPROD_S, out),
+              1);
+    std::remove(path.c_str());
+}
+
+TEST(Annotate, UnprofiledReportExitsOne)
+{
+    const std::string report_path = tempPath("cli_ann_plain.json");
+    ASSERT_EQ(runCli("--report " + report_path), 0);
+    std::string out;
+    EXPECT_EQ(runTool(HELIOS_ANNOTATE_BIN,
+                      report_path + " " + DOTPROD_S, out),
+              1);
+    EXPECT_NE(out.find("--profile"), std::string::npos) << out;
+    std::remove(report_path.c_str());
+}
+
+TEST(Annotate, UnwritableOutExitsTwo)
+{
+    const std::string report_path = tempPath("cli_ann_prof.json");
+    ASSERT_EQ(runCli("--profile " + report_path), 0);
+    std::string out;
+    EXPECT_EQ(runTool(HELIOS_ANNOTATE_BIN,
+                      report_path + " " + DOTPROD_S + " --out " +
+                          unwritablePath("a.txt"),
+                      out),
+              2);
+    EXPECT_NE(out.find("cannot write"), std::string::npos) << out;
+    std::remove(report_path.c_str());
+}
+
+TEST(Annotate, ProfiledReportAnnotatesCleanly)
+{
+    const std::string report_path = tempPath("cli_ann_ok.json");
+    ASSERT_EQ(runCli("--profile " + report_path), 0);
+    std::string out;
+    EXPECT_EQ(runTool(HELIOS_ANNOTATE_BIN,
+                      report_path + " " + DOTPROD_S, out),
+              0)
+        << out;
+    std::remove(report_path.c_str());
 }
 
 TEST(Cli, ElfSweepReportRecordsProgramHash)

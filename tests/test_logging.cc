@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Structured logger contract.
+ *
+ * The properties call sites rely on: level names round-trip and
+ * unknown names fail loudly; the threshold filters; warn()/inform()
+ * keep their historical "warn: "/"info: " prefixes; concurrent
+ * writers never interleave partial lines (the runMatrix regression);
+ * LogContext fields nest and pop; the JSON-lines sink emits one
+ * parsable object per record; and a pending progress line never
+ * collides with a log record.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+using namespace helios;
+
+namespace
+{
+
+/**
+ * RAII logger-state guard: every test drives the one global logger,
+ * so level, capture sink and JSON sink are restored on exit no matter
+ * how the test ends.
+ */
+class LoggerFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        saved_level = Logger::global().level();
+        Logger::global().captureText(&captured);
+    }
+
+    void
+    TearDown() override
+    {
+        Logger::global().captureText(nullptr);
+        Logger::global().closeJsonSink();
+        Logger::global().setLevel(saved_level);
+    }
+
+    std::string
+    text() const
+    {
+        return captured.str();
+    }
+
+    std::ostringstream captured;
+    LogLevel saved_level = LogLevel::Info;
+};
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + name;
+}
+
+} // namespace
+
+TEST(LogLevelNames, RoundTrip)
+{
+    for (const LogLevel level :
+         {LogLevel::Trace, LogLevel::Debug, LogLevel::Info,
+          LogLevel::Warn, LogLevel::Error, LogLevel::Off})
+        EXPECT_EQ(logLevelFromName(logLevelName(level)), level);
+    EXPECT_EQ(logLevelFromName("WARN"), LogLevel::Warn);
+    EXPECT_EQ(logLevelFromName("Info"), LogLevel::Info);
+}
+
+TEST(LogLevelNames, UnknownNameIsFatal)
+{
+    EXPECT_THROW(logLevelFromName("verbose"), FatalError);
+    EXPECT_THROW(logLevelFromName(""), FatalError);
+}
+
+TEST_F(LoggerFixture, ThresholdFiltersBySeverity)
+{
+    Logger::global().setLevel(LogLevel::Warn);
+    logTrace("trace message");
+    logDebug("debug message");
+    inform("info message");
+    warn("warn message");
+    logError("error message");
+
+    const std::string out = text();
+    EXPECT_EQ(out.find("trace message"), std::string::npos) << out;
+    EXPECT_EQ(out.find("debug message"), std::string::npos) << out;
+    EXPECT_EQ(out.find("info message"), std::string::npos) << out;
+    EXPECT_NE(out.find("warn: warn message"), std::string::npos) << out;
+    EXPECT_NE(out.find("error: error message"), std::string::npos)
+        << out;
+}
+
+TEST_F(LoggerFixture, OffSuppressesEverything)
+{
+    Logger::global().setLevel(LogLevel::Off);
+    logError("should not appear");
+    Logger::global().log(LogLevel::Off, "also not this");
+    EXPECT_EQ(text(), "");
+}
+
+TEST_F(LoggerFixture, TraceLevelEmitsEveryRecordWithItsPrefix)
+{
+    Logger::global().setLevel(LogLevel::Trace);
+    logTrace("t");
+    logDebug("d");
+    inform("i");
+    warn("w");
+    logError("e");
+
+    const std::vector<std::string> lines = splitLines(text());
+    ASSERT_EQ(lines.size(), 5u);
+    EXPECT_EQ(lines[0], "trace: t");
+    EXPECT_EQ(lines[1], "debug: d");
+    EXPECT_EQ(lines[2], "info: i");
+    EXPECT_EQ(lines[3], "warn: w");
+    EXPECT_EQ(lines[4], "error: e");
+}
+
+TEST_F(LoggerFixture, DisabledLevelCheapCheck)
+{
+    Logger::global().setLevel(LogLevel::Error);
+    EXPECT_FALSE(Logger::global().enabled(LogLevel::Trace));
+    EXPECT_FALSE(Logger::global().enabled(LogLevel::Warn));
+    EXPECT_TRUE(Logger::global().enabled(LogLevel::Error));
+}
+
+TEST_F(LoggerFixture, ContextFieldsAppendAndNest)
+{
+    Logger::global().setLevel(LogLevel::Info);
+    {
+        LogContext outer({{"cell", "3"}, {"workload", "qsort"}});
+        inform("outer");
+        {
+            LogContext inner(
+                std::vector<std::pair<std::string, std::string>>{
+                    {"config", "Helios"}});
+            inform("inner");
+        }
+        inform("outer again");
+    }
+    inform("bare");
+
+    const std::vector<std::string> lines = splitLines(text());
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(lines[0], "info: outer [cell=3 workload=qsort]");
+    EXPECT_EQ(lines[1],
+              "info: inner [cell=3 workload=qsort config=Helios]");
+    EXPECT_EQ(lines[2], "info: outer again [cell=3 workload=qsort]");
+    EXPECT_EQ(lines[3], "info: bare");
+}
+
+TEST_F(LoggerFixture, ConcurrentWarnsNeverInterleave)
+{
+    // The regression that motivated the logger: parallel runMatrix
+    // workers used to write to stderr with multiple stream operations
+    // per line, so two workers could mangle each other's output.
+    // Every emitted line must now be exactly one intact record.
+    Logger::global().setLevel(LogLevel::Info);
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 200;
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&go, t] {
+            while (!go.load())
+                std::this_thread::yield();
+            LogContext context(
+                std::vector<std::pair<std::string, std::string>>{
+                    {"worker", std::to_string(t)}});
+            for (int i = 0; i < kPerThread; ++i)
+                warn("payload-%d-%d abcdefghijklmnopqrstuvwxyz", t, i);
+        });
+    }
+    go.store(true);
+    for (std::thread &thread : threads)
+        thread.join();
+
+    const std::vector<std::string> lines = splitLines(text());
+    ASSERT_EQ(lines.size(), size_t(kThreads) * kPerThread);
+    for (const std::string &line : lines) {
+        int t = -1, i = -1;
+        ASSERT_EQ(std::sscanf(line.c_str(),
+                              "warn: payload-%d-%d "
+                              "abcdefghijklmnopqrstuvwxyz "
+                              "[worker=%*d]",
+                              &t, &i),
+                  2)
+            << "mangled line: " << line;
+        ASSERT_GE(t, 0);
+        ASSERT_LT(t, kThreads);
+        ASSERT_GE(i, 0);
+        ASSERT_LT(i, kPerThread);
+        EXPECT_EQ(line,
+                  strFormat("warn: payload-%d-%d "
+                            "abcdefghijklmnopqrstuvwxyz [worker=%d]",
+                            t, i, t));
+    }
+}
+
+TEST_F(LoggerFixture, JsonSinkEmitsOneParsableObjectPerRecord)
+{
+    const std::string path = tempPath("logger_sink.jsonl");
+    std::remove(path.c_str());
+    Logger::global().setLevel(LogLevel::Debug);
+    Logger::global().openJsonSink(path);
+    ASSERT_TRUE(Logger::global().jsonSinkOpen());
+
+    {
+        LogContext context({{"cell", "7"}, {"config", "CSF-SBR"}});
+        warn("quoted \"text\" and\nnewline");
+    }
+    logDebug("plain");
+    logTrace("below threshold; not recorded");
+    Logger::global().closeJsonSink();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::string line;
+    std::vector<JsonValue> records;
+    while (std::getline(in, line))
+        records.push_back(JsonValue::parse(line));
+    ASSERT_EQ(records.size(), 2u);
+
+    EXPECT_EQ(records[0].at("level").asString(), "warn");
+    EXPECT_EQ(records[0].at("msg").asString(),
+              "quoted \"text\" and\nnewline");
+    EXPECT_EQ(records[0].at("cell").asString(), "7");
+    EXPECT_EQ(records[0].at("config").asString(), "CSF-SBR");
+    EXPECT_TRUE(records[0].has("ts"));
+    EXPECT_TRUE(records[0].has("thread"));
+
+    EXPECT_EQ(records[1].at("level").asString(), "debug");
+    EXPECT_EQ(records[1].at("msg").asString(), "plain");
+    EXPECT_FALSE(records[1].has("cell"));
+    std::remove(path.c_str());
+}
+
+TEST_F(LoggerFixture, UnwritableJsonSinkIsFatal)
+{
+    EXPECT_THROW(Logger::global().openJsonSink(
+                     tempPath("no-such-dir/sink.jsonl")),
+                 FatalError);
+    EXPECT_FALSE(Logger::global().jsonSinkOpen());
+}
+
+TEST_F(LoggerFixture, ProgressLineYieldsToLogRecords)
+{
+    Logger::global().setLevel(LogLevel::Info);
+    Logger::global().progress("3/10 cells");
+    Logger::global().progress("4/10 cells");
+    inform("a real record");
+    Logger::global().progress("5/10 cells");
+    Logger::global().clearProgress();
+    Logger::global().clearProgress(); // idempotent
+
+    // In capture mode progress lines are \r-prefixed and unterminated;
+    // the record still lands on its own line and the final clear
+    // terminates the last progress line.
+    const std::string out = text();
+    EXPECT_NE(out.find("\r3/10 cells"), std::string::npos) << out;
+    EXPECT_NE(out.find("info: a real record\n"), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("\r5/10 cells\n"), std::string::npos) << out;
+}

@@ -314,10 +314,10 @@ TEST(Profiler, ZeroIntervalMeansNoTimeSeries)
 }
 
 // ---------------------------------------------------------------------
-// RunReport schema v2
+// RunReport schema (profile section, v2+)
 // ---------------------------------------------------------------------
 
-TEST(Profiler, ProfileRoundTripsThroughSchemaV2)
+TEST(Profiler, ProfileRoundTripsThroughReportSchema)
 {
     RunReportFile file;
     file.generator = "test_profiler";
@@ -326,7 +326,7 @@ TEST(Profiler, ProfileRoundTripsThroughSchemaV2)
                  smokeBudget);
 
     const JsonValue json = file.toJson();
-    EXPECT_EQ(json.at("version").asUint(), 2u);
+    EXPECT_EQ(json.at("version").asUint(), kRunReportVersion);
     EXPECT_TRUE(json.at("runs").at(0).has("profile"));
 
     const std::string text = file.toJsonText();
