@@ -11,29 +11,12 @@
  *       --verbose               print every matched pair, not just
  *                               regressions
  *
- * Runs are matched by (workload, mode). For every pair the tool
- * checks that
- *   - IPC did not drop more than the tolerance below the baseline;
- *   - fusion coverage (fused-pair instructions / committed
- *     instructions) did not drop more than the tolerance;
- *   - the committed instruction count is identical when both runs
- *     used the same instruction budget (the workload itself did not
- *     silently change);
- *   - when both runs carry a profile section (schema v2), no hot
- *     static site's fusion coverage dropped more than the coverage
- *     tolerance (per-site regression detection: an aggregate can hide
- *     one site losing its fusion to another site gaining);
- *   - the current file reports no differential-harness verdicts.
- *
- * The schema-v3 `host` section (host telemetry: build stamp, phase
- * wall-clock, peak RSS, throughput) describes the machine that
- * produced a report, never the simulated result, so comparisons
- * ignore it entirely — two reports that differ only in `host` are
- * clean.
- *
- * A regressing pair additionally prints the top counter deltas
- * between the two runs, so the first diagnostic step — which counter
- * moved — needs no second tool.
+ * The comparison itself — run matching, IPC/coverage/instruction
+ * drift, per-site profile regressions, verdict propagation, top
+ * counter deltas — lives in harness/report_diff.* and is shared with
+ * `helios_db diff`, so a committed baseline and a ledger record diff
+ * through exactly the same logic. This tool owns only the CLI: the
+ * tolerance flags, the summary line, and the exit status.
  *
  * Exit status: 0 clean, 1 regression or verdict found, 2 usage /
  * file errors. CI keeps a committed baseline under bench/baselines/
@@ -42,15 +25,12 @@
  * OBSERVABILITY.md).
  */
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
-#include <vector>
 
 #include "common/logging.hh"
+#include "harness/report_diff.hh"
 #include "harness/run_report.hh"
 
 using namespace helios;
@@ -68,109 +48,29 @@ usage()
                  "[--coverage-tolerance PCT] [--verbose]\n");
 }
 
-/**
- * Print the most-changed counters between two regressing runs,
- * largest relative move first. Counters present in only one run count
- * as a full move.
- */
-void
-printTopCounterDeltas(const RunReport &base, const RunReport &cur,
-                      size_t top_n)
-{
-    struct Delta
-    {
-        std::string name;
-        uint64_t before, after;
-        double rel;
-    };
-    std::vector<Delta> deltas;
-    const auto consider = [&](const std::string &name, uint64_t before,
-                              uint64_t after) {
-        if (before == after)
-            return;
-        const uint64_t reference = std::max(before, after);
-        deltas.push_back(
-            {name, before, after,
-             before ? (double(after) - double(before)) / double(before)
-                    : double(reference)});
-    };
-    for (const auto &[name, before] : base.stats.dump())
-        consider(name, before, cur.stats.get(name));
-    for (const auto &[name, after] : cur.stats.dump())
-        if (base.stats.get(name) == 0 && after != 0)
-            consider(name, 0, after);
-    std::sort(deltas.begin(), deltas.end(),
-              [](const Delta &a, const Delta &b) {
-                  if (std::fabs(a.rel) != std::fabs(b.rel))
-                      return std::fabs(a.rel) > std::fabs(b.rel);
-                  return std::max(a.before, a.after) >
-                         std::max(b.before, b.after);
-              });
-    if (deltas.size() > top_n)
-        deltas.resize(top_n);
-    for (const Delta &delta : deltas)
-        std::printf("         %-32s %12llu -> %-12llu (%+.1f%%)\n",
-                    delta.name.c_str(),
-                    (unsigned long long)delta.before,
-                    (unsigned long long)delta.after,
-                    100.0 * delta.rel);
-}
-
-/** A site hot enough that its coverage is statistically meaningful. */
-constexpr uint64_t kSiteExecutionFloor = 128;
-
-/**
- * Per-site coverage regression check (both runs profiled): flag every
- * hot baseline site whose coverage dropped more than the tolerance.
- * Returns the number of regressing sites.
- */
-unsigned
-compareSites(const RunReport &base, const RunReport &cur,
-             double coverage_tolerance)
-{
-    unsigned regressions = 0;
-    for (const ProfileSite &site : base.profile.sites) {
-        if (site.executions < kSiteExecutionFloor)
-            continue;
-        const ProfileSite *now = cur.profile.find(site.pc);
-        const double before = site.coverage();
-        const double after = now ? now->coverage() : 0.0;
-        if (after < before - coverage_tolerance) {
-            std::printf("SITE     %s/%s pc 0x%llx coverage "
-                        "%.4f -> %.4f (tolerance -%.2f pp)\n",
-                        base.workload.c_str(), base.mode.c_str(),
-                        (unsigned long long)site.pc, before, after,
-                        100.0 * coverage_tolerance);
-            ++regressions;
-        }
-    }
-    return regressions;
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string baseline_path, current_path;
-    double ipc_tolerance = 0.02;
-    double coverage_tolerance = 0.01;
-    bool verbose = false;
+    ReportDiffOptions options;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--tolerance" && i + 1 < argc) {
             const double tolerance =
                 std::strtod(argv[++i], nullptr) / 100.0;
-            ipc_tolerance = tolerance;
-            coverage_tolerance = tolerance;
+            options.ipcTolerance = tolerance;
+            options.coverageTolerance = tolerance;
         } else if (arg == "--ipc-tolerance" && i + 1 < argc) {
-            ipc_tolerance = std::strtod(argv[++i], nullptr) / 100.0;
+            options.ipcTolerance =
+                std::strtod(argv[++i], nullptr) / 100.0;
         } else if (arg == "--coverage-tolerance" && i + 1 < argc) {
-            coverage_tolerance =
+            options.coverageTolerance =
                 std::strtod(argv[++i], nullptr) / 100.0;
         } else if (arg == "--verbose") {
-            verbose = true;
+            options.verbose = true;
         } else if (arg[0] == '-') {
             usage();
             return 2;
@@ -193,79 +93,15 @@ main(int argc, char **argv)
             RunReportFile::load(baseline_path);
         const RunReportFile current = RunReportFile::load(current_path);
 
-        unsigned regressions = 0, matched = 0;
-
-        for (const ReportVerdict &verdict : current.verdicts) {
-            std::printf("VERDICT  %s/%s %s: %s\n",
-                        verdict.workload.c_str(), verdict.mode.c_str(),
-                        verdict.check.c_str(), verdict.detail.c_str());
-            ++regressions;
-        }
-
-        for (const RunReport &base : baseline.runs) {
-            const RunReport *cur =
-                current.find(base.workload, base.mode);
-            if (!cur) {
-                std::printf("MISSING  %s/%s present in baseline only\n",
-                            base.workload.c_str(), base.mode.c_str());
-                ++regressions;
-                continue;
-            }
-            ++matched;
-
-            const double ipc_ratio =
-                base.ipc > 0 ? cur->ipc / base.ipc : 1.0;
-            const double coverage_delta =
-                cur->fusionCoverage() - base.fusionCoverage();
-
-            bool bad = false;
-            if (ipc_ratio < 1.0 - ipc_tolerance) {
-                std::printf("IPC      %s/%s %.4f -> %.4f "
-                            "(%.2f%%, tolerance -%.2f%%)\n",
-                            base.workload.c_str(), base.mode.c_str(),
-                            base.ipc, cur->ipc,
-                            100.0 * (ipc_ratio - 1.0),
-                            100.0 * ipc_tolerance);
-                bad = true;
-            }
-            if (coverage_delta < -coverage_tolerance) {
-                std::printf("COVERAGE %s/%s %.4f -> %.4f "
-                            "(tolerance -%.2f pp)\n",
-                            base.workload.c_str(), base.mode.c_str(),
-                            base.fusionCoverage(),
-                            cur->fusionCoverage(),
-                            100.0 * coverage_tolerance);
-                bad = true;
-            }
-            if (base.maxInsts == cur->maxInsts &&
-                base.instructions != cur->instructions) {
-                std::printf("INSTS    %s/%s committed %llu -> %llu "
-                            "under the same budget\n",
-                            base.workload.c_str(), base.mode.c_str(),
-                            (unsigned long long)base.instructions,
-                            (unsigned long long)cur->instructions);
-                bad = true;
-            }
-            if (base.profiled && cur->profiled &&
-                compareSites(base, *cur, coverage_tolerance) > 0)
-                bad = true;
-            if (bad) {
-                printTopCounterDeltas(base, *cur, 5);
-                ++regressions;
-            } else if (verbose) {
-                std::printf("ok       %s/%s IPC %.4f -> %.4f "
-                            "(%+.2f%%), coverage %.4f -> %.4f\n",
-                            base.workload.c_str(), base.mode.c_str(),
-                            base.ipc, cur->ipc,
-                            100.0 * (ipc_ratio - 1.0),
-                            base.fusionCoverage(),
-                            cur->fusionCoverage());
-            }
-        }
+        std::string findings;
+        const ReportDiffResult result =
+            diffReportFiles(baseline, current, options, findings);
+        std::fputs(findings.c_str(), stdout);
 
         std::printf("compare_reports: %u run(s) matched, "
-                    "%u regression(s)\n", matched, regressions);
-        return regressions ? 1 : 0;
+                    "%u regression(s)\n",
+                    result.matched, result.regressions);
+        return result.clean() ? 0 : 1;
     } catch (const FatalError &error) {
         std::fprintf(stderr, "compare_reports: %s\n", error.what());
         return 2;

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Query and maintain a run ledger (src/ledger): the content-addressed
+ * store `helios_run --ledger` / HELIOS_LEDGER records finished runs
+ * into.
+ *
+ *   $ helios_db <command> <ledger-dir> [args]
+ *
+ *       ingest DIR report.json [--build NAME]
+ *           Ingest every run of a RunReport file as a ledger record
+ *           (key: program_hash, config_hash, max_insts, build). The
+ *           --build override stamps a synthetic build name — that is
+ *           how a trend history is seeded from reports produced by
+ *           one binary (same key except the build ⇒ a new point).
+ *
+ *       list DIR
+ *           One line per record: seq, workload, config, build, IPC.
+ *
+ *       show DIR SEQ
+ *           Print record SEQ's meta and its full blob (the run's
+ *           report JSON).
+ *
+ *       trend DIR --metric NAME [--window N] [--tolerance PCT]
+ *                 [--lower-is-better]
+ *           Every (workload, config) series of meta field NAME in
+ *           append order, flagging the latest point when it drifted
+ *           past the tolerance vs the mean of the preceding window
+ *           (default: window 5, tolerance 2%, higher is better).
+ *           Exit 1 when any series is flagged — the CI drift
+ *           observatory's gate.
+ *
+ *       diff DIR SEQ_BASE SEQ_CUR [--tolerance PCT]
+ *                 [--ipc-tolerance PCT] [--coverage-tolerance PCT]
+ *                 [--verbose]
+ *           Diff two ledger records through the same report-diff core
+ *           as bench/compare_reports (harness/report_diff.*). Exit 1
+ *           on regressions.
+ *
+ *       gc DIR
+ *           Delete unreferenced blob files (crash leftovers) and
+ *           compact the index.
+ *
+ * Exit status: 0 clean, 1 regression found (trend/diff), 2 usage or
+ * file errors. See OBSERVABILITY.md ("Run ledger & trends").
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/report_diff.hh"
+#include "harness/run_report.hh"
+#include "ledger/ledger.hh"
+#include "ledger/trend.hh"
+#include "telemetry/host_metrics.hh"
+
+using namespace helios;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: helios_db <command> <ledger-dir> [args]\n"
+        "  ingest DIR report.json [--build NAME]\n"
+        "  list   DIR\n"
+        "  show   DIR SEQ\n"
+        "  trend  DIR --metric NAME [--window N] [--tolerance PCT]\n"
+        "               [--lower-is-better]\n"
+        "  diff   DIR SEQ_BASE SEQ_CUR [--tolerance PCT]\n"
+        "               [--ipc-tolerance PCT] "
+        "[--coverage-tolerance PCT] [--verbose]\n"
+        "  gc     DIR\n");
+}
+
+const LedgerRecord *
+findBySeq(const Ledger &ledger, uint64_t seq)
+{
+    for (const LedgerRecord &record : ledger.records())
+        if (record.seq == seq)
+            return &record;
+    return nullptr;
+}
+
+uint64_t
+parseSeq(const char *text)
+{
+    char *end = nullptr;
+    const uint64_t seq = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr, "helios_db: '%s' is not a record seq\n",
+                     text);
+        std::exit(2);
+    }
+    return seq;
+}
+
+int
+cmdIngest(Ledger &ledger, const std::string &report_path,
+          const std::string &build_override)
+{
+    const RunReportFile file = RunReportFile::load(report_path);
+    unsigned recorded = 0, hits = 0;
+    for (const RunReport &report : file.runs) {
+        LedgerKey key;
+        key.programHash = report.programHash;
+        key.configHash = report.configHash;
+        key.budget = report.maxInsts;
+        key.build = build_override.empty() ? buildInfo().gitHash
+                                           : build_override;
+
+        JsonValue meta = JsonValue::object();
+        meta.set("workload", JsonValue(report.workload));
+        meta.set("mode", JsonValue(report.mode));
+        meta.set("ipc", JsonValue(report.ipc));
+        meta.set("fusion_coverage",
+                 JsonValue(report.fusionCoverage()));
+        meta.set("instructions", JsonValue(report.instructions));
+        meta.set("cycles", JsonValue(report.cycles));
+        meta.set("uops", JsonValue(report.uops));
+
+        RunReportFile blob;
+        blob.generator = "helios_db ingest";
+        blob.runs.push_back(report);
+        if (ledger.record(key, std::move(meta), blob.toJsonText()))
+            ++recorded;
+        else
+            ++hits;
+    }
+    std::printf("ingest: %u run(s) recorded, %u already present "
+                "<- %s\n",
+                recorded, hits, report_path.c_str());
+    return 0;
+}
+
+int
+cmdList(const Ledger &ledger)
+{
+    for (const LedgerRecord &record : ledger.records()) {
+        const JsonValue &meta = record.meta;
+        const auto field = [&](const char *name) -> std::string {
+            const JsonValue &value = meta.get(name);
+            return value.isString() ? value.asString() : "-";
+        };
+        const JsonValue &ipc = meta.get("ipc");
+        std::printf("%4llu  %-24s %-12s %-12s ipc %-8s %s\n",
+                    (unsigned long long)record.seq,
+                    field("workload").c_str(), field("mode").c_str(),
+                    record.key.build.c_str(),
+                    ipc.isNumber()
+                        ? strFormat("%.4f", ipc.asDouble()).c_str()
+                        : "-",
+                    record.key.text().c_str());
+    }
+    std::printf("helios_db: %zu record(s) in %s\n",
+                ledger.records().size(), ledger.dir().c_str());
+    return 0;
+}
+
+int
+cmdShow(const Ledger &ledger, uint64_t seq)
+{
+    const LedgerRecord *record = findBySeq(ledger, seq);
+    if (!record) {
+        std::fprintf(stderr, "helios_db: no record with seq %llu\n",
+                     (unsigned long long)seq);
+        return 2;
+    }
+    std::printf("key:  %s\n", record->key.text().c_str());
+    std::printf("meta: %s\n", record->meta.dump(0).c_str());
+    const std::string blob = ledger.loadBlob(*record);
+    std::fputs(blob.c_str(), stdout);
+    if (!blob.empty() && blob.back() != '\n')
+        std::fputc('\n', stdout);
+    return 0;
+}
+
+int
+cmdTrend(const Ledger &ledger, const std::string &metric,
+         const TrendOptions &options)
+{
+    const std::vector<TrendSeries> series =
+        collectTrendSeries(ledger, metric);
+    if (series.empty()) {
+        std::printf("trend: no records carry metric '%s'\n",
+                    metric.c_str());
+        return 0;
+    }
+
+    unsigned flagged = 0;
+    for (const TrendSeries &s : series) {
+        std::string points;
+        for (const TrendPoint &point : s.points)
+            points += strFormat(" %.4f", point.value);
+        std::printf("%s/%s (budget %llu) %s:%s\n", s.workload.c_str(),
+                    s.mode.c_str(), (unsigned long long)s.budget,
+                    metric.c_str(), points.c_str());
+        for (const TrendFlag &flag : analyzeTrend(s, options)) {
+            std::printf("TREND    %s/%s %s %.4f vs window mean %.4f "
+                        "(%+.2f%%, tolerance %.2f%%)\n",
+                        flag.workload.c_str(), flag.mode.c_str(),
+                        flag.metric.c_str(), flag.latest,
+                        flag.reference, 100.0 * flag.delta,
+                        100.0 * options.tolerance);
+            ++flagged;
+        }
+    }
+    std::printf("trend: %zu series, %u regression(s)\n", series.size(),
+                flagged);
+    return flagged ? 1 : 0;
+}
+
+int
+cmdDiff(const Ledger &ledger, uint64_t seq_base, uint64_t seq_cur,
+        const ReportDiffOptions &options)
+{
+    const LedgerRecord *base = findBySeq(ledger, seq_base);
+    const LedgerRecord *cur = findBySeq(ledger, seq_cur);
+    if (!base || !cur) {
+        std::fprintf(stderr, "helios_db: no record with seq %llu\n",
+                     (unsigned long long)(!base ? seq_base : seq_cur));
+        return 2;
+    }
+    const RunReportFile baseline =
+        RunReportFile::fromJsonText(ledger.loadBlob(*base));
+    const RunReportFile current =
+        RunReportFile::fromJsonText(ledger.loadBlob(*cur));
+
+    std::string findings;
+    const ReportDiffResult result =
+        diffReportFiles(baseline, current, options, findings);
+    std::fputs(findings.c_str(), stdout);
+    std::printf("helios_db diff: %u run(s) matched, "
+                "%u regression(s)\n",
+                result.matched, result.regressions);
+    return result.clean() ? 0 : 1;
+}
+
+int
+cmdGc(Ledger &ledger)
+{
+    const size_t removed = ledger.gc();
+    std::printf("gc: removed %zu unreferenced blob(s), %zu record(s) "
+                "kept\n",
+                removed, ledger.records().size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        usage();
+        return 2;
+    }
+    const std::string command = argv[1];
+    const std::string dir = argv[2];
+
+    try {
+        Ledger ledger(dir);
+
+        if (command == "ingest") {
+            std::string report_path, build_override;
+            for (int i = 3; i < argc; ++i) {
+                const std::string arg = argv[i];
+                if (arg == "--build" && i + 1 < argc) {
+                    build_override = argv[++i];
+                } else if (arg[0] == '-' || !report_path.empty()) {
+                    usage();
+                    return 2;
+                } else {
+                    report_path = arg;
+                }
+            }
+            if (report_path.empty()) {
+                usage();
+                return 2;
+            }
+            return cmdIngest(ledger, report_path, build_override);
+        }
+        if (command == "list") {
+            return cmdList(ledger);
+        }
+        if (command == "show") {
+            if (argc != 4) {
+                usage();
+                return 2;
+            }
+            return cmdShow(ledger, parseSeq(argv[3]));
+        }
+        if (command == "trend") {
+            std::string metric;
+            TrendOptions options;
+            for (int i = 3; i < argc; ++i) {
+                const std::string arg = argv[i];
+                if (arg == "--metric" && i + 1 < argc) {
+                    metric = argv[++i];
+                } else if (arg == "--window" && i + 1 < argc) {
+                    options.window =
+                        std::strtoull(argv[++i], nullptr, 0);
+                } else if (arg == "--tolerance" && i + 1 < argc) {
+                    options.tolerance =
+                        std::strtod(argv[++i], nullptr) / 100.0;
+                } else if (arg == "--lower-is-better") {
+                    options.higherIsBetter = false;
+                } else {
+                    usage();
+                    return 2;
+                }
+            }
+            if (metric.empty()) {
+                usage();
+                return 2;
+            }
+            return cmdTrend(ledger, metric, options);
+        }
+        if (command == "diff") {
+            if (argc < 5) {
+                usage();
+                return 2;
+            }
+            ReportDiffOptions options;
+            for (int i = 5; i < argc; ++i) {
+                const std::string arg = argv[i];
+                if (arg == "--tolerance" && i + 1 < argc) {
+                    const double tolerance =
+                        std::strtod(argv[++i], nullptr) / 100.0;
+                    options.ipcTolerance = tolerance;
+                    options.coverageTolerance = tolerance;
+                } else if (arg == "--ipc-tolerance" && i + 1 < argc) {
+                    options.ipcTolerance =
+                        std::strtod(argv[++i], nullptr) / 100.0;
+                } else if (arg == "--coverage-tolerance" &&
+                           i + 1 < argc) {
+                    options.coverageTolerance =
+                        std::strtod(argv[++i], nullptr) / 100.0;
+                } else if (arg == "--verbose") {
+                    options.verbose = true;
+                } else {
+                    usage();
+                    return 2;
+                }
+            }
+            return cmdDiff(ledger, parseSeq(argv[3]),
+                           parseSeq(argv[4]), options);
+        }
+        if (command == "gc") {
+            return cmdGc(ledger);
+        }
+
+        std::fprintf(stderr, "helios_db: unknown command '%s'\n",
+                     command.c_str());
+        usage();
+        return 2;
+    } catch (const FatalError &error) {
+        std::fprintf(stderr, "helios_db: %s\n", error.what());
+        return 2;
+    }
+}

@@ -65,6 +65,16 @@
  *                                          (env HELIOS_METRICS); also
  *                                          stamps the `host` section
  *                                          into --report files
+ *       --ledger DIR                       record the finished run(s)
+ *                                          into the content-addressed
+ *                                          run ledger at DIR (created
+ *                                          if absent; env
+ *                                          HELIOS_LEDGER); a run whose
+ *                                          key (program hash, config
+ *                                          hash, budget, build) is
+ *                                          already present is a keyed
+ *                                          hit and writes nothing.
+ *                                          Query with bench/helios_db.
  *       --annotate                         profile the run and print
  *                                          annotated disassembly
  *                                          (execs / coverage / stalls
@@ -124,8 +134,10 @@
 #include "harness/elf_image.hh"
 #include "harness/differential.hh"
 #include "harness/report.hh"
+#include "harness/run_ledger.hh"
 #include "harness/run_report.hh"
 #include "harness/runner.hh"
+#include "ledger/ledger.hh"
 #include "sim/elf_loader.hh"
 #include "sim/hart.hh"
 #include "telemetry/annotate.hh"
@@ -152,9 +164,26 @@ usage()
                  "[--time] [--functional] [--engine fast|reference] "
                  "[--sweep] [--jobs N] [--audit] [--emit-elf FILE] "
                  "[--log-level LEVEL] [--log-json FILE] "
-                 "[--host-trace FILE] [--metrics FILE]\n"
+                 "[--host-trace FILE] [--metrics FILE] "
+                 "[--ledger DIR]\n"
                  "       helios_run --elf <file.elf> [options] "
                  "[--argv ARG...]\n");
+}
+
+/** One greppable line per recording attempt, so scripts (and
+ *  test_cli) can tell a fresh record from a keyed replay. */
+void
+noteLedgerOutcome(LedgerOutcome outcome)
+{
+    const Ledger *ledger = Ledger::global();
+    if (!ledger || outcome == LedgerOutcome::Disarmed)
+        return;
+    if (outcome == LedgerOutcome::Recorded)
+        std::printf("ledger: recorded 1 run -> %s\n",
+                    ledger->dir().c_str());
+    else
+        std::printf("ledger: hit (run already recorded in %s)\n",
+                    ledger->dir().c_str());
 }
 
 /**
@@ -378,6 +407,7 @@ main(int argc, char **argv)
     std::string log_json_path;
     std::string host_trace_path;
     std::string metrics_path;
+    std::string ledger_path;
     FusionMode mode = FusionMode::Helios;
     uint64_t max_insts = UINT64_MAX;
     uint64_t window_cycles = 10000;
@@ -435,6 +465,8 @@ main(int argc, char **argv)
             host_trace_path = value_of(i, "--host-trace");
         } else if (arg == "--metrics") {
             metrics_path = value_of(i, "--metrics");
+        } else if (arg == "--ledger") {
+            ledger_path = value_of(i, "--ledger");
         } else if (arg == "--annotate") {
             annotate = true;
         } else if (arg == "--pipeview") {
@@ -525,6 +557,17 @@ main(int argc, char **argv)
         writeHostTraceAtExit(host_trace_path);
     if (!metrics_path.empty())
         writeHostMetricsAtExit(metrics_path);
+    // --ledger wins over HELIOS_LEDGER; a bad directory is a usage
+    // error like any other unwritable output path.
+    try {
+        if (!ledger_path.empty())
+            Ledger::arm(ledger_path);
+        else
+            initLedgerFromEnv();
+    } catch (const FatalError &error) {
+        std::fprintf(stderr, "helios_run: %s\n", error.what());
+        return 2;
+    }
 
     // Read the input up front so a missing file is a usage error
     // (exit 2), distinct from a malformed program (exit 1 below).
@@ -623,10 +666,19 @@ main(int argc, char **argv)
             fatal("--profile is not routed through the differential "
                   "harness; drop --audit or --sweep");
 
-        if (sweep)
-            return runSweep(workload, max_insts, jobs, audit,
-                            dump_stats, cpi_stack, timing, report_path,
-                            profile_path, window_cycles);
+        if (sweep) {
+            const int status =
+                runSweep(workload, max_insts, jobs, audit, dump_stats,
+                         cpi_stack, timing, report_path, profile_path,
+                         window_cycles);
+            if (const Ledger *ledger = Ledger::global())
+                std::printf("ledger: %llu run(s) recorded, %llu "
+                            "hit(s) -> %s\n",
+                            (unsigned long long)ledger->recorded(),
+                            (unsigned long long)ledger->hits(),
+                            ledger->dir().c_str());
+            return status;
+        }
 
         Memory memory;
         Hart hart(memory);
@@ -663,6 +715,17 @@ main(int argc, char **argv)
                 std::printf("time: %.3f s wall, %.2f Minst/s "
                             "(functional)\n",
                             elapsed, minst_per_sec);
+            if (Ledger::global()) {
+                FunctionalResult fres;
+                fres.instructions = executed;
+                fres.archChecksum = hart.archChecksum();
+                fres.memChecksum = memory.checksum();
+                fres.exited = hart.exited();
+                fres.exitCode = hart.exitCode();
+                fres.programHash = program.sourceHash;
+                noteLedgerOutcome(recordFunctionalToLedger(
+                    workload.name, fres, max_insts, fast_engine));
+            }
         } else {
             HartFeed feed(hart, max_insts);
             CoreParams params = CoreParams::icelake(mode);
@@ -709,7 +772,8 @@ main(int argc, char **argv)
                 HostSpan span("trace-write");
                 writeTraces(tracer, trace_path);
             }
-            if (!report_path.empty() || !profile_path.empty()) {
+            if (!report_path.empty() || !profile_path.empty() ||
+                Ledger::global()) {
                 HostSpan report_span("report-write");
                 RunResult run;
                 run.workload = path;
@@ -724,6 +788,7 @@ main(int argc, char **argv)
                 run.exited = hart.exited();
                 run.exitCode = hart.exitCode();
                 run.programHash = program.sourceHash;
+                run.configHash = configHash(params);
                 if (audit) {
                     run.audited = true;
                     run.auditChecks = auditor.checksPerformed();
@@ -734,25 +799,28 @@ main(int argc, char **argv)
                     run.profiled = true;
                     run.profile = profiler->data();
                 }
-                RunReportFile report_file;
-                report_file.generator = "helios_run";
-                report_file.add(run, max_insts == UINT64_MAX
-                                         ? 0 : max_insts);
-                attachHostSection(report_file);
-                if (!report_path.empty()) {
-                    report_file.save(report_path);
-                    std::printf("report: 1 run -> %s\n",
-                                report_path.c_str());
+                if (!report_path.empty() || !profile_path.empty()) {
+                    RunReportFile report_file;
+                    report_file.generator = "helios_run";
+                    report_file.add(run, max_insts == UINT64_MAX
+                                             ? 0 : max_insts);
+                    attachHostSection(report_file);
+                    if (!report_path.empty()) {
+                        report_file.save(report_path);
+                        std::printf("report: 1 run -> %s\n",
+                                    report_path.c_str());
+                    }
+                    if (!profile_path.empty() &&
+                        profile_path != report_path) {
+                        report_file.save(profile_path);
+                        std::printf(
+                            "profile: %zu sites, %zu windows -> %s\n",
+                            report_file.runs[0].profile.sites.size(),
+                            report_file.runs[0].profile.windows.size(),
+                            profile_path.c_str());
+                    }
                 }
-                if (!profile_path.empty() &&
-                    profile_path != report_path) {
-                    report_file.save(profile_path);
-                    std::printf(
-                        "profile: %zu sites, %zu windows -> %s\n",
-                        report_file.runs[0].profile.sites.size(),
-                        report_file.runs[0].profile.windows.size(),
-                        profile_path.c_str());
-                }
+                noteLedgerOutcome(recordRunToLedger(run, max_insts));
             }
             if (annotate) {
                 const FusionProfiler *profiler =

@@ -37,6 +37,19 @@ jsonEscape(const std::string &text)
     return out;
 }
 
+std::string
+formatShortestDouble(double value)
+{
+    // The shortest decimal form that parses back to the exact same
+    // bits: 15 digits cover most values, 17 always suffice.
+    for (int precision = 15; precision <= 17; ++precision) {
+        std::string text = strFormat("%.*g", precision, value);
+        if (std::strtod(text.c_str(), nullptr) == value)
+            return text;
+    }
+    return strFormat("%.17g", value); // unreachable for finite doubles
+}
+
 JsonValue::JsonValue(int64_t value)
 {
     if (value >= 0) {
@@ -249,12 +262,12 @@ JsonValue::write(std::string &out, int indent, int depth) const
         out += strFormat("%lld", (long long)integer);
         break;
       case Kind::Real:
-        if (std::isfinite(real)) {
-            // %.17g round-trips any double exactly.
-            out += strFormat("%.17g", real);
-        } else {
-            out += "null"; // JSON has no inf/nan
-        }
+        // JSON has no NaN/Infinity literal; silently degrading to
+        // null would corrupt a report, so refuse loudly instead.
+        if (!std::isfinite(real))
+            fatal("json: cannot serialize non-finite number (%s)",
+                  std::isnan(real) ? "NaN" : "Infinity");
+        out += formatShortestDouble(real);
         break;
       case Kind::String:
         out += '"';

@@ -115,6 +115,14 @@ class JsonValue
 /** Escape @a text for embedding in a JSON string literal. */
 std::string jsonEscape(const std::string &text);
 
+/**
+ * The shortest decimal representation of a finite double that parses
+ * back (strtod) to exactly the same value — "0.1" instead of the 17
+ * significant digits %.17g would print. The JSON writer uses this for
+ * every Real; exposed for tests and other emitters.
+ */
+std::string formatShortestDouble(double value);
+
 } // namespace helios
 
 #endif // COMMON_JSON_HH

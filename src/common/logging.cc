@@ -414,4 +414,27 @@ logError(const char *fmt, ...)
     va_end(args);
 }
 
+std::string
+formatMatrixProgress(size_t done, size_t total, double elapsed_seconds)
+{
+    const double pct =
+        total ? 100.0 * double(done) / double(total) : 100.0;
+    // Before the first completed cell (or before the clock advances)
+    // there is no rate to extrapolate from; never divide by it.
+    if (done == 0 || !(elapsed_seconds > 0.0))
+        return strFormat("%zu/%zu cells (%.0f%%), -- cells/s, ETA --",
+                         done, total, pct);
+    const double rate = double(done) / elapsed_seconds;
+    const size_t remaining = total > done ? total - done : 0;
+    const double eta = double(remaining) / rate;
+    // An "ETA" in the 10^5+ second range is noise, not a forecast.
+    constexpr double kMaxEtaSeconds = 99.0 * 3600.0;
+    if (eta > kMaxEtaSeconds)
+        return strFormat("%zu/%zu cells (%.0f%%), %.1f cells/s, "
+                         "ETA >99h",
+                         done, total, pct, rate);
+    return strFormat("%zu/%zu cells (%.0f%%), %.1f cells/s, ETA %.1fs",
+                     done, total, pct, rate, eta);
+}
+
 } // namespace helios

@@ -175,6 +175,19 @@ class Logger
 };
 
 /**
+ * Render the sweep progress line fed to Logger::progress() and the
+ * non-TTY heartbeat: "done/total cells (pct%), rate cells/s, ETA Xs".
+ *
+ * Division-free at the edges: before the first cell completes, or
+ * when the clock has not advanced yet, the rate and ETA render as
+ * "--" instead of dividing by zero. An ETA past ~100 hours says more
+ * about a misconfigured sweep than about time remaining, so it is
+ * clamped to ">99h" rather than printing astronomical seconds.
+ */
+std::string formatMatrixProgress(size_t done, size_t total,
+                                 double elapsed_seconds);
+
+/**
  * RAII per-thread context fields: while alive, every record emitted
  * from this thread carries the given (key, value) pairs — appended to
  * the text line as [k=v ...] and merged into JSON-lines objects.

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "ledger/ledger.hh"
 #include "telemetry/host_trace.hh"
 
 namespace helios
@@ -70,8 +71,10 @@ printBenchHeader(const std::string &title,
                  const std::string &description)
 {
     // Every bench prints this header first, so it doubles as the
-    // hook that arms HELIOS_HOST_TRACE / HELIOS_METRICS collection.
+    // hook that arms HELIOS_HOST_TRACE / HELIOS_METRICS collection
+    // and the HELIOS_LEDGER run ledger.
     initHostTelemetryFromEnv();
+    initLedgerFromEnv();
     std::printf("==================================================\n");
     std::printf("%s\n", title.c_str());
     std::printf("%s\n", description.c_str());

@@ -111,6 +111,7 @@ RunReport::toJson() const
     value.set("exited", JsonValue(exited));
     value.set("exit_code", JsonValue(exitCode));
     value.set("program_hash", JsonValue(programHash));
+    value.set("config_hash", JsonValue(configHash));
 
     value.set("audited", JsonValue(audited));
     value.set("audit_checks", JsonValue(auditChecks));
@@ -160,6 +161,9 @@ RunReport::fromJson(const JsonValue &value)
     // Additive in schema v2: absent from pre-ELF-frontend files.
     if (value.has("program_hash"))
         report.programHash = value.at("program_hash").asUint();
+    // Additive in schema v4: absent from pre-ledger files.
+    if (value.has("config_hash"))
+        report.configHash = value.at("config_hash").asUint();
 
     report.audited = value.at("audited").asBool();
     report.auditChecks = value.at("audit_checks").asUint();
@@ -189,6 +193,7 @@ RunReport::operator==(const RunReport &other) const
         hartInstructions != other.hartInstructions ||
         exited != other.exited || exitCode != other.exitCode ||
         programHash != other.programHash ||
+        configHash != other.configHash ||
         audited != other.audited || auditChecks != other.auditChecks ||
         auditViolations != other.auditViolations ||
         profiled != other.profiled || !(profile == other.profile))
@@ -224,6 +229,7 @@ makeRunReport(const RunResult &result, uint64_t max_insts)
     report.exited = result.exited;
     report.exitCode = result.exitCode;
     report.programHash = result.programHash;
+    report.configHash = result.configHash;
     report.audited = result.audited;
     report.auditChecks = result.auditChecks;
     report.auditViolations = result.auditViolations.size();

@@ -47,9 +47,17 @@ struct DiffReport;
  *  throughput; see telemetry/host_metrics.hh). Host data describes
  *  the machine the report was produced on, never the simulated
  *  result, so baseline comparisons (bench/compare_reports) ignore it
- *  entirely. All additions are backward compatible: v1/v2 files
- *  parse unchanged. */
-constexpr unsigned kRunReportVersion = 3;
+ *  entirely.
+ *
+ *  v4 adds an optional per-run "config_hash" field: the canonical
+ *  FNV-1a digest of every result-affecting CoreParams field (see
+ *  configHash in uarch/params.hh). Together with program_hash and the
+ *  instruction budget it content-addresses a run — the key the run
+ *  ledger (src/ledger) memoizes results under.
+ *
+ *  All additions are backward compatible: v1/v2/v3 files parse
+ *  unchanged (absent fields default to zero/null). */
+constexpr unsigned kRunReportVersion = 4;
 
 /** One (workload, configuration) run, ready for serialization. */
 struct RunReport
@@ -72,6 +80,7 @@ struct RunReport
     bool exited = false;
     uint64_t exitCode = 0;
     uint64_t programHash = 0; ///< Program::sourceHash fingerprint
+    uint64_t configHash = 0;  ///< configHash(params); schema v4
 
     // Audit outcome (meaningful when audited is true).
     bool audited = false;

@@ -15,6 +15,8 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "harness/run_ledger.hh"
+#include "ledger/ledger.hh"
 #include "sim/hart.hh"
 #include "telemetry/host_metrics.hh"
 #include "telemetry/host_trace.hh"
@@ -112,14 +114,7 @@ class MatrixProgress
     std::string
     render(size_t done, double elapsed) const
     {
-        const double rate = elapsed > 0 ? double(done) / elapsed : 0.0;
-        const double eta =
-            rate > 0 ? double(total - done) / rate : 0.0;
-        return strFormat("%zu/%zu cells (%.0f%%), %.1f cells/s, "
-                         "ETA %.1fs",
-                         done, total, 100.0 * double(done) /
-                                          double(total),
-                         rate, eta);
+        return formatMatrixProgress(done, total, elapsed);
     }
 
     const size_t total;
@@ -165,6 +160,7 @@ runOne(const Workload &workload, const CoreParams &params,
     result.exited = hart.exited();
     result.exitCode = hart.exitCode();
     result.programHash = prog.sourceHash;
+    result.configHash = configHash(params);
     if (auditor) {
         result.audited = true;
         result.auditChecks = auditor->checksPerformed();
@@ -242,6 +238,8 @@ runMatrix(const std::vector<MatrixCell> &cells, unsigned jobs)
                 results[index].instructions, results[index].uops);
             HostMetrics::global().recordCellCompleted();
         }
+        if (Ledger::global())
+            recordRunToLedger(results[index], cell.maxInsts);
         progress.cellDone();
     };
 

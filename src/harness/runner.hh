@@ -50,6 +50,7 @@ struct RunResult
     bool exited = false;           ///< program reached its exit ecall
     uint64_t exitCode = 0;
     uint64_t programHash = 0;      ///< Program::sourceHash fingerprint
+    uint64_t configHash = 0;       ///< configHash(params) of this run
 
     // Audit outcome; filled when CoreParams::audit was set.
     bool audited = false;

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Persistent, content-addressed run ledger.
+ *
+ * The repo's memory across runs: an append-only on-disk store of
+ * finished simulation results, keyed by what makes a run what it is —
+ * (program hash, config hash, instruction budget, build stamp).
+ * Determinism makes every record a free replay: two runs with the
+ * same key are bit-identical, so a keyed hit answers a query without
+ * re-simulating. That is the memoization substrate the
+ * simulation-as-a-service daemon and the design-space autotuner
+ * (ROADMAP.md) are built on, and `bench/helios_db` turns the same
+ * store into a longitudinal database (list / trend / diff across
+ * builds).
+ *
+ * On-disk layout (one directory):
+ *
+ *   index.jsonl        one JSON object per record, append-only
+ *   blobs/<key>.json   the full RunReport file of that run
+ *
+ * Crash tolerance, in order of likelihood:
+ *  - a crash mid-append leaves a truncated final index line: dropped
+ *    with a warning on open, and the index is compacted so the next
+ *    append starts from a clean tail;
+ *  - any malformed line (bit rot, hand edits) is skipped with a
+ *    warning — the ledger NEVER refuses to open;
+ *  - blobs are written to a temp file and rename()d, so a half-
+ *    written blob cannot appear under a committed key; a blob that is
+ *    missing or corrupt anyway (copied ledgers, disk faults) degrades
+ *    to a warning on access and is re-recorded on the next run;
+ *  - duplicate keys (re-ingest, merged ledgers) keep the first record
+ *    and warn.
+ *
+ * The store itself is schema-agnostic: records carry an opaque JSON
+ * `meta` object (workload, mode, ipc, ... — whatever the producer
+ * wants to query on) plus a blob of text. Everything RunReport-shaped
+ * lives one layer up, in harness/run_ledger.* and bench/helios_db.
+ * All mutators are thread-safe (parallel runMatrix workers record
+ * concurrently).
+ */
+
+#ifndef LEDGER_LEDGER_HH
+#define LEDGER_LEDGER_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace helios
+{
+
+/** What identifies a run: equal keys are bit-identical replays. */
+struct LedgerKey
+{
+    uint64_t programHash = 0; ///< Program::sourceHash fingerprint
+    uint64_t configHash = 0;  ///< configHash(CoreParams)
+    uint64_t budget = 0;      ///< instruction budget (0: unbounded)
+    std::string build;        ///< build stamp (git hash or override)
+
+    /** Canonical file-name-safe spelling:
+     *  "p<16hex>-c<16hex>-b<dec>-<build>". */
+    std::string text() const;
+
+    bool operator==(const LedgerKey &other) const = default;
+};
+
+/** One ledger entry: a key, queryable metadata, and a blob pointer. */
+struct LedgerRecord
+{
+    LedgerKey key;
+    uint64_t seq = 0;  ///< append order; the trend time axis
+    JsonValue meta;    ///< flat object: workload, mode, ipc, ...
+    std::string blob;  ///< blob path relative to the ledger directory
+};
+
+class Ledger
+{
+  public:
+    /** Open (creating directories as needed) and recover the index;
+     *  fatal() only when the directory cannot be created or the index
+     *  cannot be read at all — damaged content is recovered, not
+     *  fatal. */
+    explicit Ledger(const std::string &dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** All recovered + appended records, in seq order. */
+    const std::vector<LedgerRecord> &records() const { return records_; }
+
+    const LedgerRecord *find(const LedgerKey &key) const;
+
+    /**
+     * Record one finished run: write the blob (atomically), then
+     * append the index line. Returns false on a keyed hit — the run
+     * is already known and nothing is written (a corrupt or missing
+     * blob under the key is silently healed by rewriting it).
+     */
+    bool record(const LedgerKey &key, JsonValue meta,
+                const std::string &blob_text);
+
+    /** The record's blob text; empty string + warn() when the blob
+     *  file is missing or unreadable (never throws). */
+    std::string loadBlob(const LedgerRecord &record) const;
+
+    /**
+     * Garbage-collect: delete blob files no index record references
+     * (crash leftovers, removed records) and compact the index file
+     * to exactly the surviving records. Returns the number of blob
+     * files removed.
+     */
+    size_t gc();
+
+    /** warn()s issued while recovering the index (damage observed). */
+    unsigned recoveryWarnings() const { return warnings_; }
+
+    /** Appends / keyed hits since this Ledger was opened. */
+    uint64_t recorded() const { return recorded_; }
+    uint64_t hits() const { return hits_; }
+
+    // ---- process-global armed instance ----------------------------
+    // The harness records every finished run when a global ledger is
+    // armed (helios_run --ledger DIR, HELIOS_LEDGER=DIR via
+    // printBenchHeader); nullptr when disarmed (the default).
+    static Ledger *global();
+    static Ledger *arm(const std::string &dir);
+    static void disarm(); ///< tests
+
+    Ledger(const Ledger &) = delete;
+    Ledger &operator=(const Ledger &) = delete;
+
+  private:
+    std::string indexPath() const;
+    const LedgerRecord *findLocked(const LedgerKey &key) const;
+    void rewriteIndexLocked() const;
+
+    std::string dir_;
+    std::vector<LedgerRecord> records_;
+    uint64_t nextSeq_ = 0;
+    unsigned warnings_ = 0;
+    uint64_t recorded_ = 0;
+    uint64_t hits_ = 0;
+    mutable std::mutex mutex_;
+};
+
+/** Arm the global ledger from HELIOS_LEDGER; no-op when the variable
+ *  is unset or a ledger is already armed. printBenchHeader and
+ *  helios_run call this, so every bench records under
+ *  HELIOS_LEDGER=DIR with no per-tool plumbing. */
+void initLedgerFromEnv();
+
+} // namespace helios
+
+#endif // LEDGER_LEDGER_HH

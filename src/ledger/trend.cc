@@ -1,0 +1,96 @@
+#include "ledger/trend.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ledger/ledger.hh"
+
+namespace helios
+{
+
+std::vector<TrendSeries>
+collectTrendSeries(const Ledger &ledger, const std::string &metric)
+{
+    std::vector<TrendSeries> series;
+    for (const LedgerRecord &record : ledger.records()) {
+        if (record.meta.kind() != JsonValue::Kind::Object)
+            continue;
+        const JsonValue &value = record.meta.get(metric);
+        if (!value.isNumber())
+            continue;
+
+        const JsonValue &wl = record.meta.get("workload");
+        const JsonValue &mode = record.meta.get("mode");
+        TrendPoint point;
+        point.seq = record.seq;
+        point.value = value.asDouble();
+        point.build = record.key.build;
+
+        TrendSeries *target = nullptr;
+        for (TrendSeries &candidate : series) {
+            if (candidate.workload ==
+                    (wl.isNull() ? "" : wl.asString()) &&
+                candidate.mode ==
+                    (mode.isNull() ? "" : mode.asString()) &&
+                candidate.budget == record.key.budget) {
+                target = &candidate;
+                break;
+            }
+        }
+        if (!target) {
+            series.emplace_back();
+            target = &series.back();
+            target->workload = wl.isNull() ? "" : wl.asString();
+            target->mode = mode.isNull() ? "" : mode.asString();
+            target->budget = record.key.budget;
+            target->metric = metric;
+        }
+        target->points.push_back(point);
+    }
+
+    // Records are already seq-ordered, but a merged or hand-edited
+    // ledger might not be; the time axis must be.
+    for (TrendSeries &s : series)
+        std::stable_sort(s.points.begin(), s.points.end(),
+                         [](const TrendPoint &a, const TrendPoint &b) {
+                             return a.seq < b.seq;
+                         });
+    return series;
+}
+
+std::vector<TrendFlag>
+analyzeTrend(const TrendSeries &series, const TrendOptions &options)
+{
+    std::vector<TrendFlag> flags;
+    if (series.points.size() < 2 || options.window == 0)
+        return flags;
+
+    const TrendPoint &latest = series.points.back();
+    const size_t history = series.points.size() - 1;
+    const size_t count = std::min(options.window, history);
+    double sum = 0.0;
+    for (size_t i = history - count; i < history; ++i)
+        sum += series.points[i].value;
+    const double reference = sum / double(count);
+    if (reference == 0.0 || !std::isfinite(reference))
+        return flags;
+
+    const double delta = (latest.value - reference) / reference;
+    const bool worse = options.higherIsBetter
+                           ? delta < -options.tolerance
+                           : delta > options.tolerance;
+    if (!worse)
+        return flags;
+
+    TrendFlag flag;
+    flag.workload = series.workload;
+    flag.mode = series.mode;
+    flag.metric = series.metric;
+    flag.latest = latest.value;
+    flag.reference = reference;
+    flag.delta = delta;
+    flags.push_back(flag);
+    return flags;
+}
+
+} // namespace helios

@@ -160,6 +160,22 @@ struct CoreParams
     }
 };
 
+/**
+ * Canonical FNV-1a digest of a configuration: every field that can
+ * move a simulated number — widths, structure sizes, ports,
+ * latencies, cache geometry, and the whole fusion design point —
+ * folded over a stable `name=value;` text form, so the digest is
+ * independent of struct layout, padding and compiler.
+ *
+ * Deliberately excluded: pure observers (audit, tracing, histogram
+ * sampling, profiling, pool-recycling debug mode), which are
+ * tier-1-guaranteed not to change any result, and the run-control
+ * budget (maxInstructions/maxCycles), which the run ledger keys
+ * separately. Two runs with equal (program hash, config hash, budget)
+ * are bit-identical replays of each other.
+ */
+uint64_t configHash(const CoreParams &params);
+
 } // namespace helios
 
 #endif // UARCH_PARAMS_HH

@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -666,4 +667,213 @@ TEST(Cli, ElfSweepReportRecordsProgramHash)
     }
     std::remove(report_path.c_str());
     std::remove(elf_path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Run ledger (--ledger / HELIOS_LEDGER) and helios_db
+
+namespace
+{
+
+/** Fresh ledger directory under the test temp dir. */
+std::string
+ledgerDir(const char *name)
+{
+    const std::string dir = tempPath(name);
+    std::system(("rm -rf " + dir).c_str());
+    return dir;
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/** Copy @a report_path with runs[0]'s ipc scaled by @a factor —
+ *  the injected regression the trend/diff gates must catch. */
+std::string
+withScaledIpc(const std::string &report_path, double factor,
+              const char *name)
+{
+    JsonValue json = JsonValue::parse(readWholeFile(report_path));
+    JsonValue run = json.at("runs").at(size_t(0));
+    run.set("ipc", JsonValue(run.at("ipc").asDouble() * factor));
+    JsonValue runs = JsonValue::array();
+    runs.push(run);
+    for (size_t i = 1; i < json.at("runs").size(); ++i)
+        runs.push(json.at("runs").at(i));
+    json.set("runs", runs);
+    return writeTemp(name, json.dump(2));
+}
+
+} // namespace
+
+TEST(CompareReports, InjectedIpcRegressionExitsOne)
+{
+    const std::string base_path = tempPath("cli_reg_base.json");
+    ASSERT_EQ(runCli("--report " + base_path), 0);
+    const std::string bad_path =
+        withScaledIpc(base_path, 0.8, "cli_reg_bad.json");
+
+    std::string out;
+    EXPECT_EQ(runTool(COMPARE_REPORTS_BIN, base_path + " " + bad_path,
+                      out),
+              1)
+        << out;
+    EXPECT_NE(out.find("IPC"), std::string::npos) << out;
+    EXPECT_NE(out.find("1 regression(s)"), std::string::npos) << out;
+
+    std::remove(base_path.c_str());
+    std::remove(bad_path.c_str());
+}
+
+TEST(CliLedger, BackToBackRunsRecordThenHit)
+{
+    const std::string dir = ledgerDir("cli_ledger_hit");
+
+    std::string out;
+    ASSERT_EQ(runRaw(std::string(DOTPROD_S) +
+                         " --max-insts 2000 --ledger " + dir,
+                     out),
+              0);
+    EXPECT_NE(out.find("ledger: recorded 1 run"), std::string::npos)
+        << out;
+
+    ASSERT_EQ(runRaw(std::string(DOTPROD_S) +
+                         " --max-insts 2000 --ledger " + dir,
+                     out),
+              0);
+    EXPECT_NE(out.find("ledger: hit"), std::string::npos) << out;
+
+    // Identical back-to-back runs leave exactly one index record.
+    const std::string index = readWholeFile(dir + "/index.jsonl");
+    EXPECT_EQ(std::count(index.begin(), index.end(), '\n'), 1) << index;
+
+    std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(CliLedger, EnvVarArmsTheLedger)
+{
+    const std::string dir = ledgerDir("cli_ledger_env");
+    setenv("HELIOS_LEDGER", dir.c_str(), 1);
+    std::string out;
+    const int status = runRaw(
+        std::string(DOTPROD_S) + " --max-insts 2000", out);
+    unsetenv("HELIOS_LEDGER");
+    ASSERT_EQ(status, 0);
+    EXPECT_NE(out.find("ledger: recorded 1 run"), std::string::npos)
+        << out;
+    std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(CliLedger, LedgerChangesNoTimingResult)
+{
+    // Observer-effect guard at the CLI level: a run recorded into a
+    // ledger must produce a byte-identical report (host section
+    // aside, which neither run carries here).
+    const std::string dir = ledgerDir("cli_ledger_pure");
+    const std::string plain_path = tempPath("cli_ledger_plain.json");
+    const std::string armed_path = tempPath("cli_ledger_armed.json");
+    ASSERT_EQ(runCli("--report " + plain_path), 0);
+    ASSERT_EQ(runCli("--report " + armed_path + " --ledger " + dir),
+              0);
+    EXPECT_EQ(readWholeFile(plain_path), readWholeFile(armed_path));
+    std::remove(plain_path.c_str());
+    std::remove(armed_path.c_str());
+    std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(HeliosDb, MissingArgumentsExitTwo)
+{
+    std::string out;
+    EXPECT_EQ(runTool(HELIOS_DB_BIN, "", out), 2);
+    EXPECT_NE(out.find("usage:"), std::string::npos) << out;
+    EXPECT_EQ(runTool(HELIOS_DB_BIN, "frobnicate somewhere", out), 2);
+    EXPECT_EQ(
+        runTool(HELIOS_DB_BIN,
+                "trend " + ledgerDir("cli_db_noargs"), out),
+        2); // trend without --metric
+}
+
+TEST(HeliosDb, IngestTrendDiffGcWorkflow)
+{
+    // The full drift-observatory loop in miniature: seed a history
+    // from one report under synthetic build names, inject an IPC
+    // regression, and watch trend + diff flag it.
+    const std::string dir = ledgerDir("cli_db_flow");
+    const std::string report_path = tempPath("cli_db_report.json");
+    ASSERT_EQ(runCli("--report " + report_path), 0);
+
+    std::string out;
+    for (const char *build : {"seed-1", "seed-2", "seed-3"}) {
+        ASSERT_EQ(runTool(HELIOS_DB_BIN,
+                          "ingest " + dir + " " + report_path +
+                              " --build " + std::string(build),
+                          out),
+                  0)
+            << out;
+        EXPECT_NE(out.find("1 run(s) recorded"), std::string::npos)
+            << out;
+    }
+    // Re-ingesting an existing build is a keyed hit, not a new point.
+    ASSERT_EQ(runTool(HELIOS_DB_BIN,
+                      "ingest " + dir + " " + report_path +
+                          " --build seed-1",
+                      out),
+              0);
+    EXPECT_NE(out.find("1 already present"), std::string::npos) << out;
+
+    // Clean history: trend gate passes.
+    EXPECT_EQ(runTool(HELIOS_DB_BIN, "trend " + dir + " --metric ipc",
+                      out),
+              0)
+        << out;
+    EXPECT_NE(out.find("0 regression(s)"), std::string::npos) << out;
+
+    // Inject a 20% IPC drop as build seed-4: trend gate fails.
+    const std::string bad_path =
+        withScaledIpc(report_path, 0.8, "cli_db_bad.json");
+    ASSERT_EQ(runTool(HELIOS_DB_BIN,
+                      "ingest " + dir + " " + bad_path +
+                          " --build seed-4",
+                      out),
+              0);
+    EXPECT_EQ(runTool(HELIOS_DB_BIN, "trend " + dir + " --metric ipc",
+                      out),
+              1)
+        << out;
+    EXPECT_NE(out.find("TREND"), std::string::npos) << out;
+
+    // list shows all four records.
+    EXPECT_EQ(runTool(HELIOS_DB_BIN, "list " + dir, out), 0);
+    EXPECT_NE(out.find("4 record(s)"), std::string::npos) << out;
+
+    // diff through the shared compare_reports core: clean pair exits
+    // 0, regressing pair exits 1 with the same IPC spelling.
+    EXPECT_EQ(runTool(HELIOS_DB_BIN, "diff " + dir + " 0 1", out), 0)
+        << out;
+    EXPECT_EQ(runTool(HELIOS_DB_BIN, "diff " + dir + " 0 3", out), 1)
+        << out;
+    EXPECT_NE(out.find("IPC"), std::string::npos) << out;
+
+    // show prints the record's key and blob.
+    EXPECT_EQ(runTool(HELIOS_DB_BIN, "show " + dir + " 0", out), 0);
+    EXPECT_NE(out.find("seed-1"), std::string::npos) << out;
+    EXPECT_EQ(runTool(HELIOS_DB_BIN, "show " + dir + " 99", out), 2);
+
+    // gc cleans a planted orphan and keeps every referenced blob.
+    std::ofstream(dir + "/blobs/orphan.json") << "leftover";
+    EXPECT_EQ(runTool(HELIOS_DB_BIN, "gc " + dir, out), 0);
+    EXPECT_NE(out.find("removed 1 unreferenced"), std::string::npos)
+        << out;
+    EXPECT_EQ(runTool(HELIOS_DB_BIN, "diff " + dir + " 0 1", out), 0)
+        << out;
+
+    std::remove(report_path.c_str());
+    std::remove(bad_path.c_str());
+    std::system(("rm -rf " + dir).c_str());
 }

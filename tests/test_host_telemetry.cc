@@ -299,7 +299,7 @@ TEST(ReportSchemaV3, HostSectionRoundTrips)
     ASSERT_FALSE(file.host.isNull());
 
     const JsonValue json = file.toJson();
-    EXPECT_EQ(json.at("version").asUint(), 3u);
+    EXPECT_EQ(json.at("version").asUint(), kRunReportVersion);
     ASSERT_TRUE(json.has("host"));
     EXPECT_DOUBLE_EQ(
         json.at("host").at("phases").at("detailed-sim").asDouble(),
@@ -324,11 +324,13 @@ TEST(ReportSchemaV3, HostSectionIsOptional)
 
 TEST(ReportSchemaV3, OlderSchemaVersionsStillParse)
 {
-    // A v3 reader must accept v1 and v2 files unchanged — committed
-    // baselines (bench/baselines/) are v1 and must keep loading.
+    // A v4 reader must accept v1, v2 and v3 files unchanged —
+    // committed baselines (bench/baselines/) are v1 and must keep
+    // loading.
     RunReportFile file = reportWithOneRun();
     JsonValue json = file.toJson();
-    for (const uint64_t version : {uint64_t(1), uint64_t(2)}) {
+    for (const uint64_t version :
+         {uint64_t(1), uint64_t(2), uint64_t(3)}) {
         json.set("version", version);
         const RunReportFile parsed =
             RunReportFile::fromJsonText(json.dump(2));

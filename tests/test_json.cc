@@ -1,0 +1,132 @@
+/**
+ * @file
+ * JSON double-emission regression tests: finite values must round-trip
+ * through the shortest decimal form that parses back exactly, and
+ * non-finite values must be rejected loudly — silently emitting `nan`
+ * (not JSON) or degrading to null would corrupt a report file.
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+using namespace helios;
+
+namespace
+{
+
+double
+reparse(const std::string &text)
+{
+    return std::strtod(text.c_str(), nullptr);
+}
+
+} // namespace
+
+TEST(JsonDouble, ShortestFormRoundTripsExactly)
+{
+    // Adversarial values: decimals with no exact binary form, subnormal
+    // and near-overflow magnitudes, negative zero, and values whose
+    // %.15g spelling does NOT round-trip (forcing the 16/17-digit
+    // fallback).
+    const double values[] = {
+        0.0,
+        -0.0,
+        0.1,
+        -0.1,
+        1.0 / 3.0,
+        2.0 / 3.0,
+        0.30000000000000004, // classic 0.1 + 0.2
+        1e-323,              // subnormal
+        std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::min(),
+        std::numeric_limits<double>::max(),
+        -std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::epsilon(),
+        1.0 + std::numeric_limits<double>::epsilon(),
+        9007199254740993.0, // 2^53 + 1 rounds; still must round-trip
+        1.7976931348623155e308,
+        5e-324,
+        3.141592653589793,
+        2.718281828459045,
+        1e100,
+        -1e-100,
+        123456789.123456789,
+    };
+    for (const double value : values) {
+        const std::string text = formatShortestDouble(value);
+        EXPECT_EQ(reparse(text), value) << "value spelled " << text;
+    }
+}
+
+TEST(JsonDouble, PrefersShortSpellings)
+{
+    // The entire point of shortest-form: human-friendly spellings for
+    // values that have one, instead of 17 significant digits.
+    EXPECT_EQ(formatShortestDouble(0.1), "0.1");
+    EXPECT_EQ(formatShortestDouble(2.5), "2.5");
+    EXPECT_EQ(formatShortestDouble(100.0), "100");
+}
+
+TEST(JsonDouble, WriterUsesShortestForm)
+{
+    JsonValue object = JsonValue::object();
+    object.set("ipc", JsonValue(0.1));
+    EXPECT_EQ(object.dump(0), "{\"ipc\":0.1}");
+
+    // And the full parse → dump → parse cycle is lossless.
+    const double value = 1.0 / 3.0;
+    JsonValue original(value);
+    const JsonValue reparsed = JsonValue::parse(original.dump(0));
+    EXPECT_EQ(reparsed.asDouble(), value);
+}
+
+TEST(JsonDouble, NonFiniteValuesAreRejected)
+{
+    const double bad[] = {
+        std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+    };
+    for (const double value : bad) {
+        JsonValue json(value);
+        EXPECT_THROW(json.dump(0), FatalError);
+        EXPECT_THROW(json.dump(2), FatalError);
+    }
+}
+
+TEST(JsonDouble, NonFiniteErrorNamesTheProblem)
+{
+    try {
+        JsonValue(std::numeric_limits<double>::quiet_NaN()).dump(0);
+        FAIL() << "NaN serialization must throw";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("NaN"),
+                  std::string::npos);
+    }
+    try {
+        JsonValue(-std::numeric_limits<double>::infinity()).dump(0);
+        FAIL() << "Infinity serialization must throw";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("Infinity"),
+                  std::string::npos);
+    }
+}
+
+TEST(JsonDouble, NestedNonFiniteIsStillCaught)
+{
+    // The guard must fire wherever the value hides, not just at the
+    // top level.
+    JsonValue object = JsonValue::object();
+    JsonValue inner = JsonValue::array();
+    inner.push(JsonValue(1.5));
+    inner.push(JsonValue(std::numeric_limits<double>::infinity()));
+    object.set("series", inner);
+    EXPECT_THROW(object.dump(2), FatalError);
+}

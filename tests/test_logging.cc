@@ -289,3 +289,53 @@ TEST_F(LoggerFixture, ProgressLineYieldsToLogRecords)
         << out;
     EXPECT_NE(out.find("\r5/10 cells\n"), std::string::npos) << out;
 }
+
+// ---------------------------------------------------------------------
+// Matrix-progress formatting: the rate/ETA arithmetic behind the
+// sweep progress line. Guarded against the divisions that used to be
+// possible in-line: zero elapsed wall-clock (coarse clocks, first
+// render) and zero completed cells have no meaningful rate, and an
+// ETA beyond any real sweep is clamped instead of printed as noise.
+// ---------------------------------------------------------------------
+
+TEST(MatrixProgressFormat, FirstCellAndZeroClockShowPlaceholders)
+{
+    // Before the first cell completes there is no rate to divide by.
+    EXPECT_EQ(formatMatrixProgress(0, 10, 5.0),
+              "0/10 cells (0%), -- cells/s, ETA --");
+    // A zero (or negative, from a clock hiccup) elapsed time must not
+    // divide either, even with cells done.
+    EXPECT_EQ(formatMatrixProgress(3, 10, 0.0),
+              "3/10 cells (30%), -- cells/s, ETA --");
+    EXPECT_EQ(formatMatrixProgress(3, 10, -1.0),
+              "3/10 cells (30%), -- cells/s, ETA --");
+}
+
+TEST(MatrixProgressFormat, SteadyStateRateAndEta)
+{
+    // 5 of 10 cells in 10 s: 0.5 cells/s, 5 remaining, ETA 10 s.
+    EXPECT_EQ(formatMatrixProgress(5, 10, 10.0),
+              "5/10 cells (50%), 0.5 cells/s, ETA 10.0s");
+}
+
+TEST(MatrixProgressFormat, CompletionHasZeroEta)
+{
+    EXPECT_EQ(formatMatrixProgress(10, 10, 4.0),
+              "10/10 cells (100%), 2.5 cells/s, ETA 0.0s");
+}
+
+TEST(MatrixProgressFormat, AbsurdEtaIsClamped)
+{
+    // One cell done after a week, 999 to go: the honest ETA is ~19
+    // years; print a clamp marker instead of a meaningless number.
+    const std::string line =
+        formatMatrixProgress(1, 1000, 604800.0);
+    EXPECT_NE(line.find("ETA >99h"), std::string::npos) << line;
+}
+
+TEST(MatrixProgressFormat, ZeroTotalDoesNotDivide)
+{
+    // Degenerate empty matrix: percent must not divide by zero.
+    EXPECT_EQ(formatMatrixProgress(0, 0, 1.0),
+              "0/0 cells (100%), -- cells/s, ETA --");
+}
