@@ -102,6 +102,36 @@
  *       --jobs N                           worker threads for --sweep
  *                                          (default HELIOS_JOBS or all
  *                                          hardware threads)
+ *       --sample N                         sampled simulation: fast-
+ *                                          forward functionally, cut N
+ *                                          evenly spaced checkpoints
+ *                                          across the --max-insts
+ *                                          frame (required), and run
+ *                                          detailed timing only on a
+ *                                          warmup+interval window from
+ *                                          each cut; reports weighted
+ *                                          IPC / fusion coverage with
+ *                                          95% confidence intervals.
+ *                                          Composes with --sweep (one
+ *                                          checkpoint set serves every
+ *                                          configuration), --report
+ *                                          (schema-v5 `sampled`
+ *                                          section) and --ledger
+ *                                          (keyed by sampling spec)
+ *       --interval M                       measured instructions per
+ *                                          sample window (default
+ *                                          100000)
+ *       --warmup K                         detailed warmup instructions
+ *                                          before each measured window
+ *                                          (default 10000; must be
+ *                                          less than --interval)
+ *       --checkpoint-dir DIR               persist/reuse checkpoints
+ *                                          under DIR (created if
+ *                                          absent); cuts are keyed by
+ *                                          program hash and schedule,
+ *                                          so repeated runs and config
+ *                                          sweeps skip the fast-
+ *                                          forward entirely
  *       --audit                            attach the pipeline invariant
  *                                          auditor (needs HELIOS_AUDIT);
  *                                          with --sweep, runs the
@@ -121,8 +151,11 @@
  * a7=64 writes bytes (a1=buf, a2=len) to stdout.
  */
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <iterator>
@@ -137,6 +170,7 @@
 #include "harness/run_ledger.hh"
 #include "harness/run_report.hh"
 #include "harness/runner.hh"
+#include "harness/sampling.hh"
 #include "ledger/ledger.hh"
 #include "sim/elf_loader.hh"
 #include "sim/hart.hh"
@@ -163,6 +197,8 @@ usage()
                  "[--profile FILE] [--window N] [--annotate] "
                  "[--time] [--functional] [--engine fast|reference] "
                  "[--sweep] [--jobs N] [--audit] [--emit-elf FILE] "
+                 "[--sample N] [--interval M] [--warmup K] "
+                 "[--checkpoint-dir DIR] "
                  "[--log-level LEVEL] [--log-json FILE] "
                  "[--host-trace FILE] [--metrics FILE] "
                  "[--ledger DIR]\n"
@@ -247,6 +283,116 @@ printTimeLine(double seconds, uint64_t cycles, uint64_t uops)
     std::printf("time: %.3f s wall, %.3f MHz-equivalent, "
                 "%.3f Muops/s\n",
                 seconds, mhz, muops);
+}
+
+/**
+ * Parse a numeric option value; garbage, trailing junk, negatives and
+ * (unless @a allow_zero) zero are usage errors (exit 2) like any
+ * other malformed option.
+ */
+uint64_t
+parseCount(const char *text, const char *flag, bool allow_zero = false)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0' || text[0] == '-' ||
+        errno == ERANGE || (value == 0 && !allow_zero)) {
+        std::fprintf(stderr,
+                     "helios_run: %s needs a positive integer "
+                     "(got '%s')\n",
+                     flag, text);
+        usage();
+        std::exit(2);
+    }
+    return value;
+}
+
+/**
+ * Sampled run: one configuration, or the full --sweep matrix over a
+ * single shared checkpoint set (checkpoints are config-independent,
+ * so the fast-forward is paid once for all six configurations).
+ * Prints one greppable estimate line per configuration and routes
+ * --report/--ledger through the schema-v5 `sampled` section.
+ */
+int
+runSampledCli(const Workload &workload, const SamplingSpec &spec,
+              FusionMode mode, bool sweep, unsigned jobs, bool timing,
+              const std::string &report_path)
+{
+    Stopwatch timer;
+    const CheckpointSet set = buildCheckpoints(workload, spec);
+    std::printf("sampling: %zu checkpoint(s) over a %llu-instruction "
+                "frame (%s), warmup %llu + interval %llu\n",
+                set.checkpoints.size(),
+                (unsigned long long)spec.totalBudget,
+                set.reused ? "reused from checkpoint dir"
+                           : "fast-forwarded",
+                (unsigned long long)spec.warmupInsts,
+                (unsigned long long)spec.intervalInsts);
+
+    std::vector<FusionMode> modes;
+    if (sweep)
+        modes = {FusionMode::None,     FusionMode::RiscvFusion,
+                 FusionMode::CsfSbr,   FusionMode::RiscvFusionPP,
+                 FusionMode::Helios,   FusionMode::Oracle};
+    else
+        modes = {mode};
+
+    std::vector<SampledResult> results;
+    for (FusionMode m : modes)
+        results.push_back(runSampled(workload, CoreParams::icelake(m),
+                                     spec, set, jobs));
+    const double elapsed = timer.seconds();
+
+    for (const SampledResult &result : results)
+        std::printf("sampled: %s IPC %.3f +- %.4f (95%% CI, %zu/%llu "
+                    "intervals, coverage %.3f +- %.4f)\n",
+                    fusionModeName(result.mode), result.ipc.mean,
+                    result.ipc.ci95Half, result.intervals.size(),
+                    (unsigned long long)spec.sampleCount,
+                    result.coverage.mean, result.coverage.ci95Half);
+
+    if (sweep) {
+        const double base = results[0].ipc.mean;
+        Table table({"config", "samples", "IPC", "95% CI half",
+                     "coverage", "vs NoFusion"});
+        for (const SampledResult &result : results)
+            table.addRow({fusionModeName(result.mode),
+                          std::to_string(result.intervals.size()),
+                          Table::num(result.ipc.mean, 3),
+                          Table::num(result.ipc.ci95Half, 4),
+                          Table::num(result.coverage.mean, 3),
+                          base > 0
+                              ? Table::num(result.ipc.mean / base, 3)
+                              : "-"});
+        table.print();
+    }
+    if (timing) {
+        uint64_t total_cycles = 0, total_uops = 0;
+        for (const SampledResult &result : results) {
+            total_cycles += result.measuredCycles;
+            total_uops += result.measuredUops;
+        }
+        printTimeLine(elapsed, total_cycles, total_uops);
+    }
+
+    if (!report_path.empty()) {
+        HostSpan report_span("report-write");
+        RunReportFile file;
+        file.generator = "helios_run --sample";
+        for (const SampledResult &result : results)
+            file.runs.push_back(makeSampledRunReport(result));
+        attachHostSection(file);
+        file.save(report_path);
+        std::printf("report: %zu sampled run(s) -> %s\n",
+                    file.runs.size(), report_path.c_str());
+    }
+
+    if (Ledger::global())
+        for (const SampledResult &result : results)
+            noteLedgerOutcome(recordSampledToLedger(result));
+    return 0;
 }
 
 /**
@@ -411,6 +557,11 @@ main(int argc, char **argv)
     FusionMode mode = FusionMode::Helios;
     uint64_t max_insts = UINT64_MAX;
     uint64_t window_cycles = 10000;
+    uint64_t sample_count = 0;
+    uint64_t interval_insts = 100000;
+    uint64_t warmup_insts = 10000;
+    bool sampling_tuned = false; ///< --interval/--warmup given
+    std::string checkpoint_dir;
     unsigned jobs = 0;
     bool pipeview = false, dump_stats = false, functional_only = false;
     bool cpi_stack = false, sweep = false, audit = false;
@@ -457,6 +608,19 @@ main(int argc, char **argv)
         } else if (arg == "--window") {
             window_cycles =
                 std::strtoull(value_of(i, "--window"), nullptr, 0);
+        } else if (arg == "--sample") {
+            sample_count =
+                parseCount(value_of(i, "--sample"), "--sample");
+        } else if (arg == "--interval") {
+            interval_insts =
+                parseCount(value_of(i, "--interval"), "--interval");
+            sampling_tuned = true;
+        } else if (arg == "--warmup") {
+            warmup_insts = parseCount(value_of(i, "--warmup"),
+                                      "--warmup", true);
+            sampling_tuned = true;
+        } else if (arg == "--checkpoint-dir") {
+            checkpoint_dir = value_of(i, "--checkpoint-dir");
         } else if (arg == "--log-level") {
             log_level = value_of(i, "--log-level");
         } else if (arg == "--log-json") {
@@ -528,6 +692,64 @@ main(int argc, char **argv)
     if (path.empty() && elf_path.empty()) {
         usage();
         return 2;
+    }
+
+    // Sampled-run usage errors, all caught before any simulation (or
+    // even file I/O) happens — a bad sampling spec on a 500M-inst run
+    // must not cost a fast-forward to discover.
+    if (sample_count == 0 &&
+        (sampling_tuned || !checkpoint_dir.empty())) {
+        std::fprintf(stderr,
+                     "helios_run: --interval/--warmup/--checkpoint-dir "
+                     "configure sampled runs; add --sample N\n");
+        return 2;
+    }
+    SamplingSpec sampling_spec;
+    if (sample_count) {
+        if (functional_only) {
+            std::fprintf(stderr,
+                         "helios_run: --sample estimates detailed-"
+                         "timing IPC; a --functional run has no "
+                         "timing to sample\n");
+            return 2;
+        }
+        if (max_insts == UINT64_MAX) {
+            std::fprintf(stderr,
+                         "helios_run: --sample needs an explicit "
+                         "--max-insts frame to place samples in\n");
+            return 2;
+        }
+        sampling_spec.totalBudget = max_insts;
+        sampling_spec.intervalInsts = interval_insts;
+        sampling_spec.warmupInsts = warmup_insts;
+        sampling_spec.sampleCount = sample_count;
+        sampling_spec.checkpointDir = checkpoint_dir;
+        try {
+            sampling_spec.validate();
+        } catch (const FatalError &error) {
+            std::fprintf(stderr, "helios_run: %s\n", error.what());
+            return 2;
+        }
+        if (!checkpoint_dir.empty()) {
+            // Same fail-fast contract as the output paths: probe that
+            // the directory is creatable and writable up front.
+            std::error_code ec;
+            std::filesystem::create_directories(checkpoint_dir, ec);
+            const std::filesystem::path probe =
+                std::filesystem::path(checkpoint_dir) /
+                ".helios-write-probe";
+            std::ofstream probe_out(probe);
+            const bool writable = !ec && bool(probe_out);
+            probe_out.close();
+            std::filesystem::remove(probe, ec);
+            if (!writable) {
+                std::fprintf(stderr,
+                             "helios_run: --checkpoint-dir: cannot "
+                             "write to '%s'\n",
+                             checkpoint_dir.c_str());
+                return 2;
+            }
+        }
     }
 
     requireWritable(trace_path, "--trace");
@@ -665,6 +887,26 @@ main(int argc, char **argv)
         if (sweep && audit && !profile_path.empty())
             fatal("--profile is not routed through the differential "
                   "harness; drop --audit or --sweep");
+        if (sample_count &&
+            (!trace_path.empty() || pipeview || annotate ||
+             !profile_path.empty() || audit))
+            fatal("--trace/--pipeview/--annotate/--profile/--audit "
+                  "observe every committed instruction; sampled runs "
+                  "measure only windows — drop --sample or those "
+                  "flags");
+
+        if (sample_count) {
+            const int status =
+                runSampledCli(workload, sampling_spec, mode, sweep,
+                              jobs, timing, report_path);
+            if (const Ledger *ledger = Ledger::global())
+                std::printf("ledger: %llu run(s) recorded, %llu "
+                            "hit(s) -> %s\n",
+                            (unsigned long long)ledger->recorded(),
+                            (unsigned long long)ledger->hits(),
+                            ledger->dir().c_str());
+            return status;
+        }
 
         if (sweep) {
             const int status =

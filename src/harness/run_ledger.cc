@@ -1,6 +1,8 @@
 #include "harness/run_ledger.hh"
 
+#include "common/bits.hh"
 #include "harness/run_report.hh"
+#include "harness/sampling.hh"
 #include "ledger/ledger.hh"
 #include "telemetry/host_metrics.hh"
 
@@ -88,6 +90,49 @@ recordFunctionalToLedger(const std::string &workload,
     blob.set("program_hash", JsonValue(result.programHash));
 
     return ledger->record(key, std::move(meta), blob.dump(2) + "\n")
+               ? LedgerOutcome::Recorded
+               : LedgerOutcome::Hit;
+}
+
+LedgerOutcome
+recordSampledToLedger(const SampledResult &result)
+{
+    Ledger *ledger = Ledger::global();
+    if (!ledger)
+        return LedgerOutcome::Disarmed;
+
+    const RunReport report = makeSampledRunReport(result);
+
+    LedgerKey key;
+    key.programHash = result.programHash;
+    // Same program + config sampled under a different spec is a
+    // different estimate; fold the spec hash in so the records
+    // coexist (and never collide with a full run's record either).
+    const uint64_t spec_hash = result.spec.specHash();
+    key.configHash =
+        fnv1a(&spec_hash, sizeof(spec_hash), result.configHash);
+    key.budget = result.spec.totalBudget;
+    key.build = buildInfo().gitHash;
+
+    JsonValue meta = JsonValue::object();
+    meta.set("workload", JsonValue(report.workload));
+    meta.set("mode", JsonValue(report.mode));
+    meta.set("sampled", JsonValue(true));
+    meta.set("ipc", JsonValue(result.ipc.mean));
+    meta.set("ipc_ci95_half", JsonValue(result.ipc.ci95Half));
+    meta.set("fusion_coverage", JsonValue(result.coverage.mean));
+    meta.set("interval", JsonValue(result.spec.intervalInsts));
+    meta.set("warmup", JsonValue(result.spec.warmupInsts));
+    meta.set("samples", JsonValue(uint64_t(result.intervals.size())));
+    meta.set("instructions", JsonValue(result.measuredInstructions));
+    meta.set("cycles", JsonValue(result.measuredCycles));
+    meta.set("uops", JsonValue(result.measuredUops));
+
+    RunReportFile file;
+    file.generator = "helios-ledger";
+    file.runs.push_back(report);
+
+    return ledger->record(key, std::move(meta), file.toJsonText())
                ? LedgerOutcome::Recorded
                : LedgerOutcome::Hit;
 }

@@ -25,6 +25,8 @@
 namespace helios
 {
 
+struct SampledResult;
+
 /** What a recording attempt did. */
 enum class LedgerOutcome
 {
@@ -52,6 +54,17 @@ LedgerOutcome recordFunctionalToLedger(const std::string &workload,
                                        const FunctionalResult &result,
                                        uint64_t max_insts,
                                        bool fast_path);
+
+/**
+ * Record one finished sampled run (harness/sampling.hh). A sampled
+ * result answers a different question than a full run of the same
+ * (program, config, budget) — it is an estimate over a sampling spec —
+ * so the spec hash is folded into the key's config hash and the
+ * budget is the sampled frame (SamplingSpec::totalBudget). The blob
+ * is a single-run schema-v5 RunReportFile with the full `sampled`
+ * section.
+ */
+LedgerOutcome recordSampledToLedger(const SampledResult &result);
 
 } // namespace helios
 

@@ -137,6 +137,11 @@ RunReport::toJson() const
     // serialize exactly as v1 did (minus the version stamp).
     if (profiled)
         value.set("profile", profile.toJson());
+
+    // Schema v5: the sampled section is optional so full-run reports
+    // serialize exactly as v4 did (minus the version stamp).
+    if (!sampled.isNull())
+        value.set("sampled", sampled);
     return value;
 }
 
@@ -179,6 +184,10 @@ RunReport::fromJson(const JsonValue &value)
         report.profiled = true;
         report.profile = ProfileData::fromJson(value.at("profile"));
     }
+    // Additive in schema v5; carried opaquely (decoded on demand by
+    // SampledResult::fromJson).
+    if (value.has("sampled"))
+        report.sampled = value.at("sampled");
     return report;
 }
 
@@ -196,7 +205,8 @@ RunReport::operator==(const RunReport &other) const
         configHash != other.configHash ||
         audited != other.audited || auditChecks != other.auditChecks ||
         auditViolations != other.auditViolations ||
-        profiled != other.profiled || !(profile == other.profile))
+        profiled != other.profiled || !(profile == other.profile) ||
+        !(sampled == other.sampled))
         return false;
     if (stats.dump() != other.stats.dump())
         return false;

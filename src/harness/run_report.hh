@@ -55,9 +55,16 @@ struct DiffReport;
  *  instruction budget it content-addresses a run — the key the run
  *  ledger (src/ledger) memoizes results under.
  *
- *  All additions are backward compatible: v1/v2/v3 files parse
+ *  v5 adds an optional per-run "sampled" section: the full sampled-
+ *  simulation record (sampling spec, fast-forward length, per-interval
+ *  measurements, and weighted IPC / fusion-coverage estimates with
+ *  95% confidence intervals; see harness/sampling.hh). Present only
+ *  on reports produced by sampled runs; carried opaquely so files
+ *  round-trip losslessly.
+ *
+ *  All additions are backward compatible: v1/v2/v3/v4 files parse
  *  unchanged (absent fields default to zero/null). */
-constexpr unsigned kRunReportVersion = 4;
+constexpr unsigned kRunReportVersion = 5;
 
 /** One (workload, configuration) run, ready for serialization. */
 struct RunReport
@@ -94,6 +101,11 @@ struct RunReport
     // profiled).
     bool profiled = false;
     ProfileData profile;
+
+    /** Sampled-simulation section (schema v5). Null unless the run
+     *  was produced by the interval sampler; carried opaquely —
+     *  harness/sampling.hh SampledResult::fromJson decodes it. */
+    JsonValue sampled;
 
     /** Exact CPI stack rebuilt from the cpi.* counters. */
     CpiStack cpiStack() const { return stats.cpiStack(cycles); }

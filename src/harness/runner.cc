@@ -17,6 +17,7 @@
 #include "common/logging.hh"
 #include "harness/run_ledger.hh"
 #include "ledger/ledger.hh"
+#include "sim/checkpoint.hh"
 #include "sim/hart.hh"
 #include "telemetry/host_metrics.hh"
 #include "telemetry/host_trace.hh"
@@ -131,15 +132,28 @@ class MatrixProgress
 
 RunResult
 runOne(const Workload &workload, const CoreParams &params,
-       uint64_t max_insts)
+       uint64_t max_insts, const Checkpoint *restore_from,
+       uint64_t warmup_insts)
 {
     Memory mem;
     Hart hart(mem);
-    const Program prog = workload.program();
-    hart.reset(prog);
+    uint64_t program_hash = 0;
+    if (restore_from) {
+        // Resume mid-run: no assemble/ELF-load — the checkpoint is
+        // the whole program state, and it is config-independent, so
+        // every configuration of a sweep restores the same one.
+        hart.restoreCheckpoint(*restore_from);
+        program_hash = restore_from->programHash;
+    } else {
+        const Program prog = workload.program();
+        hart.reset(prog);
+        program_hash = prog.sourceHash;
+    }
     HartFeed feed(hart, max_insts);
 
     Pipeline pipeline(params, feed);
+    if (warmup_insts)
+        pipeline.armCommitWatch(warmup_insts);
     std::unique_ptr<PipelineAuditor> auditor;
     if (params.audit) {
         auditor = std::make_unique<PipelineAuditor>(params);
@@ -159,7 +173,7 @@ runOne(const Workload &workload, const CoreParams &params,
     result.hartInstructions = hart.instsExecuted();
     result.exited = hart.exited();
     result.exitCode = hart.exitCode();
-    result.programHash = prog.sourceHash;
+    result.programHash = program_hash;
     result.configHash = configHash(params);
     if (auditor) {
         result.audited = true;
@@ -170,7 +184,24 @@ runOne(const Workload &workload, const CoreParams &params,
         result.profiled = true;
         result.profile = profiler->data();
     }
+    if (restore_from) {
+        result.sampled = true;
+        result.sampleStartInst = restore_from->instIndex;
+        const Pipeline::CommitWatch &watch = pipeline.commitWatch();
+        result.warmupTaken = watch.taken;
+        result.warmupCycles = watch.cycles;
+        result.warmupInstructions = watch.instructions;
+        result.warmupUops = watch.uops;
+        result.warmupFusedPairs = watch.fusedPairs;
+    }
     return result;
+}
+
+RunResult
+runOne(const Workload &workload, const CoreParams &params,
+       uint64_t max_insts)
+{
+    return runOne(workload, params, max_insts, nullptr, 0);
 }
 
 RunResult
@@ -227,7 +258,8 @@ runMatrix(const std::vector<MatrixCell> &cells, unsigned jobs)
         span.arg("workload", cell.workload->name);
         span.arg("config", mode);
         results[index] =
-            runOne(*cell.workload, cell.params, cell.maxInsts);
+            runOne(*cell.workload, cell.params, cell.maxInsts,
+                   cell.restoreFrom, cell.warmupInsts);
         span.end();
         logDebug("cell done: %llu cycles, %llu insts, IPC %.3f",
                  (unsigned long long)results[index].cycles,
@@ -238,7 +270,11 @@ runMatrix(const std::vector<MatrixCell> &cells, unsigned jobs)
                 results[index].instructions, results[index].uops);
             HostMetrics::global().recordCellCompleted();
         }
-        if (Ledger::global())
+        // Interval cells are fragments of one sampled run — their
+        // individual numbers would collide under the (program,
+        // config, budget) key. The sampling layer records the
+        // aggregate instead, keyed by the sampling spec.
+        if (Ledger::global() && !cell.restoreFrom)
             recordRunToLedger(results[index], cell.maxInsts);
         progress.cellDone();
     };

@@ -30,6 +30,8 @@
 namespace helios
 {
 
+struct Checkpoint;
+
 /** Result of one (workload, configuration) timing run. */
 struct RunResult
 {
@@ -62,6 +64,18 @@ struct RunResult
     bool profiled = false;
     ProfileData profile;
 
+    // Sampled-interval cell outcome (MatrixCell::restoreFrom runs).
+    // cycles/instructions/uops above stay the cell totals (warmup +
+    // measured window); the sampling layer subtracts the warmup
+    // snapshot to get the measured window.
+    bool sampled = false;
+    uint64_t sampleStartInst = 0;  ///< checkpoint cut (dynamic index)
+    bool warmupTaken = false;      ///< the commit watch latched
+    uint64_t warmupCycles = 0;
+    uint64_t warmupInstructions = 0;
+    uint64_t warmupUops = 0;
+    uint64_t warmupFusedPairs = 0;
+
     double
     ipc() const
     {
@@ -86,16 +100,37 @@ RunResult runOne(const Workload &workload, const CoreParams &params,
                  uint64_t max_insts = UINT64_MAX);
 
 /**
+ * Sampled-interval variant: restore the hart from @a restore_from
+ * instead of resetting (skipping the assemble/ELF-load entirely), run
+ * at most @a max_insts instructions, and latch the warmup snapshot
+ * when @a warmup_insts instructions have committed (0: no watch).
+ * With restore_from == nullptr this is exactly the plain overload.
+ */
+RunResult runOne(const Workload &workload, const CoreParams &params,
+                 uint64_t max_insts, const Checkpoint *restore_from,
+                 uint64_t warmup_insts);
+
+/**
  * One cell of an experiment matrix: a workload to run under a
  * configuration with an instruction budget. The workload is held by
  * pointer and must outlive the runMatrix() call (cells built from
  * allWorkloads() / findWorkload() always satisfy this).
+ *
+ * Sampled-interval cells additionally point at a Checkpoint to
+ * restore from (must outlive the runMatrix() call) and carry the
+ * warmup length; the hart then resumes from the checkpoint's cut
+ * instead of resetting, so a long run shards into independent,
+ * restartable interval cells.
  */
 struct MatrixCell
 {
     const Workload *workload = nullptr;
     CoreParams params;
     uint64_t maxInsts = UINT64_MAX;
+
+    // Sampled-interval cells (harness/sampling.hh schedules these).
+    const Checkpoint *restoreFrom = nullptr;
+    uint64_t warmupInsts = 0;
 
     MatrixCell() = default;
 

@@ -1,0 +1,482 @@
+#include "harness/sampling.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "sim/hart.hh"
+#include "sim/memory.hh"
+#include "telemetry/host_trace.hh"
+
+namespace fs = std::filesystem;
+
+namespace helios
+{
+
+namespace
+{
+
+/** Two-sided 97.5% Student-t quantiles for df 1..30; 1.96 beyond.
+ *  Small sample counts are the norm here (10–50 intervals), so the
+ *  normal approximation alone would understate the interval. */
+double
+tQuantile975(uint64_t df)
+{
+    static constexpr double table[30] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    if (df == 0)
+        return 0.0;
+    if (df <= 30)
+        return table[df - 1];
+    return 1.96;
+}
+
+/** Checkpoint file name: program identity + cut index. Specs that
+ *  share cuts (same stride schedule) share the files. */
+std::string
+checkpointFileName(uint64_t program_hash, uint64_t inst_index)
+{
+    return strFormat("ckpt-%016llx-%llu.bin",
+                     (unsigned long long)program_hash,
+                     (unsigned long long)inst_index);
+}
+
+/** Manifest file name: one per (program, cut schedule). */
+std::string
+manifestFileName(uint64_t program_hash, const SamplingSpec &spec)
+{
+    uint64_t schedule = fnv1a(&spec.totalBudget, sizeof(spec.totalBudget));
+    schedule = fnv1a(&spec.sampleCount, sizeof(spec.sampleCount), schedule);
+    return strFormat("manifest-%016llx-%016llx.json",
+                     (unsigned long long)program_hash,
+                     (unsigned long long)schedule);
+}
+
+/** Try to serve the whole checkpoint set from @a spec.checkpointDir.
+ *  Any mismatch (absent manifest, other program, other schedule,
+ *  missing or corrupt checkpoint file) falls back to a rebuild —
+ *  reuse is an optimization, never a correctness dependency. */
+bool
+loadPersisted(const SamplingSpec &spec, uint64_t program_hash,
+              CheckpointSet &out)
+{
+    const fs::path dir(spec.checkpointDir);
+    const fs::path manifest_path =
+        dir / manifestFileName(program_hash, spec);
+    std::error_code ec;
+    if (!fs::exists(manifest_path, ec))
+        return false;
+
+    try {
+        std::ifstream in(manifest_path);
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        const JsonValue doc = JsonValue::parse(text);
+        if (doc.at("program_hash").asUint() != program_hash ||
+            doc.at("total_budget").asUint() != spec.totalBudget ||
+            doc.at("sample_count").asUint() != spec.sampleCount)
+            return false;
+
+        CheckpointSet set;
+        set.programHash = program_hash;
+        set.ffInstructions = doc.at("ff_instructions").asUint();
+        set.exited = doc.at("exited").asBool();
+        set.exitCode = doc.at("exit_code").asUint();
+        const JsonValue &cuts = doc.at("cuts");
+        for (size_t i = 0; i < cuts.size(); ++i) {
+            const JsonValue &cut = cuts.at(i);
+            const fs::path file = dir / cut.at("file").asString();
+            Checkpoint ckpt = Checkpoint::load(file.string());
+            if (ckpt.programHash != program_hash ||
+                ckpt.instIndex != cut.at("inst").asUint())
+                return false;
+            set.checkpoints.push_back(std::move(ckpt));
+        }
+        set.reused = true;
+        out = std::move(set);
+        return true;
+    } catch (const FatalError &err) {
+        // A corrupt manifest or checkpoint file is survivable: log
+        // and rebuild from scratch (which also rewrites the files).
+        warn("checkpoint dir %s unusable (%s); rebuilding",
+             spec.checkpointDir.c_str(), err.what());
+        return false;
+    }
+}
+
+/** Persist a freshly built checkpoint set; fatal() on I/O failure
+ *  (the caller asked for persistence, silently losing it would make
+ *  the next sweep silently pay the fast-forward again). */
+void
+persist(const SamplingSpec &spec, const CheckpointSet &set)
+{
+    const fs::path dir(spec.checkpointDir);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        fatal("cannot create checkpoint dir %s: %s",
+              spec.checkpointDir.c_str(), ec.message().c_str());
+
+    JsonValue cuts = JsonValue::array();
+    for (const Checkpoint &ckpt : set.checkpoints) {
+        const std::string name =
+            checkpointFileName(set.programHash, ckpt.instIndex);
+        ckpt.save((dir / name).string());
+        JsonValue cut = JsonValue::object();
+        cut.set("inst", ckpt.instIndex);
+        cut.set("file", name);
+        cuts.push(std::move(cut));
+    }
+
+    JsonValue doc = JsonValue::object();
+    doc.set("version", uint64_t(Checkpoint::kVersion));
+    doc.set("program_hash", set.programHash);
+    doc.set("total_budget", spec.totalBudget);
+    doc.set("sample_count", spec.sampleCount);
+    doc.set("stride", spec.stride());
+    doc.set("ff_instructions", set.ffInstructions);
+    doc.set("exited", set.exited);
+    doc.set("exit_code", set.exitCode);
+    doc.set("cuts", std::move(cuts));
+
+    const fs::path manifest_path =
+        dir / manifestFileName(set.programHash, spec);
+    std::ofstream out(manifest_path);
+    out << doc.dump(2) << "\n";
+    if (!out)
+        fatal("cannot write checkpoint manifest %s",
+              manifest_path.string().c_str());
+}
+
+} // namespace
+
+uint64_t
+SamplingSpec::specHash() const
+{
+    uint64_t hash = fnv1a(&totalBudget, sizeof(totalBudget));
+    hash = fnv1a(&intervalInsts, sizeof(intervalInsts), hash);
+    hash = fnv1a(&warmupInsts, sizeof(warmupInsts), hash);
+    hash = fnv1a(&sampleCount, sizeof(sampleCount), hash);
+    return hash;
+}
+
+void
+SamplingSpec::validate() const
+{
+    if (intervalInsts == 0)
+        fatal("sampling interval must be a positive instruction count");
+    if (sampleCount == 0)
+        fatal("sample count must be a positive integer");
+    if (warmupInsts >= intervalInsts)
+        fatal("sampling warmup (%llu) must be shorter than the "
+              "measured interval (%llu)",
+              (unsigned long long)warmupInsts,
+              (unsigned long long)intervalInsts);
+    if (totalBudget == 0 || totalBudget == UINT64_MAX)
+        fatal("sampling needs an explicit total instruction budget");
+    if (stride() < warmupInsts + intervalInsts)
+        fatal("budget %llu is too small for %llu disjoint "
+              "warmup+interval windows of %llu instructions",
+              (unsigned long long)totalBudget,
+              (unsigned long long)sampleCount,
+              (unsigned long long)(warmupInsts + intervalInsts));
+}
+
+CheckpointSet
+buildCheckpoints(const Workload &workload, const SamplingSpec &spec)
+{
+    spec.validate();
+
+    const Program prog = workload.program();
+    if (!spec.checkpointDir.empty()) {
+        CheckpointSet persisted;
+        if (loadPersisted(spec, prog.sourceHash, persisted)) {
+            logDebug("reusing %zu checkpoints for %s from %s",
+                     persisted.checkpoints.size(),
+                     workload.name.c_str(),
+                     spec.checkpointDir.c_str());
+            return persisted;
+        }
+    }
+
+    HostSpan span(strFormat("fast-forward %s", workload.name.c_str()),
+                  "sampling");
+
+    Memory mem;
+    Hart hart(mem);
+    hart.reset(prog);
+
+    CheckpointSet set;
+    set.programHash = prog.sourceHash;
+    const uint64_t stride = spec.stride();
+    for (uint64_t k = 0; k < spec.sampleCount; ++k) {
+        const uint64_t target = k * stride;
+        if (target > hart.instsExecuted())
+            hart.runFast(target - hart.instsExecuted());
+        if (hart.exited() || hart.instsExecuted() < target) {
+            // Program ended inside the frame; the remaining cuts
+            // cannot exist. The estimate simply has fewer samples.
+            inform("%s exited after %llu instructions; dropping %llu "
+                   "of %llu sample cuts",
+                   workload.name.c_str(),
+                   (unsigned long long)hart.instsExecuted(),
+                   (unsigned long long)(spec.sampleCount - k),
+                   (unsigned long long)spec.sampleCount);
+            break;
+        }
+        set.checkpoints.push_back(hart.makeCheckpoint(prog.sourceHash));
+    }
+    set.ffInstructions = hart.instsExecuted();
+    set.exited = hart.exited();
+    set.exitCode = hart.exitCode();
+    span.end();
+
+    if (!spec.checkpointDir.empty())
+        persist(spec, set);
+    return set;
+}
+
+SampledEstimate
+estimateWeighted(const std::vector<IntervalSample> &intervals,
+                 double (IntervalSample::*value)() const)
+{
+    SampledEstimate est;
+    est.samples = intervals.size();
+    double weight_sum = 0.0;
+    for (const IntervalSample &sample : intervals)
+        weight_sum += double(sample.instructions);
+    if (weight_sum == 0.0)
+        return est;
+
+    double mean = 0.0;
+    for (const IntervalSample &sample : intervals)
+        mean += double(sample.instructions) / weight_sum *
+                (sample.*value)();
+    est.mean = mean;
+
+    const uint64_t n = intervals.size();
+    if (n < 2)
+        return est; // no variance information: CI half-width stays 0
+
+    // Reliability-weighted sample variance: reduces to the classic
+    // 1/(n−1) estimator when every window measured the same number of
+    // instructions.
+    double var = 0.0;
+    for (const IntervalSample &sample : intervals) {
+        const double dev = (sample.*value)() - mean;
+        var += double(sample.instructions) / weight_sum * dev * dev;
+    }
+    var *= double(n) / double(n - 1);
+    const double stderr_mean = std::sqrt(var / double(n));
+    est.ci95Half = tQuantile975(n - 1) * stderr_mean;
+    return est;
+}
+
+SampledResult
+runSampled(const Workload &workload, const CoreParams &params,
+           const SamplingSpec &spec, unsigned jobs)
+{
+    spec.validate();
+    const CheckpointSet set = buildCheckpoints(workload, spec);
+    return runSampled(workload, params, spec, set, jobs);
+}
+
+SampledResult
+runSampled(const Workload &workload, const CoreParams &params,
+           const SamplingSpec &spec, const CheckpointSet &set,
+           unsigned jobs)
+{
+    spec.validate();
+
+    SampledResult result;
+    result.workload = workload.name;
+    result.mode = params.fusion;
+    result.spec = spec;
+    result.programHash = set.programHash;
+    result.configHash = configHash(params);
+    result.checkpointsReused = set.reused;
+    result.ffInstructions = set.ffInstructions;
+    result.droppedIntervals = spec.sampleCount - set.checkpoints.size();
+
+    // Each interval is one independent matrix cell: restore the cut,
+    // run warmup+window detailed, stop. The worker pool parallelizes
+    // across intervals exactly as it does across configurations.
+    std::vector<MatrixCell> cells;
+    cells.reserve(set.checkpoints.size());
+    for (const Checkpoint &ckpt : set.checkpoints) {
+        MatrixCell cell(workload, params,
+                        spec.warmupInsts + spec.intervalInsts);
+        cell.restoreFrom = &ckpt;
+        cell.warmupInsts = spec.warmupInsts;
+        cells.push_back(cell);
+    }
+    const std::vector<RunResult> runs = runMatrix(cells, jobs);
+
+    for (const RunResult &run : runs) {
+        result.detailedInstructions += run.instructions;
+        if (spec.warmupInsts && !run.warmupTaken) {
+            // The cell ended before warmup completed (exit inside the
+            // window): there is no measured window to score.
+            inform("%s: interval at %llu ended during warmup; skipped",
+                   workload.name.c_str(),
+                   (unsigned long long)run.sampleStartInst);
+            ++result.droppedIntervals;
+            continue;
+        }
+        const uint64_t pairs = run.stat("pairs.csf_mem") +
+                               run.stat("pairs.csf_other") +
+                               run.stat("pairs.ncsf");
+        IntervalSample sample;
+        sample.startInst = run.sampleStartInst;
+        sample.warmupCycles = run.warmupCycles;
+        sample.cycles = run.cycles - run.warmupCycles;
+        sample.instructions = run.instructions - run.warmupInstructions;
+        sample.uops = run.uops - run.warmupUops;
+        sample.fusedPairs = pairs - run.warmupFusedPairs;
+        if (sample.instructions == 0) {
+            ++result.droppedIntervals;
+            continue;
+        }
+        result.measuredCycles += sample.cycles;
+        result.measuredInstructions += sample.instructions;
+        result.measuredUops += sample.uops;
+        result.measuredFusedPairs += sample.fusedPairs;
+        result.intervals.push_back(sample);
+    }
+
+    result.ipc = estimateWeighted(result.intervals, &IntervalSample::ipc);
+    result.coverage =
+        estimateWeighted(result.intervals, &IntervalSample::coverage);
+    return result;
+}
+
+JsonValue
+SampledResult::toJson() const
+{
+    JsonValue spec_json = JsonValue::object();
+    spec_json.set("total_budget", spec.totalBudget);
+    spec_json.set("interval", spec.intervalInsts);
+    spec_json.set("warmup", spec.warmupInsts);
+    spec_json.set("samples", spec.sampleCount);
+    spec_json.set("spec_hash", spec.specHash());
+
+    JsonValue measured = JsonValue::object();
+    measured.set("cycles", measuredCycles);
+    measured.set("instructions", measuredInstructions);
+    measured.set("uops", measuredUops);
+    measured.set("fused_pairs", measuredFusedPairs);
+    measured.set("detailed_instructions", detailedInstructions);
+
+    auto estimate_json = [](const SampledEstimate &est) {
+        JsonValue value = JsonValue::object();
+        value.set("mean", est.mean);
+        value.set("ci95_half", est.ci95Half);
+        value.set("ci95_lo", est.lo());
+        value.set("ci95_hi", est.hi());
+        value.set("samples", est.samples);
+        return value;
+    };
+
+    JsonValue interval_list = JsonValue::array();
+    for (const IntervalSample &sample : intervals) {
+        JsonValue entry = JsonValue::object();
+        entry.set("start", sample.startInst);
+        entry.set("warmup_cycles", sample.warmupCycles);
+        entry.set("cycles", sample.cycles);
+        entry.set("instructions", sample.instructions);
+        entry.set("uops", sample.uops);
+        entry.set("fused_pairs", sample.fusedPairs);
+        interval_list.push(std::move(entry));
+    }
+
+    JsonValue value = JsonValue::object();
+    value.set("workload", workload);
+    value.set("mode", fusionModeName(mode));
+    value.set("spec", std::move(spec_json));
+    value.set("program_hash", programHash);
+    value.set("config_hash", configHash);
+    value.set("checkpoints_reused", checkpointsReused);
+    value.set("ff_instructions", ffInstructions);
+    value.set("dropped_intervals", droppedIntervals);
+    value.set("measured", std::move(measured));
+    value.set("ipc", estimate_json(ipc));
+    value.set("fusion_coverage", estimate_json(coverage));
+    value.set("intervals", std::move(interval_list));
+    return value;
+}
+
+SampledResult
+SampledResult::fromJson(const JsonValue &value)
+{
+    SampledResult result;
+    result.workload = value.at("workload").asString();
+    result.mode = fusionModeFromName(value.at("mode").asString());
+    const JsonValue &spec_json = value.at("spec");
+    result.spec.totalBudget = spec_json.at("total_budget").asUint();
+    result.spec.intervalInsts = spec_json.at("interval").asUint();
+    result.spec.warmupInsts = spec_json.at("warmup").asUint();
+    result.spec.sampleCount = spec_json.at("samples").asUint();
+    result.programHash = value.at("program_hash").asUint();
+    result.configHash = value.at("config_hash").asUint();
+    result.checkpointsReused = value.at("checkpoints_reused").asBool();
+    result.ffInstructions = value.at("ff_instructions").asUint();
+    result.droppedIntervals = value.at("dropped_intervals").asUint();
+
+    const JsonValue &measured = value.at("measured");
+    result.measuredCycles = measured.at("cycles").asUint();
+    result.measuredInstructions = measured.at("instructions").asUint();
+    result.measuredUops = measured.at("uops").asUint();
+    result.measuredFusedPairs = measured.at("fused_pairs").asUint();
+    result.detailedInstructions =
+        measured.at("detailed_instructions").asUint();
+
+    auto estimate_from = [](const JsonValue &est_json) {
+        SampledEstimate est;
+        est.mean = est_json.at("mean").asDouble();
+        est.ci95Half = est_json.at("ci95_half").asDouble();
+        est.samples = est_json.at("samples").asUint();
+        return est;
+    };
+    result.ipc = estimate_from(value.at("ipc"));
+    result.coverage = estimate_from(value.at("fusion_coverage"));
+
+    const JsonValue &interval_list = value.at("intervals");
+    for (size_t i = 0; i < interval_list.size(); ++i) {
+        const JsonValue &entry = interval_list.at(i);
+        IntervalSample sample;
+        sample.startInst = entry.at("start").asUint();
+        sample.warmupCycles = entry.at("warmup_cycles").asUint();
+        sample.cycles = entry.at("cycles").asUint();
+        sample.instructions = entry.at("instructions").asUint();
+        sample.uops = entry.at("uops").asUint();
+        sample.fusedPairs = entry.at("fused_pairs").asUint();
+        result.intervals.push_back(sample);
+    }
+    return result;
+}
+
+RunReport
+makeSampledRunReport(const SampledResult &result)
+{
+    RunReport report;
+    report.workload = result.workload;
+    report.mode = fusionModeName(result.mode);
+    report.maxInsts = result.spec.totalBudget;
+    report.cycles = result.measuredCycles;
+    report.instructions = result.measuredInstructions;
+    report.uops = result.measuredUops;
+    report.ipc = result.ipc.mean;
+    report.programHash = result.programHash;
+    report.configHash = result.configHash;
+    report.sampled = result.toJson();
+    return report;
+}
+
+} // namespace helios

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Sampled simulation: checkpointed fast-forward plus interval timing
+ * samples with confidence intervals.
+ *
+ * The paper-scale problem: detailed simulation runs at ~100 K
+ * cycles/s while the functional fast-forward engine runs at hundreds
+ * of M inst/s, so cycle-level cost on every instruction caps runs at
+ * a few hundred thousand instructions. SMARTS/SimPoint-style interval
+ * sampling buys the run length back: fast-forward functionally, cut
+ * architectural checkpoints (sim/checkpoint.hh) at evenly spaced
+ * interval starts, then run detailed warmup + a short measured window
+ * from each checkpoint and aggregate the per-interval IPC into a
+ * weighted mean with a 95% confidence interval.
+ *
+ * Each interval is an independent MatrixCell fed to the existing
+ * runMatrix worker pool, so a 500M-instruction run becomes a
+ * shardable set of restartable interval cells. Checkpoints are
+ * configuration-independent — one checkpoint set (optionally
+ * persisted under SamplingSpec::checkpointDir and reused across
+ * processes) serves a whole configuration sweep.
+ *
+ * Estimator: with per-interval IPC x_i weighted by measured
+ * instructions w_i,
+ *
+ *   mean      m  = Σ w_i x_i / Σ w_i
+ *   variance  s² = (n / (n−1)) · Σ w̄_i (x_i − m)²,  w̄_i = w_i / Σ w_i
+ *   95% CI       = m ± t_{0.975, n−1} · s / √n
+ *
+ * which reduces to the classic unweighted t-interval when all
+ * windows measure the same instruction count (the common case; the
+ * weights only matter when the program exits inside a window).
+ * Fusion coverage (2·pairs/instructions) aggregates identically.
+ */
+
+#ifndef HARNESS_SAMPLING_HH
+#define HARNESS_SAMPLING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "harness/run_report.hh"
+#include "harness/runner.hh"
+#include "sim/checkpoint.hh"
+
+namespace helios
+{
+
+/** What to sample: the frame, the window, and the warmup. */
+struct SamplingSpec
+{
+    uint64_t totalBudget = 0;   ///< instructions the sample frame covers
+    uint64_t intervalInsts = 0; ///< measured window per sample
+    uint64_t warmupInsts = 0;   ///< detailed warmup before each window
+    uint64_t sampleCount = 0;   ///< evenly spaced samples over the frame
+
+    /** Optional checkpoint persistence directory (empty: in-memory
+     *  only). Checkpoints in it are reused when the program hash and
+     *  cut schedule match, so a sweep pays one fast-forward total. */
+    std::string checkpointDir;
+
+    /** Distance between interval starts: totalBudget / sampleCount. */
+    uint64_t
+    stride() const
+    {
+        return sampleCount ? totalBudget / sampleCount : 0;
+    }
+
+    /** FNV-1a digest of the numeric spec (budget, interval, warmup,
+     *  count) — what the ledger keys a sampled run under, combined
+     *  with the program and config hashes. The directory is excluded:
+     *  where checkpoints live cannot change a result. */
+    uint64_t specHash() const;
+
+    /** fatal() on a spec that cannot produce a valid estimate: zero
+     *  interval/count, warmup >= interval, or a frame too small for
+     *  sampleCount disjoint warmup+interval windows. */
+    void validate() const;
+};
+
+/** Checkpoints cut at the spec's interval starts by one functional
+ *  fast-forward pass (or reloaded from checkpointDir). */
+struct CheckpointSet
+{
+    std::vector<Checkpoint> checkpoints; ///< ascending cut order
+    uint64_t ffInstructions = 0; ///< how far the fast-forward ran
+    bool exited = false;         ///< program exited inside the frame
+    uint64_t exitCode = 0;
+    uint64_t programHash = 0;
+    bool reused = false;         ///< loaded from checkpointDir
+};
+
+/**
+ * Fast-forward @a workload functionally and cut a checkpoint at every
+ * interval start (k·stride for k = 0..sampleCount−1). Stops early if
+ * the program exits inside the frame — later cuts are dropped with a
+ * log note and the estimate simply has fewer samples. When
+ * spec.checkpointDir is set, a manifest + checkpoint files are
+ * persisted there and reused on the next call with the same program
+ * and cut schedule.
+ */
+CheckpointSet buildCheckpoints(const Workload &workload,
+                               const SamplingSpec &spec);
+
+/** One measured interval (the warmup snapshot already subtracted). */
+struct IntervalSample
+{
+    uint64_t startInst = 0;    ///< checkpoint cut (dynamic index)
+    uint64_t warmupCycles = 0; ///< cycles spent warming up
+    uint64_t cycles = 0;       ///< measured window
+    uint64_t instructions = 0;
+    uint64_t uops = 0;
+    uint64_t fusedPairs = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? double(instructions) / double(cycles) : 0.0;
+    }
+
+    double
+    coverage() const
+    {
+        return instructions
+                   ? 2.0 * double(fusedPairs) / double(instructions)
+                   : 0.0;
+    }
+};
+
+/** A weighted mean with its 95% confidence half-width. */
+struct SampledEstimate
+{
+    uint64_t samples = 0;
+    double mean = 0.0;
+    double ci95Half = 0.0; ///< 0 when samples < 2 (no interval)
+
+    double lo() const { return mean - ci95Half; }
+    double hi() const { return mean + ci95Half; }
+
+    /** Half-width relative to the mean (0 when mean is 0). */
+    double
+    relative() const
+    {
+        return mean != 0.0 ? ci95Half / mean : 0.0;
+    }
+};
+
+/** Instruction-weighted mean + 95% CI over per-interval values of
+ *  @a value (exposed for tests; runSampled uses it internally). */
+SampledEstimate
+estimateWeighted(const std::vector<IntervalSample> &intervals,
+                 double (IntervalSample::*value)() const);
+
+/** The outcome of one sampled (workload, configuration) run. */
+struct SampledResult
+{
+    std::string workload;
+    FusionMode mode = FusionMode::None;
+    SamplingSpec spec;
+    uint64_t programHash = 0;
+    uint64_t configHash = 0;
+
+    bool checkpointsReused = false; ///< checkpointDir served the cuts
+    uint64_t ffInstructions = 0;    ///< functional fast-forward length
+    uint64_t droppedIntervals = 0;  ///< cuts lost to early exit
+
+    std::vector<IntervalSample> intervals;
+
+    // Totals over the measured windows only.
+    uint64_t measuredCycles = 0;
+    uint64_t measuredInstructions = 0;
+    uint64_t measuredUops = 0;
+    uint64_t measuredFusedPairs = 0;
+    uint64_t detailedInstructions = 0; ///< warmup + measured, all cells
+
+    SampledEstimate ipc;      ///< weighted per-interval IPC
+    SampledEstimate coverage; ///< weighted fusion coverage
+
+    /** The schema-v5 `sampled` report section. */
+    JsonValue toJson() const;
+    static SampledResult fromJson(const JsonValue &value);
+};
+
+/**
+ * Run one workload sampled: build (or reuse) the checkpoint set, run
+ * every interval as an independent cell through the runMatrix worker
+ * pool, and aggregate. @a jobs as in runMatrix (0: defaultJobCount).
+ */
+SampledResult runSampled(const Workload &workload,
+                         const CoreParams &params,
+                         const SamplingSpec &spec, unsigned jobs = 0);
+
+/** Same, over a prebuilt checkpoint set (configuration sweeps build
+ *  the set once and reuse it for every configuration). */
+SampledResult runSampled(const Workload &workload,
+                         const CoreParams &params,
+                         const SamplingSpec &spec,
+                         const CheckpointSet &set, unsigned jobs = 0);
+
+/**
+ * Shape a sampled run as a RunReport: headline cycles/instructions/
+ * uops are the measured-window totals, ipc is the weighted estimate,
+ * and the full per-interval detail rides in the report's `sampled`
+ * section (schema v5).
+ */
+RunReport makeSampledRunReport(const SampledResult &result);
+
+} // namespace helios
+
+#endif // HARNESS_SAMPLING_HH

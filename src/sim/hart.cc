@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "isa/decoder.hh"
 #include "isa/disasm.hh"
+#include "sim/checkpoint.hh"
 
 namespace helios
 {
@@ -82,6 +83,71 @@ Hart::reset(const Program &prog)
         predecoded.reserve(prog.code.size());
         for (uint32_t word : prog.code)
             predecoded.push_back(decode(word));
+    }
+}
+
+Checkpoint
+Hart::makeCheckpoint(uint64_t program_hash) const
+{
+    Checkpoint ckpt;
+    ckpt.programHash = program_hash;
+    ckpt.instIndex = seq;
+    std::copy(std::begin(regs), std::end(regs),
+              std::begin(ckpt.regs));
+    ckpt.pc = thePc;
+    ckpt.exited = hasExited;
+    ckpt.exitCode = theExitCode;
+    ckpt.output = theOutput;
+    ckpt.textBase = textBase;
+    ckpt.textLimit = textLimit;
+    ckpt.sys = sys.state();
+    mem.forEachResidentPage([&](uint64_t index, const uint8_t *data) {
+        Checkpoint::PageRecord page;
+        page.index = index;
+        page.bytes.assign(data, data + Memory::pageSize);
+        ckpt.pages.push_back(std::move(page));
+    });
+    return ckpt;
+}
+
+void
+Hart::restoreCheckpoint(const Checkpoint &ckpt)
+{
+    // Restoring on top of live pages would leave stale residents the
+    // checkpoint never knew about, silently skewing checksums.
+    if (mem.numPages() != 0)
+        fatal("checkpoint restore needs a fresh Memory (%zu pages "
+              "already resident)",
+              mem.numPages());
+
+    std::copy(std::begin(ckpt.regs), std::end(ckpt.regs),
+              std::begin(regs));
+    thePc = ckpt.pc;
+    seq = ckpt.instIndex;
+    hasExited = ckpt.exited;
+    theExitCode = ckpt.exitCode;
+    theOutput = ckpt.output;
+    sys.restoreState(ckpt.sys);
+
+    // writeBlock marks residency exactly as the original run's stores
+    // did, so numPages()/checksum() match the checkpointed state.
+    for (const Checkpoint::PageRecord &page : ckpt.pages)
+        mem.writeBlock(page.index << Memory::pageBits,
+                       page.bytes.data(), page.bytes.size());
+
+    // Rebuild the pre-decoded caches from the restored image, exactly
+    // as reset() derives them from a fresh program: a run that
+    // patched its own text before the cut predecodes the *patched*
+    // words here.
+    textBase = ckpt.textBase;
+    textLimit = ckpt.textLimit;
+    predecoded.clear();
+    fastCache.clear();
+    if (cacheWanted && textLimit > textBase) {
+        predecoded.reserve((textLimit - textBase) / 4);
+        for (uint64_t addr = textBase; addr < textLimit; addr += 4)
+            predecoded.push_back(
+                decode(static_cast<uint32_t>(mem.read(addr, 4))));
     }
 }
 

@@ -21,6 +21,8 @@
 namespace helios
 {
 
+struct Checkpoint;
+
 /**
  * Architectural state and functional execution.
  *
@@ -98,6 +100,33 @@ class Hart
      * identical functional execution.
      */
     uint64_t archChecksum() const;
+
+    /**
+     * Snapshot the full architectural state — registers, pc, seq,
+     * exit status, collected output, syscall-shim state and every
+     * resident memory page — into a Checkpoint cut at the current
+     * dynamic instruction index. runFast(n) stops at an exact
+     * instruction count, so a checkpoint can be cut anywhere in a
+     * run: mid-basic-block, between the halves of a fused pair,
+     * after self-modifying stores or mid-way through the stdin
+     * buffer. Purely architectural (no decoder-cache or timing
+     * state), so one checkpoint serves every configuration.
+     *
+     * @param program_hash Program::sourceHash, stamped into the
+     *        checkpoint so restore sites can verify provenance
+     */
+    Checkpoint makeCheckpoint(uint64_t program_hash = 0) const;
+
+    /**
+     * Reinstate a checkpoint into this hart and its (freshly
+     * constructed) Memory — the counterpart of reset(const Program&)
+     * for a mid-run cut. Execution then continues bit-identically to
+     * the run the checkpoint was cut from, through either engine.
+     * The pre-decoded caches are rebuilt from the restored memory
+     * image (never serialized), which is what makes post-SMC cuts
+     * safe. fatal() when the Memory already holds resident pages.
+     */
+    void restoreCheckpoint(const Checkpoint &ckpt);
 
     /**
      * Enable/disable the pre-decoded program cache (enabled by

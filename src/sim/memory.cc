@@ -99,12 +99,41 @@ Memory::readBlock(uint64_t addr, void *dst, size_t len) const
     }
 }
 
+void
+Memory::forEachResidentPage(
+    const std::function<void(uint64_t page_index,
+                             const uint8_t *data)> &visit) const
+{
+    // Arena pages first (ascending by construction): their indices
+    // are all below any high page's, so the combined order is
+    // globally ascending.
+    for (size_t w = 0; w < resident.size(); ++w) {
+        uint64_t bits = resident[w];
+        while (bits) {
+            const uint64_t index =
+                w * 64 + uint64_t(std::countr_zero(bits));
+            visit(index, arena.get() + (index << pageBits));
+            bits &= bits - 1;
+        }
+    }
+
+    // Sort high page indices so the walk does not depend on
+    // unordered_map iteration order.
+    std::vector<uint64_t> indices;
+    indices.reserve(pages.size());
+    for (const auto &[index, page] : pages)
+        indices.push_back(index);
+    std::sort(indices.begin(), indices.end());
+    for (uint64_t index : indices)
+        visit(index, pages.at(index)->data());
+}
+
 uint64_t
 Memory::checksum() const
 {
     uint64_t hash = 1469598103934665603ULL; // FNV offset basis
     constexpr uint64_t prime = 1099511628211ULL;
-    const auto hash_page = [&](uint64_t index, const uint8_t *data) {
+    forEachResidentPage([&](uint64_t index, const uint8_t *data) {
         for (unsigned shift = 0; shift < 64; shift += 8) {
             hash ^= (index >> shift) & 0xff;
             hash *= prime;
@@ -113,30 +142,7 @@ Memory::checksum() const
             hash ^= data[i];
             hash *= prime;
         }
-    };
-
-    // Arena pages first (ascending by construction): their indices
-    // are all below any high page's, so the combined order is the
-    // same globally-ascending order the sparse representation hashed.
-    for (size_t w = 0; w < resident.size(); ++w) {
-        uint64_t bits = resident[w];
-        while (bits) {
-            const uint64_t index =
-                w * 64 + uint64_t(std::countr_zero(bits));
-            hash_page(index, arena.get() + (index << pageBits));
-            bits &= bits - 1;
-        }
-    }
-
-    // Sort high page indices so the hash does not depend on
-    // unordered_map iteration order.
-    std::vector<uint64_t> indices;
-    indices.reserve(pages.size());
-    for (const auto &[index, page] : pages)
-        indices.push_back(index);
-    std::sort(indices.begin(), indices.end());
-    for (uint64_t index : indices)
-        hash_page(index, pages.at(index)->data());
+    });
     return hash;
 }
 

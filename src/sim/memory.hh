@@ -26,6 +26,7 @@
 #include <bit>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -145,6 +146,28 @@ class Memory
      * the differential harness can compare final states across runs.
      */
     uint64_t checksum() const;
+
+    /**
+     * Visit every resident page in ascending page-index order: arena
+     * pages via the residency bitmap (never the full arena scan),
+     * then high pages sorted by index. The single source of truth for
+     * "what is resident" — checksum() and the checkpoint serializer
+     * (sim/checkpoint.hh) both walk through it, so a checkpoint
+     * captures exactly the bytes the checksum fingerprints.
+     */
+    void forEachResidentPage(
+        const std::function<void(uint64_t page_index,
+                                 const uint8_t *data)> &visit) const;
+
+    /** Has any store touched the page holding @a page_index? */
+    bool
+    pageResident(uint64_t page_index) const
+    {
+        if (page_index < arenaPages)
+            return (resident[page_index >> 6] >>
+                    (page_index & 63)) & 1;
+        return pages.find(page_index) != pages.end();
+    }
 
   private:
     using Page = std::array<uint8_t, pageSize>;

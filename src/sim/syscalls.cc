@@ -85,6 +85,30 @@ SyscallEmulator::setStdin(std::string data)
     stdinPos = 0;
 }
 
+SyscallState
+SyscallEmulator::state() const
+{
+    SyscallState snap;
+    snap.brk = brk;
+    snap.brkBase = brkBase;
+    snap.brkLimit = brkLimit;
+    snap.stdinData = stdinData;
+    snap.stdinPos = stdinPos;
+    snap.clockTicks = clockTicks;
+    return snap;
+}
+
+void
+SyscallEmulator::restoreState(const SyscallState &state)
+{
+    brk = state.brk;
+    brkBase = state.brkBase;
+    brkLimit = state.brkLimit;
+    stdinData = state.stdinData;
+    stdinPos = state.stdinPos;
+    clockTicks = state.clockTicks;
+}
+
 SyscallResult
 SyscallEmulator::handle(uint64_t (&regs)[numArchRegs], Memory &mem,
                         uint64_t pc, std::string &output)

@@ -31,6 +31,24 @@ namespace helios
 
 class Memory;
 
+/**
+ * The shim's complete mutable state, as dumb data. Checkpoints
+ * (sim/checkpoint.hh) carry one of these so a restored hart replays
+ * the exact syscall sequence the original would have: same brk, same
+ * remaining stdin bytes, same deterministic clock phase.
+ */
+struct SyscallState
+{
+    uint64_t brk = 0;
+    uint64_t brkBase = 0;
+    uint64_t brkLimit = 0;
+    std::string stdinData;
+    uint64_t stdinPos = 0;
+    uint64_t clockTicks = 0;
+
+    bool operator==(const SyscallState &other) const = default;
+};
+
 /** What one ecall did, beyond mutating a0: the hart uses this to
  *  latch exit state and keep decoder caches coherent with guest
  *  memory the shim wrote (read(2) can overwrite text). */
@@ -70,6 +88,12 @@ class SyscallEmulator
                          uint64_t pc, std::string &output);
 
     uint64_t currentBrk() const { return brk; }
+
+    /** Snapshot the full shim state (checkpointing). */
+    SyscallState state() const;
+
+    /** Reinstate a snapshot taken by state(). */
+    void restoreState(const SyscallState &state);
 
   private:
     uint64_t brk = 0;

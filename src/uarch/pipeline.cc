@@ -2195,6 +2195,21 @@ Pipeline::run()
         }
 #endif
 
+        // Sampled-simulation warmup boundary: latch the headline
+        // counters the first cycle the commit count crosses the armed
+        // target. Checked before the drain break so a window whose
+        // warmup ends on the final cycle still latches.
+        if (watch.atInsts && !watch.taken &&
+            statGroup.get("commit.insts") >= watch.atInsts) {
+            watch.taken = true;
+            watch.cycles = cycle;
+            watch.instructions = statGroup.get("commit.insts");
+            watch.uops = statGroup.get("commit.uops");
+            watch.fusedPairs = statGroup.get("pairs.csf_mem") +
+                               statGroup.get("pairs.csf_other") +
+                               statGroup.get("pairs.ncsf");
+        }
+
         if (feedExhausted && replayQueue.empty() &&
             inflightCount == 0 &&
             drainQueue.empty() && decodePipe.empty() &&

@@ -88,6 +88,33 @@ class Pipeline
         return profiler.get();
     }
 
+    /**
+     * Warmup/measurement split for sampled simulation: a snapshot of
+     * the headline counters latched the first cycle the committed
+     * instruction count reaches a target. The measured window of an
+     * interval cell is then (final totals − snapshot), so warmup
+     * cycles never pollute the timed sample. Commit is up to
+     * commitWidth wide, so `instructions` records the exact count at
+     * the latch (≥ the armed target by at most commitWidth−1);
+     * consumers subtract using it, not the target. Pure observer —
+     * arming a watch cannot change any simulated number.
+     */
+    struct CommitWatch
+    {
+        uint64_t atInsts = 0; ///< armed target (0: disarmed)
+        bool taken = false;   ///< snapshot latched
+        uint64_t cycles = 0;
+        uint64_t instructions = 0;
+        uint64_t uops = 0;
+        uint64_t fusedPairs = 0; ///< csf_mem + csf_other + ncsf
+    };
+
+    /** Arm the commit watch; call before run(). 0 disarms. */
+    void armCommitWatch(uint64_t at_insts) { watch.atInsts = at_insts; }
+
+    /** The (possibly latched) watch; valid after run() returns. */
+    const CommitWatch &commitWatch() const { return watch; }
+
   private:
     // ---- per-cycle stages (called in reverse pipeline order) ----
     void commitStage();
@@ -347,6 +374,7 @@ class Pipeline
     unsigned iqCount = 0;
     unsigned allocatedRegs = 0;
     uint64_t commitCount = 0;
+    CommitWatch watch;
     uint64_t divBusyUntil = 0;
     uint64_t nextUid = 1;
 

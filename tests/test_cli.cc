@@ -787,6 +787,146 @@ TEST(CliLedger, LedgerChangesNoTimingResult)
     std::system(("rm -rf " + dir).c_str());
 }
 
+// ---------------------------------------------------------------------
+// Sampled simulation flags (--sample/--interval/--warmup/
+// --checkpoint-dir): usage errors exit 2 before anything runs; the
+// trace/profile conflict is a runtime fatal (exit 1); a good spec
+// prints the estimate line and writes a schema-v5 report.
+
+TEST(CliSampling, ZeroIntervalExitsTwo)
+{
+    EXPECT_EQ(runCli("--sample 4 --interval 0"), 2);
+}
+
+TEST(CliSampling, NegativeIntervalExitsTwo)
+{
+    EXPECT_EQ(runCli("--sample 4 --interval -5"), 2);
+    EXPECT_EQ(runCli("--sample -1"), 2);
+}
+
+TEST(CliSampling, WarmupNotShorterThanIntervalExitsTwo)
+{
+    EXPECT_EQ(runCli("--sample 2 --interval 500 --warmup 500"), 2);
+    EXPECT_EQ(runCli("--sample 2 --interval 500 --warmup 600"), 2);
+}
+
+TEST(CliSampling, FrameTooSmallForWindowsExitsTwo)
+{
+    // budget 2000 / 4 samples = 500 stride < 100 + 900 window.
+    EXPECT_EQ(runCli("--sample 4 --interval 900 --warmup 100"), 2);
+}
+
+TEST(CliSampling, SampleWithFunctionalExitsTwo)
+{
+    std::string out;
+    EXPECT_EQ(runCliCapture("--sample 2 --interval 500 --warmup 100 "
+                            "--functional",
+                            out),
+              2);
+    EXPECT_NE(out.find("--functional"), std::string::npos) << out;
+}
+
+TEST(CliSampling, SampleWithoutMaxInstsExitsTwo)
+{
+    std::string out;
+    EXPECT_EQ(runRaw(std::string(DOTPROD_S) + " --sample 4", out), 2);
+    EXPECT_NE(out.find("--max-insts"), std::string::npos) << out;
+}
+
+TEST(CliSampling, SamplingFlagsWithoutSampleExitTwo)
+{
+    EXPECT_EQ(runCli("--interval 500"), 2);
+    EXPECT_EQ(runCli("--warmup 100"), 2);
+    EXPECT_EQ(runCli("--checkpoint-dir " + tempPath("ckpt_orphan")), 2);
+}
+
+TEST(CliSampling, UnwritableCheckpointDirExitsTwo)
+{
+    // A path through a regular file cannot be created as a directory
+    // no matter the privileges.
+    const std::string file_path = writeTemp("cli_ckpt_file", "x");
+    std::string out;
+    EXPECT_EQ(runCliCapture("--sample 2 --interval 500 --warmup 100 "
+                            "--checkpoint-dir " +
+                                file_path + "/sub",
+                            out),
+              2);
+    EXPECT_NE(out.find("--checkpoint-dir"), std::string::npos) << out;
+    std::remove(file_path.c_str());
+}
+
+TEST(CliSampling, SampleConflictsWithWholeRunObserversExitsOne)
+{
+    // --trace and friends observe every committed instruction; a
+    // sampled run only executes windows, so the combination is a
+    // runtime fatal, not a silent partial trace.
+    EXPECT_EQ(runCli("--sample 2 --interval 500 --warmup 100 --trace " +
+                     tempPath("cli_sample_trace.json")),
+              1);
+    EXPECT_EQ(runCli("--sample 2 --interval 500 --warmup 100 "
+                     "--profile " +
+                     tempPath("cli_sample_prof.json")),
+              1);
+}
+
+TEST(CliSampling, SampledRunPrintsEstimateAndWritesV5Report)
+{
+    const std::string report_path = tempPath("cli_sampled_report.json");
+    std::remove(report_path.c_str());
+
+    std::string out;
+    ASSERT_EQ(runCliCapture("--sample 2 --interval 500 --warmup 100 "
+                            "--report " +
+                                report_path,
+                            out),
+              0)
+        << out;
+    EXPECT_NE(out.find("sampling: 2 checkpoint(s)"), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("sampled: "), std::string::npos) << out;
+    EXPECT_NE(out.find("95% CI"), std::string::npos) << out;
+
+    const JsonValue report = JsonValue::parse(slurp(report_path));
+    EXPECT_EQ(report.at("version").asUint(), kRunReportVersion);
+    ASSERT_GT(report.at("runs").size(), 0u);
+    const JsonValue &run = report.at("runs").at(size_t(0));
+    ASSERT_TRUE(run.has("sampled")) << report.dump(2);
+    const JsonValue &sampled = run.at("sampled");
+    EXPECT_EQ(sampled.at("spec").at("samples").asUint(), 2u);
+    EXPECT_EQ(sampled.at("spec").at("interval").asUint(), 500u);
+    EXPECT_EQ(sampled.at("ipc").at("samples").asUint(), 2u);
+    std::remove(report_path.c_str());
+}
+
+TEST(CliSampling, SampledSweepReusesOneCheckpointSet)
+{
+    const std::string dir = tempPath("cli_sampled_sweep_ckpt");
+    std::system(("rm -rf " + dir).c_str());
+
+    std::string out;
+    ASSERT_EQ(runCliCapture("--sweep --jobs 2 --sample 2 "
+                            "--interval 500 --warmup 100 "
+                            "--checkpoint-dir " +
+                                dir,
+                            out),
+              0)
+        << out;
+    // One fast-forward serves all six configurations...
+    EXPECT_NE(out.find("fast-forwarded"), std::string::npos) << out;
+    EXPECT_NE(out.find("vs NoFusion"), std::string::npos) << out;
+
+    // ...and a re-run reuses the persisted set.
+    ASSERT_EQ(runCliCapture("--sample 2 --interval 500 --warmup 100 "
+                            "--checkpoint-dir " +
+                                dir,
+                            out),
+              0)
+        << out;
+    EXPECT_NE(out.find("reused from checkpoint dir"), std::string::npos)
+        << out;
+    std::system(("rm -rf " + dir).c_str());
+}
+
 TEST(HeliosDb, MissingArgumentsExitTwo)
 {
     std::string out;

@@ -423,7 +423,7 @@ TEST(ReportSchemaV4, ConfigHashRoundTrips)
     RunReportFile file;
     file.add(result, 1000);
     const JsonValue json = file.toJson();
-    EXPECT_EQ(json.at("version").asUint(), 4u);
+    EXPECT_EQ(json.at("version").asUint(), kRunReportVersion);
     EXPECT_EQ(json.at("runs").at(size_t(0)).at("config_hash").asUint(),
               0x2222u);
 

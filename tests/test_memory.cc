@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "asm/assembler.hh"
 #include "sim/memory.hh"
 
@@ -74,4 +77,67 @@ TEST(Memory, OverwriteIsLastWriteWins)
     mem.write(0x10, 0xffffffffffffffffULL, 8);
     mem.write(0x12, 0x0, 2);
     EXPECT_EQ(mem.read(0x10, 8), 0xffffffff0000ffffULL);
+}
+
+TEST(Memory, ChecksumMatchesNaiveReference)
+{
+    // checksum() walks the residency bitmap / high-page map through
+    // forEachResidentPage; this recomputes the digest from first
+    // principles — the test tracks which pages it wrote itself, reads
+    // them back with readBlock and hashes page-by-page — so a walker
+    // that skips, duplicates or reorders a page cannot agree.
+    Memory mem;
+    std::set<uint64_t> written;
+    auto touch = [&](uint64_t addr, uint8_t value) {
+        mem.writeByte(addr, value);
+        written.insert(addr >> Memory::pageBits);
+    };
+
+    // Arena pages in deliberately non-ascending touch order, plus a
+    // cross-page write and high pages beyond the contiguous arena
+    // (allocated in the hash map, whose iteration order must not
+    // leak into the digest).
+    touch(0x5000, 0x11);
+    touch(0x0, 0x22);
+    touch(0x123456, 0x33);
+    mem.write(Memory::pageSize * 9 - 2, 0xbeef, 4); // spans two pages
+    written.insert(8);
+    written.insert(9);
+    touch(0x400000000ULL, 0x44); // high page (beyond the 128 MiB arena)
+    touch(0x7f0000000ULL, 0x55);
+    touch(0x400000000ULL + 7, 0x66); // same high page twice
+
+    // Every tracked page is resident and vice versa along the walk,
+    // in strictly ascending order.
+    std::vector<uint64_t> visited;
+    mem.forEachResidentPage(
+        [&](uint64_t index, const uint8_t *) {
+            visited.push_back(index);
+            EXPECT_TRUE(mem.pageResident(index));
+        });
+    EXPECT_EQ(std::vector<uint64_t>(written.begin(), written.end()),
+              visited);
+
+    // Naive reference: FNV-1a over (8 LE index bytes, 4096 data
+    // bytes) per resident page, ascending.
+    uint64_t hash = 1469598103934665603ULL;
+    constexpr uint64_t prime = 1099511628211ULL;
+    for (uint64_t index : written) {
+        for (unsigned shift = 0; shift < 64; shift += 8) {
+            hash ^= (index >> shift) & 0xff;
+            hash *= prime;
+        }
+        std::vector<uint8_t> page(Memory::pageSize);
+        mem.readBlock(index << Memory::pageBits, page.data(),
+                      page.size());
+        for (uint8_t byte : page) {
+            hash ^= byte;
+            hash *= prime;
+        }
+    }
+    EXPECT_EQ(mem.checksum(), hash);
+
+    // And the digest actually depends on content: flip one byte.
+    mem.writeByte(0x5001, 0x99);
+    EXPECT_NE(mem.checksum(), hash);
 }
